@@ -1,0 +1,66 @@
+//! One-class SVM training/prediction benchmarks at the scales the
+//! retrieval loop actually hits (tens of 9-D training vectors, a few
+//! hundred scored bags per round).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsvr_svm::{Kernel, OneClassSvm};
+
+fn synth(n: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| (((i * 37 + d * 101) % 97) as f64 / 97.0) * 0.8)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ocsvm_train");
+    for &n in &[16usize, 64, 256] {
+        let data = synth(n, 9);
+        g.bench_function(format!("rbf_n{n}_d9"), |b| {
+            b.iter(|| {
+                OneClassSvm::new(Kernel::Rbf { gamma: 2.0 }, 0.2)
+                    .fit(black_box(&data))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = synth(64, 9);
+    let model = OneClassSvm::new(Kernel::Rbf { gamma: 2.0 }, 0.2)
+        .fit(&data)
+        .unwrap();
+    let probes = synth(500, 9);
+    c.bench_function("ocsvm_decide_500x9", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in &probes {
+                acc += model.decision(black_box(p));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let u: Vec<f64> = (0..9).map(|i| i as f64 * 0.1).collect();
+    let v: Vec<f64> = (0..9).map(|i| (9 - i) as f64 * 0.1).collect();
+    let mut g = c.benchmark_group("kernel_eval");
+    for (name, k) in [
+        ("linear", Kernel::Linear),
+        ("rbf", Kernel::Rbf { gamma: 2.0 }),
+        ("laplacian", Kernel::Laplacian { sigma: 1.0 }),
+    ] {
+        g.bench_function(name, |b| b.iter(|| k.eval(black_box(&u), black_box(&v))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_train, bench_predict, bench_kernels);
+criterion_main!(benches);

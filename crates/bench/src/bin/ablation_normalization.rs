@@ -1,0 +1,27 @@
+//! **Ablation A1** — weight normalization in the weighted-RF baseline.
+//!
+//! The paper (§6.2) compares three schemes for normalizing the
+//! inverse-σ feature weights — none, linear min–max, and
+//! percentage-of-total — and reports that "the latter \[percentage\]
+//! outperforms both the linear normalization and no normalization at
+//! all". This ablation reruns the accident sessions under all three.
+
+use tsvr_bench::{clip1, clip2, print_accuracy_table, run_accident_session, PAPER_SEED};
+use tsvr_core::LearnerKind;
+use tsvr_mil::Normalization;
+
+fn main() {
+    for (name, clip) in [
+        ("clip 1 (tunnel)", clip1(PAPER_SEED)),
+        ("clip 2 (intersection)", clip2(PAPER_SEED)),
+    ] {
+        let raw = run_accident_session(&clip, LearnerKind::WeightedRf(Normalization::None));
+        let linear = run_accident_session(&clip, LearnerKind::WeightedRf(Normalization::Linear));
+        let pct = run_accident_session(&clip, LearnerKind::WeightedRf(Normalization::Percentage));
+        print_accuracy_table(
+            &format!("Ablation A1 — weight normalization, {name}"),
+            &[&pct, &linear, &raw],
+        );
+    }
+    println!("\npaper finding: percentage normalization beats linear (which can zero out a\nfeature entirely) and raw 1/sigma weights (which bias the score).");
+}

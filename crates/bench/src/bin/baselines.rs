@@ -1,0 +1,26 @@
+//! **Extension** — classic MIL baselines from the paper's §2.1 review.
+//!
+//! Runs Diverse Density \[6\] and EM-DD \[7\] through the same interactive
+//! sessions as the paper's One-class-SVM learner and the weighted-RF
+//! baseline, on both clips. Not a paper table; included because the
+//! paper positions its contribution against exactly these algorithms.
+
+use tsvr_bench::{clip1, clip2, print_accuracy_table, run_accident_session, PAPER_SEED};
+use tsvr_core::LearnerKind;
+
+fn main() {
+    for (name, clip) in [
+        ("clip 1 (tunnel)", clip1(PAPER_SEED)),
+        ("clip 2 (intersection)", clip2(PAPER_SEED)),
+    ] {
+        let ocsvm = run_accident_session(&clip, LearnerKind::paper_ocsvm());
+        let wrf = run_accident_session(&clip, LearnerKind::paper_weighted_rf());
+        let dd = run_accident_session(&clip, LearnerKind::DiverseDensity { scale: 8.0 });
+        let emdd = run_accident_session(&clip, LearnerKind::EmDd { scale: 8.0 });
+        let misvm = run_accident_session(&clip, LearnerKind::MiSvm { c: 10.0 });
+        print_accuracy_table(
+            &format!("MIL learner comparison — {name}"),
+            &[&ocsvm, &wrf, &dd, &emdd, &misvm],
+        );
+    }
+}

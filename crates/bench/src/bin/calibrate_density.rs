@@ -1,0 +1,34 @@
+//! Calibration helper: sweeps spawn density and prints TS counts so the
+//! paper presets can be matched to §6.2's 109/168 trajectory sequences.
+
+use tsvr_core::{prepare_clip, PipelineOptions};
+use tsvr_sim::Scenario;
+
+fn main() {
+    println!("clip1 (tunnel) sweep:");
+    for interval in [155.0, 160.0, 168.0, 172.0, 178.0] {
+        let mut s = Scenario::tunnel_paper(2007);
+        s.mean_spawn_interval = interval;
+        let clip = prepare_clip(&s, &PipelineOptions::default());
+        println!(
+            "  interval {:>5}: tracks {:>3} windows {:>3} TSs {:>4}",
+            interval,
+            clip.vision.tracks.len(),
+            clip.dataset.window_count(),
+            clip.dataset.sequence_count()
+        );
+    }
+    println!("clip2 (intersection) sweep:");
+    for interval in [88.0, 90.0, 93.0, 95.0] {
+        let mut s = Scenario::intersection_paper(2007);
+        s.mean_spawn_interval = interval;
+        let clip = prepare_clip(&s, &PipelineOptions::default());
+        println!(
+            "  interval {:>5}: tracks {:>3} windows {:>3} TSs {:>4}",
+            interval,
+            clip.vision.tracks.len(),
+            clip.dataset.window_count(),
+            clip.dataset.sequence_count()
+        );
+    }
+}

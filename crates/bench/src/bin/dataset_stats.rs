@@ -1,0 +1,36 @@
+//! Regenerates the §6.2 dataset statistics (paper prose):
+//! clip 1 — tunnel, 2504 frames, 109 TSs; clip 2 — intersection,
+//! 592 frames, 168 TSs; sampling 5 frames/checkpoint, window size 3.
+
+use tsvr_bench::{clip1, clip2, clip_stats, PAPER_SEED};
+
+fn main() {
+    println!("Dataset statistics (paper §6.2)");
+    println!("===============================");
+    println!("sampling rate: 5 frames/checkpoint, window size: 3 (15 frames/VS)\n");
+    println!(
+        "{:<14}{:>8}{:>8}{:>10}{:>8}{:>10}{:>12}",
+        "clip", "frames", "tracks", "windows", "TSs", "relevant", "paper TSs"
+    );
+    for (name, clip, paper_ts) in [
+        ("clip1-tunnel", clip1(PAPER_SEED), 109),
+        ("clip2-xing", clip2(PAPER_SEED), 168),
+    ] {
+        let s = clip_stats(&clip);
+        println!(
+            "{:<14}{:>8}{:>8}{:>10}{:>8}{:>10}{:>12}",
+            name, s.frames, s.tracks, s.windows, s.sequences, s.relevant, paper_ts
+        );
+    }
+    println!("\n(per-window decomposition of clip 1, first 10 windows)");
+    let clip = clip1(PAPER_SEED);
+    for w in clip.dataset.windows.iter().take(10) {
+        println!(
+            "  window {:>3}: frames {:>4}..={:<4} TSs: {}",
+            w.index,
+            w.start_frame,
+            w.end_frame,
+            w.sequences.len()
+        );
+    }
+}

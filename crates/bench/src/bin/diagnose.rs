@@ -1,0 +1,83 @@
+//! Diagnostic dump: per-window labels, heuristic ranks and feature
+//! peaks, plus incident-vehicle tracking coverage. Not part of the
+//! paper's tables; used to debug calibration.
+
+use tsvr_bench::{clip1, clip2, PAPER_SEED};
+use tsvr_core::{ClipArtifacts, EventQuery};
+use tsvr_mil::heuristic;
+use tsvr_mil::session::rank_by;
+
+fn dump(name: &str, clip: &ClipArtifacts) {
+    println!("==== {name} ====");
+    let labels = clip.labels(&EventQuery::accidents());
+    let ranking = rank_by(&clip.bags, heuristic::bag_score);
+    let rank_of: std::collections::HashMap<usize, usize> =
+        ranking.iter().enumerate().map(|(r, &b)| (b, r)).collect();
+
+    // Incident tracking coverage.
+    println!("incidents:");
+    for rec in &clip.sim.incidents {
+        // Which windows overlap?
+        let wins: Vec<usize> = clip
+            .dataset
+            .windows
+            .iter()
+            .filter(|w| rec.overlaps(w.start_frame, w.end_frame))
+            .map(|w| w.index)
+            .collect();
+        println!(
+            "  {:<16} frames {:>4}..{:<4} vehicles {:?} windows {:?}",
+            rec.kind.name(),
+            rec.start_frame,
+            rec.end_frame,
+            rec.vehicle_ids,
+            wins
+        );
+    }
+
+    println!("relevant windows (label=1):");
+    for (i, w) in clip.dataset.windows.iter().enumerate() {
+        if !labels[i] {
+            continue;
+        }
+        let best = heuristic::best_instance(&clip.bags[i]);
+        let peak = best.map(|b| clip.bags[i].instances[b].peak_row().to_vec());
+        println!(
+            "  win {:>3} frames {:>4}..{:<4} nTS {:>2} heur-rank {:>3} peak {:?}",
+            w.index,
+            w.start_frame,
+            w.end_frame,
+            w.sequences.len(),
+            rank_of[&w.index],
+            peak.map(|p| p
+                .iter()
+                .map(|x| (x * 100.0).round() / 100.0)
+                .collect::<Vec<_>>())
+        );
+    }
+    println!("top-20 heuristic windows:");
+    for &b in ranking.iter().take(20) {
+        let best = heuristic::best_instance(&clip.bags[b]);
+        let peak = best.map(|ix| clip.bags[b].instances[ix].peak_row().to_vec());
+        println!(
+            "  win {:>3} label {} score {:.3} peak {:?}",
+            b,
+            labels[b] as u8,
+            heuristic::bag_score(&clip.bags[b]),
+            peak.map(|p| p
+                .iter()
+                .map(|x| (x * 100.0).round() / 100.0)
+                .collect::<Vec<_>>())
+        );
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "both".into());
+    if which != "2" {
+        dump("clip1 tunnel", &clip1(PAPER_SEED));
+    }
+    if which != "1" {
+        dump("clip2 intersection", &clip2(PAPER_SEED));
+    }
+}

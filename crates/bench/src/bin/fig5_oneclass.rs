@@ -1,0 +1,82 @@
+//! Regenerates **Figure 5**: the one-class "ball" — relevant instances
+//! inside the learned hyper-sphere, irrelevant ones outside (paper §5.2).
+//!
+//! A 2-D synthetic set is trained and the decision region printed as an
+//! ASCII map, with the training points overlaid.
+
+use tsvr_svm::{Kernel, OneClassSvm};
+
+fn main() {
+    // Relevant cluster around (0, 0), deterministic spiral jitter.
+    let train: Vec<Vec<f64>> = (0..60)
+        .map(|i| {
+            let a = i as f64 * 0.61;
+            let r = 1.2 * ((i % 17) as f64 / 17.0).sqrt();
+            vec![r * a.cos(), r * a.sin()]
+        })
+        .collect();
+    let model = OneClassSvm::new(Kernel::Rbf { gamma: 0.8 }, 0.1)
+        .fit(&train)
+        .expect("training succeeds");
+
+    println!("Figure 5 — one-class classification region");
+    println!("===========================================");
+    println!(
+        "nu = {} support vectors = {} rho = {:.3}\n",
+        model.nu,
+        model.support_count(),
+        model.rho
+    );
+
+    // ASCII decision map over [-4,4]^2: '#' inside, '.' outside,
+    // 'o' = training point, 'X' = clearly-outlier probe.
+    let probes = [
+        ([3.2f64, 3.2f64], "far corner"),
+        ([-3.0, 0.0], "left of the ball"),
+        ([0.2, -0.1], "center"),
+    ];
+    let n = 33;
+    for gy in 0..n {
+        let y = 4.0 - 8.0 * gy as f64 / (n - 1) as f64;
+        let mut row = String::new();
+        for gx in 0..n {
+            let x = -4.0 + 8.0 * gx as f64 / (n - 1) as f64;
+            let near_train = train
+                .iter()
+                .any(|t| (t[0] - x).abs() < 0.13 && (t[1] - y).abs() < 0.13);
+            let near_probe = probes
+                .iter()
+                .any(|(p, _)| (p[0] - x).abs() < 0.13 && (p[1] - y).abs() < 0.13);
+            row.push(if near_probe {
+                'X'
+            } else if near_train {
+                'o'
+            } else if model.is_inlier(&[x, y]) {
+                '#'
+            } else {
+                '.'
+            });
+        }
+        println!("{row}");
+    }
+
+    println!("\nprobe decisions:");
+    for (p, label) in probes {
+        println!(
+            "  {:?} ({label}): decision {:+.4} -> {}",
+            p,
+            model.decision(&p),
+            if model.is_inlier(&p) {
+                "inside (relevant)"
+            } else {
+                "outside (outlier)"
+            }
+        );
+    }
+    let inside = train.iter().filter(|t| model.is_inlier(t)).count();
+    println!(
+        "\ntraining points inside the ball: {inside}/{} (nu = {} bounds the outlier fraction)",
+        train.len(),
+        model.nu
+    );
+}

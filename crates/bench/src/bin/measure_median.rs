@@ -1,0 +1,30 @@
+//! Calibration helper: median pairwise squared distance over all TS
+//! feature vectors, per clip (candidate unsupervised gamma source).
+use tsvr_bench::{clip1, clip2, PAPER_SEED};
+
+fn main() {
+    for (name, clip) in [("clip1", clip1(PAPER_SEED)), ("clip2", clip2(PAPER_SEED))] {
+        let vecs: Vec<Vec<f64>> = clip
+            .bags
+            .iter()
+            .flat_map(|b| b.instances.iter().map(|i| i.concat()))
+            .collect();
+        let mut d = Vec::new();
+        for i in 0..vecs.len() {
+            for j in (i + 1)..vecs.len() {
+                d.push(tsvr_linalg::vecops::sq_dist(&vecs[i], &vecs[j]));
+            }
+        }
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = |p: f64| d[(p * (d.len() - 1) as f64) as usize];
+        println!(
+            "{name}: n={} median={:.4} p25={:.4} p75={:.4} p90={:.4} gamma(ln2/median)={:.2}",
+            vecs.len(),
+            q(0.5),
+            q(0.25),
+            q(0.75),
+            q(0.9),
+            (2.0f64).ln() / q(0.5)
+        );
+    }
+}

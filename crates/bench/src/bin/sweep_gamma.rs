@@ -1,0 +1,30 @@
+//! Calibration helper: sweeps fixed RBF gammas and the median scale.
+use tsvr_bench::{clip1, clip2, paper_session, PAPER_SEED};
+use tsvr_core::EventQuery;
+use tsvr_mil::{GroundTruthOracle, OcSvmMilLearner, RetrievalSession};
+use tsvr_svm::Kernel;
+
+fn main() {
+    let c1 = clip1(PAPER_SEED);
+    let c2 = clip2(PAPER_SEED);
+    let g1 = tsvr_core::pipeline::median_heuristic_gamma(&c1.bags);
+    let g2 = tsvr_core::pipeline::median_heuristic_gamma(&c2.bags);
+    println!("median gammas: clip1 {g1:.2} clip2 {g2:.2}");
+    for mult in [0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0] {
+        let mut accs = Vec::new();
+        for (clip, g) in [(&c1, g1), (&c2, g2)] {
+            let l = OcSvmMilLearner::new(Kernel::Rbf {
+                gamma: g * mult / 4.0,
+            });
+            let oracle = GroundTruthOracle::new(clip.labels(&EventQuery::accidents()));
+            let (r, _) = RetrievalSession::new(&clip.bags, l, &oracle, paper_session()).run();
+            accs.push(
+                r.accuracies
+                    .iter()
+                    .map(|a| (a * 100.0).round() as u32)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        println!("mult {mult:>4}: clip1 {:?} clip2 {:?}", accs[0], accs[1]);
+    }
+}

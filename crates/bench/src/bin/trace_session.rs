@@ -1,0 +1,92 @@
+//! Session trace: runs the OCSVM session round by round on one clip and
+//! prints the training-set composition and the scored ranking, to debug
+//! learning dynamics. Usage: `trace_session [1|2]`.
+
+use tsvr_bench::{clip1, clip2, PAPER_SEED};
+use tsvr_core::EventQuery;
+use tsvr_mil::session::rank_by;
+use tsvr_mil::{heuristic, Learner, OcSvmMilLearner};
+use tsvr_svm::Kernel;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "2".into());
+    let clip = if which == "1" {
+        clip1(PAPER_SEED)
+    } else {
+        clip2(PAPER_SEED)
+    };
+    let labels = clip.labels(&EventQuery::accidents());
+    let gamma = tsvr_core::pipeline::median_heuristic_gamma(&clip.bags);
+    println!("median-heuristic gamma = {gamma:.3}");
+    let mut learner = OcSvmMilLearner::new(Kernel::Rbf { gamma });
+
+    let mut ranking = rank_by(&clip.bags, heuristic::bag_score);
+    for round in 1..=4 {
+        let feedback: Vec<(usize, bool)> =
+            ranking.iter().take(20).map(|&b| (b, labels[b])).collect();
+        learner.learn(&clip.bags, &feedback);
+        ranking = rank_by(&clip.bags, |b| learner.score(b));
+        let acc = ranking.iter().take(20).filter(|&&b| labels[b]).count() as f64 / 20.0;
+        println!(
+            "round {round}: h={} H={} delta={:?} SVs={:?} acc={:.0}%",
+            learner.relevant_bag_count(),
+            learner.training_size(),
+            learner.delta().map(|d| (d * 100.0).round() / 100.0),
+            learner.model().map(|m| m.support_count()),
+            acc * 100.0
+        );
+    }
+
+    println!("\nfinal ranking (win, label, decision):");
+    for &b in ranking.iter().take(25) {
+        // Show the best-scoring instance's concatenated vector too.
+        let bag = &clip.bags[b];
+        let best = bag
+            .instances
+            .iter()
+            .max_by(|x, y| {
+                let mx = learner
+                    .model()
+                    .map(|m| m.decision(&x.concat()))
+                    .unwrap_or(0.0);
+                let my = learner
+                    .model()
+                    .map(|m| m.decision(&y.concat()))
+                    .unwrap_or(0.0);
+                mx.partial_cmp(&my).unwrap()
+            })
+            .map(|i| {
+                i.concat()
+                    .iter()
+                    .map(|v| (v * 100.0).round() / 100.0)
+                    .collect::<Vec<_>>()
+            });
+        println!(
+            "  win {:>3} label {} score {:+.4} best {:?}",
+            b,
+            labels[b] as u8,
+            learner.score(bag),
+            best
+        );
+    }
+    println!("  ...");
+    for &b in ranking.iter().skip(25) {
+        if labels[b] {
+            println!(
+                "  win {:>3} label 1 score {:+.4}  (relevant, buried at rank {})",
+                b,
+                learner.score(&clip.bags[b]),
+                ranking.iter().position(|&x| x == b).unwrap()
+            );
+        }
+    }
+
+    if let Some(m) = learner.model() {
+        println!("\ntraining vectors (support first 9 dims):");
+        for (sv, c) in m.support.iter().zip(&m.coeffs) {
+            let rounded: Vec<f64> = sv.iter().map(|x| (x * 100.0).round() / 100.0).collect();
+            println!("  alpha={c:.3} {rounded:?}");
+        }
+        println!("rho = {:.4}", m.rho);
+    }
+}

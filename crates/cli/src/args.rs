@@ -1,0 +1,102 @@
+//! Minimal `--flag value` argument parsing.
+
+use std::collections::HashMap;
+
+/// Parsed arguments: positional subcommand plus `--key value` pairs and
+/// bare `--switch` flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    options: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Parsing error with a user-facing message.
+pub type ArgError = String;
+
+impl Args {
+    /// Parses everything after the subcommand.
+    pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {a:?}"));
+            };
+            // A flag is a switch when it is last or followed by another
+            // --flag.
+            if i + 1 >= argv.len() || argv[i + 1].starts_with("--") {
+                args.switches.push(key.to_string());
+                i += 1;
+            } else {
+                args.options.insert(key.to_string(), argv[i + 1].clone());
+                i += 2;
+            }
+        }
+        Ok(args)
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    /// Parsed numeric option with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {s:?}")),
+        }
+    }
+
+    /// Whether a bare switch is present.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_options_and_switches() {
+        let a = Args::parse(&sv(&["--db", "x.db", "--archive-video", "--seed", "7"])).unwrap();
+        assert_eq!(a.get("db"), Some("x.db"));
+        assert_eq!(a.num::<u64>("seed", 0).unwrap(), 7);
+        assert!(a.switch("archive-video"));
+        assert!(!a.switch("quiet"));
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = Args::parse(&sv(&["--compact"])).unwrap();
+        assert!(a.switch("compact"));
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(Args::parse(&sv(&["oops"])).is_err());
+    }
+
+    #[test]
+    fn require_and_defaults() {
+        let a = Args::parse(&sv(&["--db", "x.db"])).unwrap();
+        assert!(a.require("db").is_ok());
+        assert!(a.require("clip-id").is_err());
+        assert_eq!(a.num::<u32>("rounds", 4).unwrap(), 4);
+        let bad = Args::parse(&sv(&["--rounds", "abc"])).unwrap();
+        assert!(bad.num::<u32>("rounds", 4).is_err());
+    }
+}

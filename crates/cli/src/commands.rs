@@ -1,0 +1,753 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use std::path::{Path, PathBuf};
+use tsvr_core::{
+    archive_clip_video, bags_from_bundle, bundle_from_clip, labels_from_bundle, prepare_clip,
+    EventQuery, LearnerKind, PipelineOptions,
+};
+use tsvr_mil::{GroundTruthOracle, Normalization, Oracle, RetrievalSession, SessionConfig};
+use tsvr_sim::Scenario;
+use tsvr_trajectory::checkpoint::FeatureConfig;
+use tsvr_viddb::{ClipMeta, FrameCodec, SessionRow, VideoDb};
+
+const USAGE: &str = "usage: tsvr <command> [--flag value ...]
+
+commands:
+  simulate   --db F --scenario tunnel|intersection|tunnel-small --seed N --clip-id N
+             [--frames N] [--location L] [--camera C] [--archive-video]
+  list       --db F [--location L] [--camera C]
+  info       --db F --clip-id N
+  query      --db F --clip-id N [--event accident|u_turn|speeding]
+             [--learner ocsvm|wrf|misvm|dd|emdd] [--rounds N] [--top N]
+             [--interactive]   (you label each page item y/n instead of the oracle)
+  sessions   --db F --clip-id N
+  resume     --db F --clip-id N --session N [--rounds N] [--top N]
+  search     --db F [--clips 1,2,3] [--event E] [--rounds N] [--top N]
+             (cross-camera: one session over several clips; default = all clips)
+  export     --db F --clip-id N --from N --to N --out DIR   (writes PGM images)
+  compact    --db F";
+
+/// Dispatches one invocation.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err(format!("no command given\n{USAGE}"));
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "simulate" => simulate(&args),
+        "list" => list(&args),
+        "info" => info(&args),
+        "query" => query(&args),
+        "sessions" => sessions(&args),
+        "resume" => resume(&args),
+        "search" => search(&args),
+        "export" => export(&args),
+        "compact" => compact(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn open_db(args: &Args) -> Result<VideoDb, String> {
+    let path = args.require("db")?;
+    VideoDb::open(Path::new(path)).map_err(|e| format!("open {path}: {e}"))
+}
+
+fn scenario_from(args: &Args) -> Result<Scenario, ArgError> {
+    let seed = args.num::<u64>("seed", 2007)?;
+    let mut s = match args.get("scenario").unwrap_or("tunnel") {
+        "tunnel" => Scenario::tunnel_paper(seed),
+        "intersection" => Scenario::intersection_paper(seed),
+        "tunnel-small" => Scenario::tunnel_small(seed),
+        other => return Err(format!("unknown scenario {other:?}")),
+    };
+    if let Some(frames) = args.get("frames") {
+        s.total_frames = frames
+            .parse()
+            .map_err(|_| format!("--frames: cannot parse {frames:?}"))?;
+    }
+    Ok(s)
+}
+
+fn simulate(args: &Args) -> Result<(), String> {
+    let mut db = open_db(args)?;
+    let clip_id = args.num::<u64>("clip-id", 1)?;
+    let scenario = scenario_from(args)?;
+    eprintln!(
+        "simulating {} frames ({:?}) and running the vision pipeline...",
+        scenario.total_frames, scenario.kind
+    );
+    let clip = prepare_clip(&scenario, &PipelineOptions::default());
+    let meta = ClipMeta {
+        clip_id,
+        name: format!("{:?} seed {}", scenario.kind, scenario.seed),
+        location: args.get("location").unwrap_or("unspecified").to_string(),
+        camera: args.get("camera").unwrap_or("cam-0").to_string(),
+        start_time: 1_167_609_600,
+        frame_count: scenario.total_frames,
+        width: clip.sim.width,
+        height: clip.sim.height,
+    };
+    db.put_clip(&bundle_from_clip(&clip, meta))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "clip {clip_id}: {} tracks, {} windows, {} trajectory sequences, {} incidents",
+        clip.vision.tracks.len(),
+        clip.dataset.window_count(),
+        clip.dataset.sequence_count(),
+        clip.sim.incidents.len()
+    );
+    if args.switch("archive-video") {
+        eprintln!("archiving video frames...");
+        let segments = archive_clip_video(&mut db, clip_id, &clip, FrameCodec::default(), 50)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "archived {segments} video segments ({} bytes total log)",
+            db.log_size()
+        );
+    }
+    Ok(())
+}
+
+fn list(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let mut clips = db.list_clips();
+    if let Some(loc) = args.get("location") {
+        clips.retain(|m| m.location == loc);
+    }
+    if let Some(cam) = args.get("camera") {
+        clips.retain(|m| m.camera == cam);
+    }
+    println!(
+        "{:<8}{:<28}{:<18}{:<10}{:>8}",
+        "clip", "name", "location", "camera", "frames"
+    );
+    for m in clips {
+        println!(
+            "{:<8}{:<28}{:<18}{:<10}{:>8}",
+            m.clip_id, m.name, m.location, m.camera, m.frame_count
+        );
+    }
+    Ok(())
+}
+
+fn info(args: &Args) -> Result<(), String> {
+    let mut db = open_db(args)?;
+    let clip_id = args.num::<u64>("clip-id", 1)?;
+    let bundle = db.load_clip(clip_id).map_err(|e| e.to_string())?;
+    let m = &bundle.meta;
+    println!("clip {clip_id}: {:?}", m.name);
+    println!(
+        "  location {:?} camera {:?} start_time {}",
+        m.location, m.camera, m.start_time
+    );
+    println!("  {} frames at {}x{}", m.frame_count, m.width, m.height);
+    println!(
+        "  {} tracks, {} windows, {} incidents",
+        bundle.tracks.len(),
+        bundle.windows.len(),
+        bundle.incidents.len()
+    );
+    for inc in &bundle.incidents {
+        println!(
+            "    incident {:<16} frames {:>5}..{:<5} vehicles {:?}",
+            inc.kind, inc.start_frame, inc.end_frame, inc.vehicle_ids
+        );
+    }
+    println!(
+        "  {} stored sessions",
+        db.sessions_for_clip(clip_id)
+            .map_err(|e| e.to_string())?
+            .len()
+    );
+    Ok(())
+}
+
+fn learner_from(args: &Args) -> Result<LearnerKind, String> {
+    Ok(match args.get("learner").unwrap_or("ocsvm") {
+        "ocsvm" => LearnerKind::paper_ocsvm(),
+        "wrf" => LearnerKind::WeightedRf(Normalization::Percentage),
+        "misvm" => LearnerKind::MiSvm { c: 10.0 },
+        "dd" => LearnerKind::DiverseDensity { scale: 8.0 },
+        "emdd" => LearnerKind::EmDd { scale: 8.0 },
+        other => return Err(format!("unknown learner {other:?}")),
+    })
+}
+
+fn event_from(args: &Args) -> Result<EventQuery, String> {
+    Ok(match args.get("event").unwrap_or("accident") {
+        "accident" => EventQuery::accidents(),
+        "u_turn" => EventQuery::u_turns(),
+        "speeding" => EventQuery::speeding(),
+        other => return Err(format!("unknown event {other:?}")),
+    })
+}
+
+fn query(args: &Args) -> Result<(), String> {
+    let mut db = open_db(args)?;
+    let clip_id = args.num::<u64>("clip-id", 1)?;
+    let bundle = db.load_clip(clip_id).map_err(|e| e.to_string())?;
+    let bags = bags_from_bundle(&bundle, &FeatureConfig::default());
+    let event = event_from(args)?;
+    let labels = labels_from_bundle(&bundle, &event);
+    let cfg = SessionConfig {
+        top_n: args.num("top", 20)?,
+        feedback_rounds: args.num("rounds", 4)?,
+        ..SessionConfig::default()
+    };
+    let learner = learner_from(args)?;
+
+    if args.switch("interactive") {
+        let stdin = std::io::stdin();
+        let mut input = stdin.lock();
+        return interactive_query(
+            &mut db, clip_id, &bundle, &bags, &event, &labels, cfg, learner, &mut input,
+        );
+    }
+
+    let oracle = GroundTruthOracle::new(labels);
+    let (report, _) = RetrievalSession::new(&bags, learner.build_for(&bags), &oracle, cfg).run();
+
+    println!(
+        "query {:?} on clip {clip_id} with {} ({} relevant of {} windows):",
+        event.name,
+        report.learner,
+        report.relevant_total,
+        bags.len()
+    );
+    for (round, acc) in report.accuracies.iter().enumerate() {
+        let label = if round == 0 {
+            "initial".to_string()
+        } else {
+            format!("round {round}")
+        };
+        println!("  {label:<10} accuracy@{} = {:.0}%", cfg.top_n, acc * 100.0);
+    }
+    let last = report.rankings.last().unwrap();
+    println!(
+        "  final top {}: {:?}",
+        cfg.top_n.min(last.len()),
+        &last[..cfg.top_n.min(last.len())]
+    );
+
+    // Persist the session.
+    let session_id = db.session_count() as u64 + 1;
+    db.put_session(&SessionRow {
+        session_id,
+        clip_id,
+        query: event.name.into(),
+        learner: report.learner.into(),
+        feedback: report
+            .rankings
+            .iter()
+            .take(cfg.feedback_rounds)
+            .map(|r| {
+                r.iter()
+                    .take(cfg.top_n)
+                    .map(|&w| (w as u32, oracle.label(w)))
+                    .collect()
+            })
+            .collect(),
+        accuracies: report.accuracies.clone(),
+    })
+    .map_err(|e| e.to_string())?;
+    println!("  (stored as session {session_id})");
+    Ok(())
+}
+
+fn resume(args: &Args) -> Result<(), String> {
+    let mut db = open_db(args)?;
+    let clip_id = args.num::<u64>("clip-id", 1)?;
+    let session_id = args.num::<u64>("session", 0)?;
+    let stored = db.sessions_for_clip(clip_id).map_err(|e| e.to_string())?;
+    let row = if session_id == 0 {
+        stored.last().cloned()
+    } else {
+        stored.iter().find(|s| s.session_id == session_id).cloned()
+    }
+    .ok_or_else(|| format!("no stored session for clip {clip_id}"))?;
+
+    let bundle = db.load_clip(clip_id).map_err(|e| e.to_string())?;
+    let bags = bags_from_bundle(&bundle, &FeatureConfig::default());
+    let event = match row.query.as_str() {
+        "u_turn" => EventQuery::u_turns(),
+        "speeding" => EventQuery::speeding(),
+        _ => EventQuery::accidents(),
+    };
+    let oracle = GroundTruthOracle::new(labels_from_bundle(&bundle, &event));
+    let top_n = args.num("top", 20)?;
+    let rounds = args.num("rounds", 2)?;
+    let report = tsvr_core::continue_session(
+        &bags,
+        &row,
+        LearnerKind::paper_ocsvm(),
+        &oracle,
+        top_n,
+        rounds,
+    );
+    println!(
+        "resumed session {} (query {:?}, {} stored rounds):",
+        row.session_id,
+        row.query,
+        row.feedback.len()
+    );
+    for (round, acc) in report.accuracies.iter().enumerate() {
+        let label = if round == 0 {
+            "restored".to_string()
+        } else {
+            format!("+round {round}")
+        };
+        println!("  {label:<10} accuracy@{top_n} = {:.0}%", acc * 100.0);
+    }
+    Ok(())
+}
+
+/// Drives a retrieval session with a human in the loop: each round's
+/// page is printed with window context, the user answers y/n per item,
+/// and the learner retrains on those labels (the paper's Fig. 7 flow in
+/// a terminal).
+#[allow(clippy::too_many_arguments)] // one-shot plumbing from `query`
+fn interactive_query(
+    db: &mut VideoDb,
+    clip_id: u64,
+    bundle: &tsvr_viddb::ClipBundle,
+    bags: &[tsvr_mil::Bag],
+    event: &EventQuery,
+    gt_labels: &[bool],
+    cfg: SessionConfig,
+    learner_kind: LearnerKind,
+    input: &mut dyn std::io::BufRead,
+) -> Result<(), String> {
+    use tsvr_mil::session::rank_by;
+    use tsvr_mil::{heuristic, Learner};
+
+    let mut learner = learner_kind.build_for(bags);
+    let mut ranking = rank_by(bags, heuristic::bag_score);
+    let mut all_feedback: Vec<Vec<(u32, bool)>> = Vec::new();
+    let mut accuracies: Vec<f64> = vec![tsvr_mil::metrics::accuracy_at(
+        &ranking, gt_labels, cfg.top_n,
+    )];
+
+    for round in 1..=cfg.feedback_rounds {
+        println!(
+            "
+-- round {round}: label the top {} windows --",
+            cfg.top_n
+        );
+        let mut feedback = Vec::new();
+        for &w in ranking.iter().take(cfg.top_n) {
+            let win = &bundle.windows[w];
+            print!(
+                "window {:>3} frames {:>5}..{:<5} ({} vehicles)  {} [y/N] ",
+                w,
+                win.start_frame,
+                win.end_frame,
+                win.sequences.len(),
+                event.name
+            );
+            use std::io::Write;
+            std::io::stdout().flush().ok();
+            let mut line = String::new();
+            if input.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+                println!("(input closed; stopping feedback early)");
+                break;
+            }
+            let relevant = matches!(line.trim(), "y" | "Y" | "yes");
+            feedback.push((w, relevant));
+        }
+        if feedback.is_empty() {
+            break;
+        }
+        learner.learn(bags, &feedback);
+        all_feedback.push(feedback.iter().map(|&(w, r)| (w as u32, r)).collect());
+        ranking = rank_by(bags, |b| learner.score(b));
+        accuracies.push(tsvr_mil::metrics::accuracy_at(
+            &ranking, gt_labels, cfg.top_n,
+        ));
+        println!(
+            "   accuracy@{} vs stored ground truth: {:.0}%",
+            cfg.top_n,
+            accuracies.last().unwrap() * 100.0
+        );
+    }
+
+    let session_id = db.session_count() as u64 + 1;
+    db.put_session(&SessionRow {
+        session_id,
+        clip_id,
+        query: event.name.into(),
+        learner: learner.name().into(),
+        feedback: all_feedback,
+        accuracies,
+    })
+    .map_err(|e| e.to_string())?;
+    println!(
+        "
+stored as session {session_id}"
+    );
+    Ok(())
+}
+
+fn sessions(args: &Args) -> Result<(), String> {
+    let mut db = open_db(args)?;
+    let clip_id = args.num::<u64>("clip-id", 1)?;
+    let sessions = db.sessions_for_clip(clip_id).map_err(|e| e.to_string())?;
+    if sessions.is_empty() {
+        println!("no sessions for clip {clip_id}");
+        return Ok(());
+    }
+    for s in sessions {
+        println!(
+            "session {:<4} query {:<10} learner {:<18} accuracies {:?}",
+            s.session_id,
+            s.query,
+            s.learner,
+            s.accuracies
+                .iter()
+                .map(|a| format!("{:.0}%", a * 100.0))
+                .collect::<Vec<_>>()
+        );
+    }
+    Ok(())
+}
+
+/// Cross-camera retrieval over several clips at once (the capability
+/// the paper's §6.2 names as its limitation).
+fn search(args: &Args) -> Result<(), String> {
+    let mut db = open_db(args)?;
+    let clip_ids: Vec<u64> = match args.get("clips") {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("--clips: bad id {s:?}"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => db.list_clips().iter().map(|m| m.clip_id).collect(),
+    };
+    if clip_ids.is_empty() {
+        return Err("no clips in the database".into());
+    }
+    let bundles: Vec<std::sync::Arc<tsvr_viddb::ClipBundle>> = clip_ids
+        .iter()
+        .map(|&id| db.load_clip(id).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&tsvr_viddb::ClipBundle> = bundles.iter().map(|b| b.as_ref()).collect();
+    let event = event_from(args)?;
+    let index = tsvr_core::MultiClipIndex::build(&refs, &event, &FeatureConfig::default());
+    println!(
+        "cross-camera index: {} windows from {} clips",
+        index.len(),
+        clip_ids.len()
+    );
+
+    let oracle = GroundTruthOracle::new(index.labels.clone());
+    let cfg = SessionConfig {
+        top_n: args.num("top", 20)?,
+        feedback_rounds: args.num("rounds", 4)?,
+        ..SessionConfig::default()
+    };
+    let learner = learner_from(args)?;
+    let (report, _) =
+        RetrievalSession::new(&index.bags, learner.build_for(&index.bags), &oracle, cfg).run();
+    for (round, acc) in report.accuracies.iter().enumerate() {
+        println!(
+            "  round {round}: accuracy@{} = {:.0}%",
+            cfg.top_n,
+            acc * 100.0
+        );
+    }
+    println!("final top {}:", cfg.top_n.min(index.len()));
+    for &bag in report.rankings.last().unwrap().iter().take(cfg.top_n) {
+        let (clip, window) = index.resolve(bag).unwrap();
+        let name = db.meta(clip).map(|m| m.name.clone()).unwrap_or_default();
+        println!(
+            "  clip {clip} ({name}) window {window}{}",
+            if index.labels[bag] {
+                "  <- relevant"
+            } else {
+                ""
+            }
+        );
+    }
+    Ok(())
+}
+
+/// Writes one frame as a binary PGM (P5) image.
+fn write_pgm(path: &PathBuf, frame: &tsvr_viddb::StoredFrame) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "P5\n{} {}\n255\n", frame.width, frame.height)?;
+    f.write_all(&frame.pixels)
+}
+
+fn export(args: &Args) -> Result<(), String> {
+    let mut db = open_db(args)?;
+    let clip_id = args.num::<u64>("clip-id", 1)?;
+    let from = args.num::<u32>("from", 0)?;
+    let to = args.num::<u32>("to", from + 15)?;
+    let out = PathBuf::from(args.require("out")?);
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    let frames = db
+        .load_frames(clip_id, from, to)
+        .map_err(|e| e.to_string())?;
+    if frames.is_empty() {
+        return Err(format!(
+            "no archived frames in [{from}, {to}) — was the clip simulated with --archive-video?"
+        ));
+    }
+    for (idx, frame) in &frames {
+        let path = out.join(format!("clip{clip_id}_frame{idx:05}.pgm"));
+        write_pgm(&path, frame).map_err(|e| e.to_string())?;
+    }
+    println!("wrote {} PGM frames to {}", frames.len(), out.display());
+    Ok(())
+}
+
+fn compact(args: &Args) -> Result<(), String> {
+    let mut db = open_db(args)?;
+    let before = db.log_size();
+    db.compact().map_err(|e| e.to_string())?;
+    println!("compacted: {} -> {} bytes", before, db.log_size());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_db(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tsvr-cli-test-{}-{name}.db", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p.to_string_lossy().into_owned()
+    }
+
+    fn run(argv: &[&str]) -> Result<(), String> {
+        let v: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        dispatch(&v)
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let db = temp_db("flow");
+        run(&[
+            "simulate",
+            "--db",
+            &db,
+            "--scenario",
+            "tunnel-small",
+            "--seed",
+            "5",
+            "--clip-id",
+            "1",
+            "--location",
+            "tunnel-x",
+            "--archive-video",
+        ])
+        .unwrap();
+        run(&["list", "--db", &db]).unwrap();
+        run(&["list", "--db", &db, "--location", "tunnel-x"]).unwrap();
+        run(&["info", "--db", &db, "--clip-id", "1"]).unwrap();
+        run(&[
+            "query",
+            "--db",
+            &db,
+            "--clip-id",
+            "1",
+            "--rounds",
+            "2",
+            "--top",
+            "5",
+        ])
+        .unwrap();
+        run(&["sessions", "--db", &db, "--clip-id", "1"]).unwrap();
+        run(&[
+            "resume",
+            "--db",
+            &db,
+            "--clip-id",
+            "1",
+            "--rounds",
+            "1",
+            "--top",
+            "5",
+        ])
+        .unwrap();
+
+        // Cross-camera search over everything in the db.
+        run(&[
+            "simulate",
+            "--db",
+            &db,
+            "--scenario",
+            "tunnel-small",
+            "--seed",
+            "6",
+            "--clip-id",
+            "2",
+        ])
+        .unwrap();
+        run(&["search", "--db", &db, "--rounds", "1", "--top", "5"]).unwrap();
+        run(&[
+            "search", "--db", &db, "--clips", "1,2", "--rounds", "1", "--top", "5",
+        ])
+        .unwrap();
+        assert!(run(&["search", "--db", &db, "--clips", "1,oops"]).is_err());
+
+        let out = temp_db("frames-out");
+        run(&[
+            "export",
+            "--db",
+            &db,
+            "--clip-id",
+            "1",
+            "--from",
+            "50",
+            "--to",
+            "53",
+            "--out",
+            &out,
+        ])
+        .unwrap();
+        let count = std::fs::read_dir(&out).unwrap().count();
+        assert_eq!(count, 3);
+        // PGM header sanity.
+        let first = std::fs::read_dir(&out).unwrap().next().unwrap().unwrap();
+        let bytes = std::fs::read(first.path()).unwrap();
+        assert!(bytes.starts_with(b"P5\n320 240\n255\n"));
+
+        run(&["compact", "--db", &db]).unwrap();
+        let _ = std::fs::remove_dir_all(&out);
+        let _ = std::fs::remove_file(&db);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&["list"]).is_err()); // missing --db
+        let db = temp_db("err");
+        run(&[
+            "simulate",
+            "--db",
+            &db,
+            "--scenario",
+            "tunnel-small",
+            "--clip-id",
+            "1",
+        ])
+        .unwrap();
+        // Unknown learner / event / scenario.
+        assert!(run(&["query", "--db", &db, "--clip-id", "1", "--learner", "magic"]).is_err());
+        assert!(run(&["query", "--db", &db, "--clip-id", "1", "--event", "ufo"]).is_err());
+        assert!(run(&[
+            "simulate",
+            "--db",
+            &db,
+            "--scenario",
+            "moonbase",
+            "--clip-id",
+            "2"
+        ])
+        .is_err());
+        // Duplicate clip id.
+        assert!(run(&[
+            "simulate",
+            "--db",
+            &db,
+            "--scenario",
+            "tunnel-small",
+            "--clip-id",
+            "1"
+        ])
+        .is_err());
+        // Export without archived video.
+        assert!(run(&[
+            "export",
+            "--db",
+            &db,
+            "--clip-id",
+            "1",
+            "--from",
+            "0",
+            "--to",
+            "3",
+            "--out",
+            &temp_db("noframes")
+        ])
+        .is_err());
+        let _ = std::fs::remove_file(&db);
+    }
+
+    #[test]
+    fn interactive_query_with_piped_labels() {
+        let db = temp_db("interactive");
+        run(&[
+            "simulate",
+            "--db",
+            &db,
+            "--scenario",
+            "tunnel-small",
+            "--seed",
+            "5",
+            "--clip-id",
+            "1",
+        ])
+        .unwrap();
+        // Drive the interactive session with canned answers.
+        let mut dbh = VideoDb::open(Path::new(&db)).unwrap();
+        let bundle = dbh.load_clip(1).unwrap();
+        let bags = bags_from_bundle(&bundle, &FeatureConfig::default());
+        let event = EventQuery::accidents();
+        let labels = labels_from_bundle(&bundle, &event);
+        let cfg = SessionConfig {
+            top_n: 3,
+            feedback_rounds: 2,
+            ..SessionConfig::default()
+        };
+        let answers = "y\nn\ny\nn\nn\ny\n";
+        let mut input = std::io::Cursor::new(answers.as_bytes());
+        interactive_query(
+            &mut dbh,
+            1,
+            &bundle,
+            &bags,
+            &event,
+            &labels,
+            cfg,
+            LearnerKind::paper_ocsvm(),
+            &mut input,
+        )
+        .unwrap();
+        let sessions = dbh.sessions_for_clip(1).unwrap();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].feedback.len(), 2);
+        assert_eq!(sessions[0].feedback[0].len(), 3);
+        // Early-closed input is handled too.
+        let mut short = std::io::Cursor::new(b"y\n".as_slice());
+        interactive_query(
+            &mut dbh,
+            1,
+            &bundle,
+            &bags,
+            &event,
+            &labels,
+            cfg,
+            LearnerKind::paper_ocsvm(),
+            &mut short,
+        )
+        .unwrap();
+        let _ = std::fs::remove_file(&db);
+    }
+
+    #[test]
+    fn help_prints() {
+        run(&["help"]).unwrap();
+    }
+}

@@ -1,0 +1,101 @@
+//! Ground-truth window labeling.
+//!
+//! The paper's user looks at a returned Video Sequence and marks it
+//! relevant when it shows the queried event. The simulation equivalent:
+//! a window is relevant iff its frame span overlaps an incident of a
+//! queried kind. (Overlap of the *scene*, not of a particular tracked
+//! vehicle — the user watches pixels, not tracker internals.)
+
+use crate::query::EventQuery;
+use tsvr_sim::IncidentRecord;
+use tsvr_trajectory::Dataset;
+
+/// Labels every window in a dataset against the ground-truth incident
+/// log: `labels[i]` is the relevance of `dataset.windows[i]`.
+pub fn label_windows(
+    dataset: &Dataset,
+    incidents: &[IncidentRecord],
+    query: &EventQuery,
+) -> Vec<bool> {
+    dataset
+        .windows
+        .iter()
+        .map(|w| {
+            incidents
+                .iter()
+                .any(|r| query.matches(r.kind) && r.overlaps(w.start_frame, w.end_frame))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvr_sim::{IncidentKind, Vec2};
+    use tsvr_trajectory::{Dataset, WindowConfig};
+    use tsvr_vision::{Track, TrackPoint};
+
+    fn straight_track(id: u64, frames: std::ops::Range<u32>) -> Track {
+        Track {
+            id,
+            points: frames
+                .map(|f| TrackPoint {
+                    frame: f,
+                    centroid: Vec2::new(3.0 * f as f64, 100.0),
+                    mbr: tsvr_sim::Aabb::from_corners(Vec2::ZERO, Vec2::ZERO),
+                    coasted: false,
+                })
+                .collect(),
+            stats: Default::default(),
+        }
+    }
+
+    fn incident(kind: IncidentKind, start: u32, end: u32) -> IncidentRecord {
+        IncidentRecord {
+            kind,
+            start_frame: start,
+            end_frame: end,
+            vehicle_ids: vec![1],
+        }
+    }
+
+    #[test]
+    fn windows_overlapping_accidents_are_relevant() {
+        // 90 frames -> 6 windows of 15 frames each.
+        let ds = Dataset::build(&[straight_track(1, 0..90)], WindowConfig::default());
+        assert_eq!(ds.window_count(), 6);
+        let incidents = vec![incident(IncidentKind::WallCrash, 40, 55)];
+        let labels = label_windows(&ds, &incidents, &EventQuery::accidents());
+        // Frames 40..55 span windows 2 (30..44), 3 (45..59).
+        assert_eq!(labels, vec![false, false, true, true, false, false]);
+    }
+
+    #[test]
+    fn non_queried_kinds_are_irrelevant() {
+        let ds = Dataset::build(&[straight_track(1, 0..90)], WindowConfig::default());
+        let incidents = vec![incident(IncidentKind::UTurn, 40, 55)];
+        let labels = label_windows(&ds, &incidents, &EventQuery::accidents());
+        assert!(labels.iter().all(|&l| !l));
+        // But the U-turn query sees them.
+        let labels = label_windows(&ds, &incidents, &EventQuery::u_turns());
+        assert_eq!(labels.iter().filter(|&&l| l).count(), 2);
+    }
+
+    #[test]
+    fn no_incidents_all_irrelevant() {
+        let ds = Dataset::build(&[straight_track(1, 0..90)], WindowConfig::default());
+        let labels = label_windows(&ds, &[], &EventQuery::accidents());
+        assert!(labels.iter().all(|&l| !l));
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn boundary_overlap_is_inclusive() {
+        let ds = Dataset::build(&[straight_track(1, 0..90)], WindowConfig::default());
+        // Incident exactly at the last frame of window 0 (frame 14).
+        let incidents = vec![incident(IncidentKind::SuddenStop, 14, 14)];
+        let labels = label_windows(&ds, &incidents, &EventQuery::accidents());
+        assert!(labels[0]);
+        assert!(!labels[1]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # tsvr-core
+//!
+//! The end-to-end incident-retrieval framework (paper Fig. 6): raw video
+//! (simulated + rendered) → object segmentation & tracking → trajectory
+//! modeling → event features → windows/bags → interactive MIL retrieval
+//! with relevance feedback — plus ingestion into, and retrieval from,
+//! the `tsvr-viddb` database.
+//!
+//! The typical flow:
+//!
+//! ```
+//! use tsvr_core::{prepare_clip, run_session, EventQuery, LearnerKind, PipelineOptions};
+//! use tsvr_mil::SessionConfig;
+//! use tsvr_sim::Scenario;
+//!
+//! let scenario = Scenario::tunnel_small(7);
+//! let clip = prepare_clip(&scenario, &PipelineOptions::default());
+//! let query = EventQuery::accidents();
+//! let report = run_session(
+//!     &clip,
+//!     &query,
+//!     LearnerKind::OcSvm { gamma: 2.0, z: 0.05 },
+//!     SessionConfig { top_n: 5, feedback_rounds: 2, ..SessionConfig::default() },
+//! );
+//! assert_eq!(report.accuracies.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ingest;
+pub mod labels;
+pub mod multiclip;
+pub mod pipeline;
+pub mod query;
+pub mod replay;
+pub mod sketch;
+
+pub use ingest::{archive_clip_video, bags_from_bundle, bundle_from_clip, labels_from_bundle};
+pub use labels::label_windows;
+pub use multiclip::MultiClipIndex;
+pub use pipeline::{prepare_clip, run_session, ClipArtifacts, LearnerKind, PipelineOptions};
+pub use query::EventQuery;
+pub use replay::{continue_session, replay_session};
+pub use sketch::SketchQuery;

@@ -1,0 +1,86 @@
+//! Event queries.
+//!
+//! The paper's user "specifies an event of interest as the query
+//! target" (§5.3); the evaluation queries accidents, and §4 notes the
+//! event model "may also be adjusted to detect U-turns, speeding and any
+//! other event". A query here is a named set of incident kinds that the
+//! feedback oracle treats as relevant.
+
+use tsvr_sim::IncidentKind;
+
+/// A named query over incident kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventQuery {
+    /// Display name (stored with persisted sessions).
+    pub name: &'static str,
+    /// Incident kinds considered relevant.
+    pub kinds: Vec<IncidentKind>,
+}
+
+impl EventQuery {
+    /// The paper's evaluation query: traffic accidents.
+    pub fn accidents() -> EventQuery {
+        EventQuery {
+            name: "accident",
+            kinds: vec![
+                IncidentKind::WallCrash,
+                IncidentKind::SuddenStop,
+                IncidentKind::RearEndCrash,
+                IncidentKind::SideCollision,
+            ],
+        }
+    }
+
+    /// U-turn query (§4's alternative event type).
+    pub fn u_turns() -> EventQuery {
+        EventQuery {
+            name: "u_turn",
+            kinds: vec![IncidentKind::UTurn],
+        }
+    }
+
+    /// Speeding query.
+    pub fn speeding() -> EventQuery {
+        EventQuery {
+            name: "speeding",
+            kinds: vec![IncidentKind::Speeding],
+        }
+    }
+
+    /// Whether an incident kind matches this query.
+    pub fn matches(&self, kind: IncidentKind) -> bool {
+        self.kinds.contains(&kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accident_query_covers_all_accident_kinds() {
+        let q = EventQuery::accidents();
+        for k in [
+            IncidentKind::WallCrash,
+            IncidentKind::SuddenStop,
+            IncidentKind::RearEndCrash,
+            IncidentKind::SideCollision,
+        ] {
+            assert!(q.matches(k));
+            assert!(k.is_accident());
+        }
+        assert!(!q.matches(IncidentKind::UTurn));
+        assert!(!q.matches(IncidentKind::Speeding));
+    }
+
+    #[test]
+    fn alternative_queries_are_disjoint_from_accidents() {
+        let a = EventQuery::accidents();
+        let u = EventQuery::u_turns();
+        let s = EventQuery::speeding();
+        assert!(u.kinds.iter().all(|&k| !a.matches(k)));
+        assert!(s.kinds.iter().all(|&k| !a.matches(k)));
+        assert!(u.matches(IncidentKind::UTurn));
+        assert!(s.matches(IncidentKind::Speeding));
+    }
+}

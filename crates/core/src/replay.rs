@@ -1,0 +1,157 @@
+//! Session replay: rebuilding a user's customized retrieval state from
+//! a persisted [`SessionRow`].
+//!
+//! The paper's motivation for relevance feedback is that it "customizes
+//! the search engine for the need of individual users" (§1). For that
+//! customization to survive across visits, the *session* — not just the
+//! clip — must be durable. `tsvr-viddb` stores the per-round feedback;
+//! this module replays it through a fresh learner, which reproduces the
+//! learner's state exactly (all learners here are deterministic
+//! functions of their feedback history).
+
+use crate::pipeline::LearnerKind;
+use tsvr_mil::{Bag, Learner};
+use tsvr_viddb::SessionRow;
+
+/// Replays a stored session's feedback through a fresh learner of the
+/// given kind, returning the trained learner. The bags must be the same
+/// database the session was recorded against (same clip, same
+/// extraction parameters) — the normal case, since both are persisted
+/// together.
+pub fn replay_session(bags: &[Bag], session: &SessionRow, kind: LearnerKind) -> Box<dyn Learner> {
+    let mut learner = kind.build_for(bags);
+    for round in &session.feedback {
+        let feedback: Vec<(usize, bool)> = round
+            .iter()
+            .map(|&(w, relevant)| (w as usize, relevant))
+            .collect();
+        learner.learn(bags, &feedback);
+    }
+    learner
+}
+
+/// Continues a stored session for `extra_rounds` more feedback rounds,
+/// returning the updated report (accuracies measured against `oracle`).
+pub fn continue_session(
+    bags: &[Bag],
+    session: &SessionRow,
+    kind: LearnerKind,
+    oracle: &impl tsvr_mil::Oracle,
+    top_n: usize,
+    extra_rounds: usize,
+) -> tsvr_mil::SessionReport {
+    let learner = replay_session(bags, session, kind);
+    let cfg = tsvr_mil::SessionConfig {
+        top_n,
+        feedback_rounds: extra_rounds,
+        // The restored learner carries the previous visit's state; its
+        // own ranking is the right starting page.
+        initial_from_learner: true,
+    };
+    let (report, _) = tsvr_mil::RetrievalSession::new(bags, learner, oracle, cfg).run();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{prepare_clip, run_session, PipelineOptions};
+    use crate::query::EventQuery;
+    use tsvr_mil::session::rank_by;
+    use tsvr_mil::{GroundTruthOracle, SessionConfig};
+    use tsvr_sim::Scenario;
+
+    fn session_row_from(
+        report: &tsvr_mil::SessionReport,
+        oracle: &GroundTruthOracle,
+        top_n: usize,
+        rounds: usize,
+    ) -> SessionRow {
+        use tsvr_mil::Oracle;
+        SessionRow {
+            session_id: 1,
+            clip_id: 1,
+            query: "accident".into(),
+            learner: report.learner.into(),
+            feedback: report
+                .rankings
+                .iter()
+                .take(rounds)
+                .map(|r| {
+                    r.iter()
+                        .take(top_n)
+                        .map(|&w| (w as u32, oracle.label(w)))
+                        .collect()
+                })
+                .collect(),
+            accuracies: report.accuracies.clone(),
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_the_original_final_ranking() {
+        let clip = prepare_clip(&Scenario::tunnel_small(61), &PipelineOptions::default());
+        let query = EventQuery::accidents();
+        let oracle = GroundTruthOracle::new(clip.labels(&query));
+        let cfg = SessionConfig {
+            top_n: 5,
+            feedback_rounds: 3,
+            ..SessionConfig::default()
+        };
+        let report = run_session(&clip, &query, LearnerKind::paper_ocsvm(), cfg);
+        let row = session_row_from(&report, &oracle, cfg.top_n, cfg.feedback_rounds);
+
+        // Replay in a "new process" and re-rank.
+        let learner = replay_session(&clip.bags, &row, LearnerKind::paper_ocsvm());
+        let ranking = rank_by(&clip.bags, |b| learner.score(b));
+        assert_eq!(
+            &ranking,
+            report.rankings.last().unwrap(),
+            "replayed learner ranks differently from the original session"
+        );
+    }
+
+    #[test]
+    fn continuing_a_session_does_not_regress() {
+        let clip = prepare_clip(&Scenario::tunnel_small(62), &PipelineOptions::default());
+        let query = EventQuery::accidents();
+        let oracle = GroundTruthOracle::new(clip.labels(&query));
+        let cfg = SessionConfig {
+            top_n: 5,
+            feedback_rounds: 2,
+            ..SessionConfig::default()
+        };
+        let report = run_session(&clip, &query, LearnerKind::paper_ocsvm(), cfg);
+        let row = session_row_from(&report, &oracle, cfg.top_n, cfg.feedback_rounds);
+
+        let continued =
+            continue_session(&clip.bags, &row, LearnerKind::paper_ocsvm(), &oracle, 5, 2);
+        // The continued session starts where the stored one ended.
+        let stored_final = *report.accuracies.last().unwrap();
+        assert!(
+            continued.accuracies[0] >= stored_final - 1e-9,
+            "restore lost quality: {} vs {}",
+            continued.accuracies[0],
+            stored_final
+        );
+        assert_eq!(continued.accuracies.len(), 3);
+    }
+
+    #[test]
+    fn replay_with_empty_feedback_is_the_untrained_learner() {
+        let clip = prepare_clip(&Scenario::tunnel_small(63), &PipelineOptions::default());
+        let row = SessionRow {
+            session_id: 9,
+            clip_id: 1,
+            query: "accident".into(),
+            learner: "MIL_OneClassSVM".into(),
+            feedback: vec![],
+            accuracies: vec![],
+        };
+        let learner = replay_session(&clip.bags, &row, LearnerKind::paper_ocsvm());
+        // Untrained OCSVM falls back to the heuristic ranking.
+        let replayed = rank_by(&clip.bags, |b| learner.score(b));
+        let heuristic = rank_by(&clip.bags, tsvr_mil::heuristic::bag_score);
+        assert_eq!(replayed, heuristic);
+    }
+}

@@ -1,0 +1,191 @@
+//! Query by sketch (paper §7, future work: "query by sketches").
+//!
+//! The user draws a rough trajectory on the camera image ("show me
+//! U-turns shaped like this"); the system ranks tracked vehicles — and
+//! the windows containing them — by DTW shape similarity between the
+//! sketch and each track's centroid path. Shape matching is translation-
+//! and scale-invariant but, deliberately, not rotation-invariant: a
+//! sketch is drawn in image space, where direction is meaningful (a
+//! westbound U-turn differs from a southbound one).
+
+use crate::pipeline::ClipArtifacts;
+use tsvr_sim::Vec2;
+use tsvr_trajectory::dtw::shape_distance;
+use tsvr_vision::Track;
+
+/// A sketched trajectory query.
+#[derive(Debug, Clone)]
+pub struct SketchQuery {
+    /// The sketched polyline, in image coordinates.
+    pub path: Vec<Vec2>,
+    /// Resampling resolution for shape comparison.
+    pub resolution: usize,
+    /// Tracks shorter than this many points are skipped (a 6-point
+    /// fragment matches anything).
+    pub min_track_len: usize,
+}
+
+impl SketchQuery {
+    /// Creates a query with default matching parameters.
+    pub fn new(path: Vec<Vec2>) -> SketchQuery {
+        SketchQuery {
+            path,
+            resolution: 32,
+            min_track_len: 10,
+        }
+    }
+
+    /// Shape distance between the sketch and one track (lower = more
+    /// similar); `None` when the track is too short.
+    pub fn track_distance(&self, track: &Track) -> Option<f64> {
+        if track.points.len() < self.min_track_len {
+            return None;
+        }
+        let path: Vec<Vec2> = track.points.iter().map(|p| p.centroid).collect();
+        Some(shape_distance(&self.path, &path, self.resolution))
+    }
+
+    /// Ranks all tracks by ascending shape distance.
+    pub fn rank_tracks<'a>(&self, tracks: &'a [Track]) -> Vec<(&'a Track, f64)> {
+        let mut scored: Vec<(&Track, f64)> = tracks
+            .iter()
+            .filter_map(|t| self.track_distance(t).map(|d| (t, d)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.id.cmp(&b.0.id)));
+        scored
+    }
+
+    /// Ranks a clip's windows: each window scores as the best (smallest)
+    /// shape distance among the tracks crossing it. Windows with no
+    /// rankable track go last. Returns `(window_index, distance)` in
+    /// ascending-distance order.
+    pub fn rank_windows(&self, clip: &ClipArtifacts) -> Vec<(usize, f64)> {
+        // Precompute per-track distances once.
+        let mut dist_by_track: std::collections::HashMap<u64, f64> = Default::default();
+        for t in &clip.vision.tracks {
+            if let Some(d) = self.track_distance(t) {
+                dist_by_track.insert(t.id, d);
+            }
+        }
+        let mut scored: Vec<(usize, f64)> = clip
+            .dataset
+            .windows
+            .iter()
+            .map(|w| {
+                let best = w
+                    .sequences
+                    .iter()
+                    .filter_map(|ts| dist_by_track.get(&ts.track_id).copied())
+                    .fold(f64::INFINITY, f64::min);
+                (w.index, best)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        scored
+    }
+}
+
+/// Convenience sketches for common queries.
+impl SketchQuery {
+    /// A straight left-to-right pass (normal tunnel traffic).
+    pub fn straight_pass() -> SketchQuery {
+        SketchQuery::new(vec![Vec2::new(0.0, 120.0), Vec2::new(320.0, 120.0)])
+    }
+
+    /// A U-turn: rightward, 180° arc, leftward.
+    pub fn u_turn() -> SketchQuery {
+        let mut path: Vec<Vec2> = (0..10).map(|i| Vec2::new(i as f64 * 8.0, 120.0)).collect();
+        for k in 1..=8 {
+            let a = std::f64::consts::PI * k as f64 / 8.0;
+            path.push(Vec2::new(
+                72.0 + 12.0 * a.sin(),
+                120.0 + 12.0 - 12.0 * a.cos(),
+            ));
+        }
+        for i in 0..10 {
+            path.push(Vec2::new(72.0 - i as f64 * 8.0, 144.0));
+        }
+        SketchQuery::new(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{prepare_clip, PipelineOptions};
+    use tsvr_sim::{IncidentKind, Scenario, World};
+    use tsvr_vision::pipeline::{match_ground_truth, process, PipelineConfig};
+
+    #[test]
+    fn straight_sketch_prefers_straight_tracks() {
+        let clip = prepare_clip(&Scenario::tunnel_small(91), &PipelineOptions::default());
+        let q = SketchQuery::straight_pass();
+        let ranked = q.rank_tracks(&clip.vision.tracks);
+        assert!(!ranked.is_empty());
+        // Distances ascend.
+        for w in ranked.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // The best match is a nearly straight shape.
+        assert!(ranked[0].1 < 0.05, "best distance {}", ranked[0].1);
+    }
+
+    #[test]
+    fn u_turn_sketch_finds_the_u_turn_track() {
+        // Intersection preset schedules a U-turn.
+        let scenario = Scenario::intersection_paper(2007);
+        let sim = World::run(scenario.clone());
+        let out = process(&sim, scenario.kind, &PipelineConfig::default());
+        let matches = match_ground_truth(&out.tracks, &sim, 15.0);
+
+        let Some(rec) = sim.incidents.iter().find(|r| r.kind == IncidentKind::UTurn) else {
+            panic!("preset schedules a u-turn");
+        };
+        let uturn_vehicle = rec.vehicle_ids[0];
+        // Which tracks belong to the u-turning vehicle?
+        let uturn_tracks: Vec<u64> = out
+            .tracks
+            .iter()
+            .zip(&matches)
+            .filter(|(_, m)| **m == Some(uturn_vehicle))
+            .map(|(t, _)| t.id)
+            .collect();
+        if uturn_tracks.is_empty() {
+            // Tracker may have fragmented the maneuver beyond recovery;
+            // nothing to assert against in that case.
+            return;
+        }
+
+        let q = SketchQuery::u_turn();
+        let ranked = q.rank_tracks(&out.tracks);
+        let pos = ranked
+            .iter()
+            .position(|(t, _)| uturn_tracks.contains(&t.id))
+            .expect("u-turn track was ranked");
+        // The U-turn track lands in the top third of the ranking.
+        assert!(
+            pos * 3 <= ranked.len(),
+            "u-turn track ranked {pos} of {}",
+            ranked.len()
+        );
+    }
+
+    #[test]
+    fn short_tracks_are_skipped() {
+        let clip = prepare_clip(&Scenario::tunnel_small(92), &PipelineOptions::default());
+        let mut q = SketchQuery::straight_pass();
+        q.min_track_len = usize::MAX;
+        assert!(q.rank_tracks(&clip.vision.tracks).is_empty());
+    }
+
+    #[test]
+    fn window_ranking_covers_all_windows() {
+        let clip = prepare_clip(&Scenario::tunnel_small(93), &PipelineOptions::default());
+        let q = SketchQuery::straight_pass();
+        let ranked = q.rank_windows(&clip);
+        assert_eq!(ranked.len(), clip.dataset.window_count());
+        for w in ranked.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

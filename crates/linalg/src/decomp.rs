@@ -1,0 +1,515 @@
+//! Matrix factorizations: LU with partial pivoting, Householder QR, and
+//! Cholesky, each with the solvers the rest of the workspace needs.
+//!
+//! * LU backs general square solves and determinants/inverses;
+//! * QR backs least-squares solves — in particular the polynomial
+//!   trajectory fit of paper §3.2 (Eq. 2), where the Vandermonde system is
+//!   rectangular and often mildly ill-conditioned;
+//! * Cholesky backs solves against symmetric positive-definite matrices
+//!   (covariance matrices in the PCA classifier).
+
+// Indexed loops mirror the textbook formulations of these numeric
+// kernels; iterator rewrites obscure the subscript structure.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{LinalgError, Matrix, Result};
+
+/// LU factorization with partial (row) pivoting: `P * A = L * U`.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors: strictly-lower part is L (unit diagonal implied),
+    /// upper triangle including diagonal is U.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0), used by `det`.
+    perm_sign: f64,
+}
+
+/// Pivot threshold below which a matrix is treated as singular.
+const SINGULARITY_EPS: f64 = 1e-12;
+
+impl Lu {
+    /// Factorizes a square matrix. Returns [`LinalgError::Singular`] when a
+    /// pivot falls below the singularity threshold.
+    pub fn factorize(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Find pivot.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > max {
+                    max = v;
+                    p = r;
+                }
+            }
+            if max < SINGULARITY_EPS {
+                return Err(LinalgError::Singular);
+            }
+            if p != k {
+                lu.swap_rows(p, k);
+                perm.swap(p, k);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                for c in (k + 1)..n {
+                    let sub = factor * lu[(k, c)];
+                    lu[(r, c)] -= sub;
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Solves `A x = b` for one right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: format!("{n}x{n}"),
+                right: format!("{}x1", b.len()),
+                op: "lu_solve",
+            });
+        }
+        // Apply permutation, then forward substitution (L has unit diagonal).
+        let mut y: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for r in 1..n {
+            for c in 0..r {
+                y[r] -= self.lu[(r, c)] * y[c];
+            }
+        }
+        // Back substitution with U.
+        let mut x = y;
+        for r in (0..n).rev() {
+            for c in (r + 1)..n {
+                x[r] -= self.lu[(r, c)] * x[c];
+            }
+            x[r] /= self.lu[(r, r)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        (0..n).map(|i| self.lu[(i, i)]).product::<f64>() * self.perm_sign
+    }
+
+    /// Inverse of the factorized matrix (column-by-column solve).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+            e[c] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+/// Householder QR factorization of an `m x n` matrix with `m >= n`.
+///
+/// Stores the Householder vectors and `R`; `Q` is applied implicitly,
+/// which is all the least-squares solver needs.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factorization: upper triangle is R; below-diagonal entries
+    /// plus `beta` encode the Householder reflectors.
+    qr: Matrix,
+    /// Householder scalar for each column.
+    beta: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorizes `a` (requires `rows >= cols`).
+    pub fn factorize(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::InvalidArgument(format!(
+                "QR requires rows >= cols, got {m}x{n}"
+            )));
+        }
+        if m == 0 || n == 0 {
+            return Err(LinalgError::EmptyInput);
+        }
+        let mut qr = a.clone();
+        let mut beta = vec![0.0; n];
+
+        for k in 0..n {
+            // Build the Householder reflector for column k.
+            let mut norm = 0.0;
+            for r in k..m {
+                norm += qr[(r, k)] * qr[(r, k)];
+            }
+            let norm = norm.sqrt();
+            if norm < SINGULARITY_EPS {
+                // Rank-deficient column: reflector is identity.
+                beta[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // v = [v0, qr[k+1..m, k]]; normalize so v[0] = 1.
+            for r in (k + 1)..m {
+                let scaled = qr[(r, k)] / v0;
+                qr[(r, k)] = scaled;
+            }
+            beta[k] = -v0 / alpha;
+            qr[(k, k)] = alpha;
+
+            // Apply reflector to the remaining columns.
+            for c in (k + 1)..n {
+                let mut s = qr[(k, c)];
+                for r in (k + 1)..m {
+                    s += qr[(r, k)] * qr[(r, c)];
+                }
+                s *= beta[k];
+                qr[(k, c)] -= s;
+                for r in (k + 1)..m {
+                    let sub = s * qr[(r, k)];
+                    qr[(r, c)] -= sub;
+                }
+            }
+        }
+        Ok(Qr { qr, beta })
+    }
+
+    /// Applies `Q^T` to a vector in place.
+    fn apply_qt(&self, b: &mut [f64]) {
+        let (m, n) = self.qr.shape();
+        for k in 0..n {
+            if self.beta[k] == 0.0 {
+                continue;
+            }
+            let mut s = b[k];
+            for r in (k + 1)..m {
+                s += self.qr[(r, k)] * b[r];
+            }
+            s *= self.beta[k];
+            b[k] -= s;
+            for r in (k + 1)..m {
+                b[r] -= s * self.qr[(r, k)];
+            }
+        }
+    }
+
+    /// Solves the least-squares problem `min ||A x - b||_2`.
+    ///
+    /// Returns [`LinalgError::Singular`] when `R` has a (numerically) zero
+    /// diagonal entry, i.e. `A` is rank deficient.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                left: format!("{m}x{n}"),
+                right: format!("{}x1", b.len()),
+                op: "qr_solve",
+            });
+        }
+        let mut y = b.to_vec();
+        self.apply_qt(&mut y);
+        // Back substitution with R (top n x n block).
+        let mut x = vec![0.0; n];
+        for r in (0..n).rev() {
+            let mut s = y[r];
+            for c in (r + 1)..n {
+                s -= self.qr[(r, c)] * x[c];
+            }
+            let d = self.qr[(r, r)];
+            if d.abs() < SINGULARITY_EPS {
+                return Err(LinalgError::Singular);
+            }
+            x[r] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// Copy of the `n x n` upper-triangular factor `R`.
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r[(i, j)] = self.qr[(i, j)];
+            }
+        }
+        r
+    }
+}
+
+/// Cholesky factorization `A = L * L^T` of a symmetric positive-definite
+/// matrix. Only the lower triangle of the input is read.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    pub fn factorize(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: format!("{n}x{n}"),
+                right: format!("{}x1", b.len()),
+                op: "cholesky_solve",
+            });
+        }
+        // Forward: L y = b.
+        let mut y = b.to_vec();
+        for r in 0..n {
+            for c in 0..r {
+                y[r] -= self.l[(r, c)] * y[c];
+            }
+            y[r] /= self.l[(r, r)];
+        }
+        // Backward: L^T x = y.
+        let mut x = y;
+        for r in (0..n).rev() {
+            for c in (r + 1)..n {
+                x[r] -= self.l[(c, r)] * x[c];
+            }
+            x[r] /= self.l[(r, r)];
+        }
+        Ok(x)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+/// Convenience: solves the square system `A x = b` via LU.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::factorize(a)?.solve(b)
+}
+
+/// Convenience: solves `min ||A x - b||` via QR.
+pub fn solve_least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::factorize(a)?.solve_least_squares(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_vec(3, 3, vec![4.0, 1.0, 1.0, 1.0, 3.0, 0.0, 1.0, 0.0, 2.0]).unwrap()
+    }
+
+    #[test]
+    fn lu_solves_known_system() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(Lu::factorize(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn lu_rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::factorize(&a).unwrap_err(),
+            LinalgError::NotSquare { .. }
+        ));
+    }
+
+    #[test]
+    fn lu_det_and_inverse() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 7.0, 2.0, 6.0]).unwrap();
+        let lu = Lu::factorize(&a).unwrap();
+        assert!((lu.det() - 10.0).abs() < 1e-10);
+        let inv = lu.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn lu_det_sign_with_permutation() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let lu = Lu::factorize(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_solves_exact_square_system() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = solve_least_squares(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn qr_least_squares_matches_normal_equations() {
+        // Overdetermined: fit y = c0 + c1*x through 4 points.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ])
+        .unwrap();
+        let b = [1.0, 2.9, 5.1, 7.0];
+        let x = solve_least_squares(&a, &b).unwrap();
+        // Normal equations: (A^T A) x = A^T b.
+        let at = a.transpose();
+        let ata = at.matmul(&a).unwrap();
+        let atb = at.matvec(&b).unwrap();
+        let x2 = solve(&ata, &atb).unwrap();
+        assert!((x[0] - x2[0]).abs() < 1e-9);
+        assert!((x[1] - x2[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qr_residual_is_orthogonal_to_columns() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.5],
+            vec![1.0, 1.5],
+            vec![1.0, 2.5],
+            vec![1.0, 4.0],
+            vec![1.0, 8.0],
+        ])
+        .unwrap();
+        let b = [0.0, 2.0, 1.0, 5.0, 3.0];
+        let x = solve_least_squares(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(&bi, &axi)| bi - axi).collect();
+        // A^T r must vanish at the least-squares optimum.
+        let atr = a.transpose().matvec(&r).unwrap();
+        for v in atr {
+            assert!(v.abs() < 1e-9, "residual not orthogonal: {v}");
+        }
+    }
+
+    #[test]
+    fn qr_rejects_wide_matrix() {
+        assert!(Qr::factorize(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn qr_detects_rank_deficiency() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let qr = Qr::factorize(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn qr_r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let r = Qr::factorize(&a).unwrap().r();
+        assert_eq!(r.shape(), (2, 2));
+        assert_eq!(r[(1, 0)], 0.0);
+        // R^T R == A^T A (Q orthogonal).
+        let ata = a.transpose().matmul(&a).unwrap();
+        let rtr = r.transpose().matmul(&r).unwrap();
+        assert!(ata.approx_eq(&rtr, 1e-9));
+    }
+
+    #[test]
+    fn cholesky_factorizes_spd() {
+        let a = spd3();
+        let ch = Cholesky::factorize(&a).unwrap();
+        let l = ch.l();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn cholesky_solve_matches_lu() {
+        let a = spd3();
+        let b = [1.0, -2.0, 0.5];
+        let x1 = Cholesky::factorize(&a).unwrap().solve(&b).unwrap();
+        let x2 = solve(&a, &b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert_eq!(
+            Cholesky::factorize(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn solvers_validate_rhs_length() {
+        let a = Matrix::identity(3);
+        assert!(Lu::factorize(&a).unwrap().solve(&[1.0]).is_err());
+        assert!(Qr::factorize(&a)
+            .unwrap()
+            .solve_least_squares(&[1.0])
+            .is_err());
+        assert!(Cholesky::factorize(&a).unwrap().solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The PCA vehicle classifier in `tsvr-vision` (paper §3.1, citing \[13\])
+//! needs the eigenvectors of small covariance matrices (feature
+//! dimensionality ≤ a few dozen), for which Jacobi rotation is accurate,
+//! simple and fast enough.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Result of a symmetric eigendecomposition: `A = V * diag(values) * V^T`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, sorted in descending order.
+    pub values: Vec<f64>,
+    /// Matrix whose columns are the corresponding orthonormal eigenvectors.
+    pub vectors: Matrix,
+}
+
+/// Maximum number of full Jacobi sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 100;
+
+/// Off-diagonal Frobenius norm below which the matrix counts as diagonal.
+const OFF_DIAG_TOL: f64 = 1e-12;
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// Symmetry is enforced by averaging `a` with its transpose, so inputs
+/// that are symmetric only up to rounding (e.g. covariance matrices built
+/// by accumulation) are handled gracefully.
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::EmptyInput);
+    }
+
+    // Symmetrize.
+    let mut m = a.clone();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let avg = 0.5 * (m[(i, j)] + m[(j, i)]);
+            m[(i, j)] = avg;
+            m[(j, i)] = avg;
+        }
+    }
+
+    let mut v = Matrix::identity(n);
+    let scale = m.max_abs().max(1.0);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let off: f64 = {
+            let mut s = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s += m[(i, j)] * m[(i, j)];
+                }
+            }
+            s.sqrt()
+        };
+        if off <= OFF_DIAG_TOL * scale {
+            return Ok(finish(m, v));
+        }
+
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= OFF_DIAG_TOL * scale / (n as f64) {
+                    continue;
+                }
+                // Jacobi rotation that annihilates m[p][q].
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Update rows/columns p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate rotation into V.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        iterations: MAX_SWEEPS,
+    })
+}
+
+/// Sorts eigenpairs in descending eigenvalue order.
+fn finish(m: Matrix, v: Matrix) -> SymmetricEigen {
+    let n = m.rows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    idx.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).unwrap());
+
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_c, &old_c) in idx.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_c)] = v[(r, old_c)];
+        }
+    }
+    SymmetricEigen { values, vectors }
+}
+
+impl SymmetricEigen {
+    /// Returns the top-`k` eigenvectors as the columns of an `n x k` matrix
+    /// (the PCA projection basis).
+    pub fn principal_components(&self, k: usize) -> Matrix {
+        let n = self.vectors.rows();
+        let k = k.min(n);
+        let mut basis = Matrix::zeros(n, k);
+        for c in 0..k {
+            for r in 0..n {
+                basis[(r, c)] = self.vectors[(r, c)];
+            }
+        }
+        basis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is parallel to (1,1)/sqrt(2).
+        let v0 = e.vectors.col_vec(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[0] - v0[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let a = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                4.0, 1.0, 0.5, 0.0, 1.0, 3.0, 0.2, 0.1, 0.5, 0.2, 2.0, 0.3, 0.0, 0.1, 0.3, 1.0,
+            ],
+        )
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        // V^T V == I.
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(4), 1e-9));
+        // V diag V^T == A.
+        let mut d = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            d[(i, i)] = e.values[i];
+        }
+        let recon = e
+            .vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        assert!(recon.approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_vec(3, 3, vec![5.0, 2.0, 1.0, 2.0, 4.0, 0.5, 1.0, 0.5, 3.0]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_nearly_symmetric_input() {
+        let mut a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        a[(0, 1)] += 1e-13; // rounding-level asymmetry
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_rectangular_and_empty() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+        assert!(symmetric_eigen(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn principal_components_shape() {
+        let a = Matrix::identity(3);
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.principal_components(2).shape(), (3, 2));
+        // Requesting more than n clamps.
+        assert_eq!(e.principal_components(10).shape(), (3, 3));
+    }
+
+    #[test]
+    fn negative_eigenvalues_sorted_correctly() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 2.0, 2.0, 0.0]).unwrap(); // eig ±2
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 2.0).abs() < 1e-10);
+        assert!((e.values[1] + 2.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type shared by all numerical routines in this crate.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes. Holds `(left, right)` shape
+    /// descriptions, e.g. `("3x4", "5x2")`.
+    ShapeMismatch {
+        /// Shape of the left operand as `rows x cols`.
+        left: String,
+        /// Shape of the right operand as `rows x cols`.
+        right: String,
+        /// Which operation was attempted.
+        op: &'static str,
+    },
+    /// The matrix is singular (or numerically so) and cannot be factorized
+    /// or solved against.
+    Singular,
+    /// A routine that requires a square matrix was given a rectangular one.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Cholesky factorization was attempted on a matrix that is not
+    /// (numerically) positive definite.
+    NotPositiveDefinite,
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input was empty where at least one element is required.
+    EmptyInput,
+    /// A routine received an argument outside its domain (e.g. polynomial
+    /// degree larger than the number of samples).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in {op}: {left} vs {right}")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "expected square matrix, got {rows}x{cols}")
+            }
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            LinalgError::EmptyInput => write!(f, "empty input"),
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::ShapeMismatch {
+            left: "3x4".into(),
+            right: "5x2".into(),
+            op: "matmul",
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul") && s.contains("3x4") && s.contains("5x2"));
+        assert!(LinalgError::Singular.to_string().contains("singular"));
+        assert!(LinalgError::NotSquare { rows: 2, cols: 3 }
+            .to_string()
+            .contains("2x3"));
+        assert!(LinalgError::NoConvergence { iterations: 7 }
+            .to_string()
+            .contains('7'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LinalgError::EmptyInput);
+    }
+}

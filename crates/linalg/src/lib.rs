@@ -1,0 +1,40 @@
+//! # tsvr-linalg
+//!
+//! Dense linear-algebra substrate for the tsvr workspace.
+//!
+//! The incident-retrieval framework needs a small but trustworthy set of
+//! numerical kernels:
+//!
+//! * [`Matrix`] — dense row-major `f64` matrices with the usual arithmetic;
+//! * [`decomp`] — LU (with partial pivoting), Householder QR and Cholesky
+//!   factorizations, each exposing linear-system / least-squares solvers;
+//! * [`eigen`] — the cyclic Jacobi method for symmetric eigenproblems,
+//!   used by the PCA vehicle classifier in `tsvr-vision`;
+//! * [`polyfit`] — least-squares polynomial fitting of vehicle
+//!   trajectories (paper §3.2, Eq. 1–2) plus polynomial evaluation and
+//!   differentiation;
+//! * [`stats`] — descriptive statistics and feature normalization used by
+//!   the weighted relevance-feedback baseline (paper §6.2);
+//! * [`vecops`] — free functions over `&[f64]` (dot products, norms,
+//!   distances) shared by the SVM kernels.
+//!
+//! Everything is implemented from scratch on `std` only; no external
+//! numerical dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decomp;
+pub mod eigen;
+pub mod error;
+pub mod matrix;
+pub mod polyfit;
+pub mod stats;
+pub mod vecops;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use polyfit::Polynomial;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,448 @@
+//! Dense row-major matrix of `f64`.
+//!
+//! [`Matrix`] is deliberately simple: a `Vec<f64>` plus a shape. All the
+//! numerical heavy lifting lives in [`crate::decomp`] and [`crate::eigen`];
+//! this module only provides storage, indexing and elementwise/structural
+//! operations.
+
+use crate::{LinalgError, Result};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidArgument(format!(
+                "data length {} does not match shape {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of equally-long rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::EmptyInput);
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(LinalgError::InvalidArgument(
+                "rows have differing lengths".into(),
+            ));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a single-column matrix from a vector.
+    pub fn column(values: &[f64]) -> Self {
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    pub fn col_vec(&self, c: usize) -> Vec<f64> {
+        debug_assert!(c < self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    fn shape_str(&self) -> String {
+        format!("{}x{}", self.rows, self.cols)
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape_str(),
+                right: rhs.shape_str(),
+                op: "matmul",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // ikj loop order: streams over contiguous rows of rhs and out.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape_str(),
+                right: format!("{}x1", v.len()),
+                op: "matvec",
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| crate::vecops::dot(self.row(r), v))
+            .collect())
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape_str(),
+                right: rhs.shape_str(),
+                op,
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Frobenius norm: `sqrt(sum of squared entries)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry; 0 for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, x| m.max(x.abs()))
+    }
+
+    /// Trace (sum of diagonal entries). Errors on rectangular matrices.
+    pub fn trace(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        Ok((0..self.rows).map(|i| self[(i, i)]).sum())
+    }
+
+    /// Swaps rows `a` and `b` in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(b * self.cols);
+        head[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    /// True when every pair of corresponding entries differs by at most `tol`.
+    pub fn approx_eq(&self, rhs: &Matrix, tol: f64) -> bool {
+        self.shape() == rhs.shape()
+            && self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:10.4}", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert!(!m.is_square());
+        assert!(Matrix::identity(3).is_square());
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = sample();
+        let out = m.matmul(&Matrix::identity(3)).unwrap();
+        assert_eq!(out, m);
+        let out = Matrix::identity(2).matmul(&m).unwrap();
+        assert_eq!(out, m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = sample();
+        assert!(a.matmul(&sample()).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let m = sample();
+        let v = vec![1.0, 0.5, -1.0];
+        let got = m.matvec(&v).unwrap();
+        let expect = m.matmul(&Matrix::column(&v)).unwrap();
+        assert_eq!(got, expect.col_vec(0));
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let m = sample();
+        let s = m.add(&m).unwrap();
+        assert_eq!(s[(1, 2)], 12.0);
+        let d = s.sub(&m).unwrap();
+        assert_eq!(d, m);
+        let k = m.scale(2.0);
+        assert_eq!(k, s);
+        assert!(m.add(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn norms_and_trace() {
+        let m = Matrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 4.0]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.max_abs(), 4.0);
+        assert_eq!(m.trace().unwrap(), 7.0);
+        assert!(sample().trace().is_err());
+    }
+
+    #[test]
+    fn swap_rows_works() {
+        let mut m = sample();
+        m.swap_rows(0, 1);
+        assert_eq!(m.row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+        m.swap_rows(1, 1); // no-op
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Matrix::identity(2);
+        let mut b = a.clone();
+        b[(0, 0)] += 1e-9;
+        assert!(a.approx_eq(&b, 1e-8));
+        assert!(!a.approx_eq(&b, 1e-10));
+        assert!(!a.approx_eq(&Matrix::zeros(3, 3), 1.0));
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let s = Matrix::identity(2).to_string();
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = sample();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col_vec(2), vec![3.0, 6.0]);
+    }
+}

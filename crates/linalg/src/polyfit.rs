@@ -1,0 +1,274 @@
+//! Least-squares polynomial fitting (paper §3.2).
+//!
+//! The paper models each vehicle trajectory with a k-th degree polynomial
+//! `y = a_0 + a_1 x + … + a_k x^k` (Eq. 1) fit through the tracked
+//! centroids by minimizing the squared deviations (Eq. 2), and uses the
+//! first derivative as the tangent/velocity along the curve. This module
+//! provides exactly that: [`fit`] builds the Vandermonde design matrix and
+//! solves it by Householder QR (numerically safer than the normal
+//! equations for the 4th-degree fits the paper uses), and [`Polynomial`]
+//! supports evaluation and differentiation.
+
+use crate::decomp::Qr;
+use crate::{LinalgError, Matrix, Result};
+
+/// A dense univariate polynomial `c[0] + c[1] x + … + c[k] x^k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients in ascending-power order.
+    /// An empty coefficient list denotes the zero polynomial.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        Polynomial { coeffs }
+    }
+
+    /// Coefficients in ascending-power order.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree; 0 for constants and the zero polynomial.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// Evaluates the polynomial at `x` via Horner's scheme.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// First derivative as a new polynomial.
+    ///
+    /// For the trajectory model this is the tangent: the instantaneous
+    /// rate of change of the fitted coordinate with respect to the
+    /// parameter (paper §3.2: "the first derivative … represents the
+    /// velocities of that vehicle at different time").
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::new(vec![0.0]);
+        }
+        Polynomial::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(p, &c)| c * p as f64)
+                .collect(),
+        )
+    }
+
+    /// Sum of squared residuals against sample points.
+    pub fn sse(&self, xs: &[f64], ys: &[f64]) -> f64 {
+        debug_assert_eq!(xs.len(), ys.len());
+        xs.iter()
+            .zip(ys)
+            .map(|(&x, &y)| {
+                let e = self.eval(x) - y;
+                e * e
+            })
+            .sum()
+    }
+}
+
+/// Fits a degree-`k` polynomial through `(xs[i], ys[i])` by least squares.
+///
+/// Requires at least `k + 1` samples; with exactly `k + 1` distinct
+/// abscissae the fit interpolates. Duplicated abscissae are fine as long
+/// as the design matrix keeps full column rank.
+pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Polynomial> {
+    if xs.is_empty() {
+        return Err(LinalgError::EmptyInput);
+    }
+    if xs.len() != ys.len() {
+        return Err(LinalgError::ShapeMismatch {
+            left: format!("{}x1", xs.len()),
+            right: format!("{}x1", ys.len()),
+            op: "polyfit",
+        });
+    }
+    let n = xs.len();
+    let cols = degree + 1;
+    if n < cols {
+        return Err(LinalgError::InvalidArgument(format!(
+            "degree {degree} needs at least {cols} samples, got {n}"
+        )));
+    }
+
+    // Shift/scale the abscissae to [-1, 1] to keep the Vandermonde matrix
+    // well conditioned for the frame indices (0..~2500) we fit against,
+    // then compose the transform back into the returned coefficients.
+    let (lo, hi) = xs
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        });
+    let span = hi - lo;
+    let (shift, scale) = if span > 0.0 {
+        ((hi + lo) / 2.0, 2.0 / span)
+    } else {
+        (lo, 1.0)
+    };
+
+    let mut design = Matrix::zeros(n, cols);
+    for (r, &x) in xs.iter().enumerate() {
+        let t = (x - shift) * scale;
+        let mut p = 1.0;
+        for c in 0..cols {
+            design[(r, c)] = p;
+            p *= t;
+        }
+    }
+    let sol = Qr::factorize(&design)?.solve_least_squares(ys)?;
+
+    // sol describes q(t) with t = (x - shift) * scale; expand back to x.
+    Ok(compose_affine(&sol, scale, -shift * scale))
+}
+
+/// Given q(t) = sum c_i t^i, returns p(x) = q(a*x + b) as coefficients of x.
+fn compose_affine(c: &[f64], a: f64, b: f64) -> Polynomial {
+    // Horner on polynomials: p = c_k; p = p*(a x + b) + c_{k-1}; ...
+    let mut p: Vec<f64> = vec![*c.last().unwrap()];
+    for &ci in c.iter().rev().skip(1) {
+        // p = p * (a x + b)
+        let mut next = vec![0.0; p.len() + 1];
+        for (i, &pi) in p.iter().enumerate() {
+            next[i] += pi * b;
+            next[i + 1] += pi * a;
+        }
+        next[0] += ci;
+        p = next;
+    }
+    Polynomial::new(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn eval_horner() {
+        let p = Polynomial::new(vec![1.0, -2.0, 3.0]); // 1 - 2x + 3x^2
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(1.0), 2.0);
+        assert_eq!(p.eval(2.0), 9.0);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn zero_polynomial() {
+        let p = Polynomial::new(vec![]);
+        assert_eq!(p.eval(5.0), 0.0);
+        assert_eq!(p.degree(), 0);
+        assert_eq!(p.derivative().eval(1.0), 0.0);
+    }
+
+    #[test]
+    fn derivative_rules() {
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0, 4.0]); // 1+2x+3x^2+4x^3
+        let d = p.derivative();
+        assert_eq!(d.coeffs(), &[2.0, 6.0, 12.0]);
+        let c = Polynomial::new(vec![7.0]);
+        assert_eq!(c.derivative().coeffs(), &[0.0]);
+    }
+
+    #[test]
+    fn fit_recovers_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let p = fit(&xs, &ys, 1).unwrap();
+        assert_close(p.coeffs()[0], 1.0, 1e-9);
+        assert_close(p.coeffs()[1], 2.0, 1e-9);
+    }
+
+    #[test]
+    fn fit_recovers_quartic_exactly() {
+        // The paper fits 4th-degree polynomials (Fig. 2).
+        let truth = Polynomial::new(vec![3.0, -1.0, 0.5, 0.2, -0.01]);
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| truth.eval(x)).collect();
+        let p = fit(&xs, &ys, 4).unwrap();
+        for (a, b) in p.coeffs().iter().zip(truth.coeffs()) {
+            assert_close(*a, *b, 1e-7);
+        }
+        assert!(p.sse(&xs, &ys) < 1e-12);
+    }
+
+    #[test]
+    fn fit_handles_large_abscissae() {
+        // Frame indices in the thousands, like clip 1's 2504 frames.
+        let xs: Vec<f64> = (2000..2060).map(|i| i as f64).collect();
+        let truth = Polynomial::new(vec![100.0, 0.25]);
+        let ys: Vec<f64> = xs.iter().map(|&x| truth.eval(x)).collect();
+        let p = fit(&xs, &ys, 1).unwrap();
+        // Check predictions, not raw coefficients (cancellation is fine).
+        for &x in &xs {
+            assert_close(p.eval(x), truth.eval(x), 1e-6);
+        }
+    }
+
+    #[test]
+    fn fit_smooths_noise() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        // y = x with deterministic +-0.5 ripple.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let p = fit(&xs, &ys, 1).unwrap();
+        assert_close(p.coeffs()[1], 1.0, 0.01);
+        // Residual must be strictly smaller than a flat fit's.
+        let flat = Polynomial::new(vec![ys.iter().sum::<f64>() / ys.len() as f64]);
+        assert!(p.sse(&xs, &ys) < flat.sse(&xs, &ys));
+    }
+
+    #[test]
+    fn fit_interpolates_with_minimum_samples() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [1.0, 0.0, 5.0];
+        let p = fit(&xs, &ys, 2).unwrap();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            assert_close(p.eval(x), y, 1e-9);
+        }
+    }
+
+    #[test]
+    fn fit_rejects_bad_inputs() {
+        assert!(fit(&[], &[], 1).is_err());
+        assert!(fit(&[1.0, 2.0], &[1.0], 1).is_err());
+        assert!(fit(&[1.0, 2.0], &[1.0, 2.0], 3).is_err());
+    }
+
+    #[test]
+    fn fit_constant_abscissa_is_rank_deficient() {
+        // All x equal: degree-1 fit is underdetermined.
+        let r = fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0], 1);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn fit_degree_zero_is_mean() {
+        let p = fit(&[0.0, 1.0, 2.0], &[3.0, 5.0, 7.0], 0).unwrap();
+        assert_close(p.coeffs()[0], 5.0, 1e-12);
+    }
+
+    #[test]
+    fn compose_affine_identity() {
+        let p = compose_affine(&[1.0, 2.0, 3.0], 1.0, 0.0);
+        assert_eq!(p.coeffs(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn compose_affine_shift() {
+        // q(t)=t^2 with t = x - 1  =>  p(x) = x^2 - 2x + 1.
+        let p = compose_affine(&[0.0, 0.0, 1.0], 1.0, -1.0);
+        assert_eq!(p.coeffs(), &[1.0, -2.0, 1.0]);
+    }
+}

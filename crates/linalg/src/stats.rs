@@ -1,0 +1,299 @@
+//! Descriptive statistics and feature normalization.
+//!
+//! The weighted relevance-feedback baseline (paper §6.2) weights each
+//! feature by the inverse standard deviation of the relevant samples and
+//! then normalizes the weights; the initial heuristic query needs
+//! per-clip min–max feature scaling. Those primitives live here, along
+//! with the covariance matrix used by the PCA classifier.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Arithmetic mean; errors on empty input.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(LinalgError::EmptyInput);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (divides by `n`); errors on empty input.
+///
+/// Population (not sample) variance matches the paper's use: the weights
+/// describe the dispersion of the concrete relevant set, not an estimate
+/// of a larger population.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Minimum and maximum; errors on empty input. NaNs are propagated as-is.
+pub fn min_max(xs: &[f64]) -> Result<(f64, f64)> {
+    if xs.is_empty() {
+        return Err(LinalgError::EmptyInput);
+    }
+    Ok(xs
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        }))
+}
+
+/// Per-column mean of a set of equal-length feature vectors.
+pub fn column_means(rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    if rows.is_empty() {
+        return Err(LinalgError::EmptyInput);
+    }
+    let d = rows[0].len();
+    if rows.iter().any(|r| r.len() != d) {
+        return Err(LinalgError::InvalidArgument(
+            "rows have differing lengths".into(),
+        ));
+    }
+    let mut m = vec![0.0; d];
+    for r in rows {
+        for (acc, &x) in m.iter_mut().zip(r) {
+            *acc += x;
+        }
+    }
+    let n = rows.len() as f64;
+    for v in &mut m {
+        *v /= n;
+    }
+    Ok(m)
+}
+
+/// Per-column population standard deviation.
+pub fn column_std_devs(rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+    let means = column_means(rows)?;
+    let d = means.len();
+    let mut var = vec![0.0; d];
+    for r in rows {
+        for j in 0..d {
+            let e = r[j] - means[j];
+            var[j] += e * e;
+        }
+    }
+    let n = rows.len() as f64;
+    Ok(var.into_iter().map(|v| (v / n).sqrt()).collect())
+}
+
+/// Population covariance matrix of a set of feature vectors (rows =
+/// observations, columns = features).
+pub fn covariance_matrix(rows: &[Vec<f64>]) -> Result<Matrix> {
+    let means = column_means(rows)?;
+    let d = means.len();
+    let mut cov = Matrix::zeros(d, d);
+    for r in rows {
+        for i in 0..d {
+            let di = r[i] - means[i];
+            for j in i..d {
+                let dj = r[j] - means[j];
+                cov[(i, j)] += di * dj;
+            }
+        }
+    }
+    let n = rows.len() as f64;
+    for i in 0..d {
+        for j in i..d {
+            cov[(i, j)] /= n;
+            cov[(j, i)] = cov[(i, j)];
+        }
+    }
+    Ok(cov)
+}
+
+/// Min–max scaler fit on training data, mapping each feature to [0, 1].
+///
+/// Constant features map to 0. Out-of-range values at transform time are
+/// clamped, which keeps the heuristic scores of unseen checkpoints
+/// bounded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxScaler {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler on a set of feature vectors.
+    pub fn fit(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::EmptyInput);
+        }
+        let d = rows[0].len();
+        if rows.iter().any(|r| r.len() != d) {
+            return Err(LinalgError::InvalidArgument(
+                "rows have differing lengths".into(),
+            ));
+        }
+        let mut lo = vec![f64::INFINITY; d];
+        let mut hi = vec![f64::NEG_INFINITY; d];
+        for r in rows {
+            for j in 0..d {
+                lo[j] = lo[j].min(r[j]);
+                hi[j] = hi[j].max(r[j]);
+            }
+        }
+        Ok(MinMaxScaler { lo, hi })
+    }
+
+    /// Feature dimensionality the scaler was fit on.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Scales one feature vector into [0, 1]^d (clamping out-of-range
+    /// values).
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.lo.len());
+        x.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .map(|(&v, (&lo, &hi))| {
+                let span = hi - lo;
+                if span <= 0.0 {
+                    0.0
+                } else {
+                    ((v - lo) / span).clamp(0.0, 1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Scales a batch of feature vectors.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+/// Z-score scaler fit on training data: each feature is mapped to
+/// `(x - mean) / std`. Constant features map to 0.
+///
+/// Compared to [`MinMaxScaler`], standardization is robust to a single
+/// extreme outlier compressing everything else toward zero, which
+/// matters for heavy-tailed features like the inverse vehicle distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler on a set of feature vectors.
+    pub fn fit(rows: &[Vec<f64>]) -> Result<Self> {
+        let mean = column_means(rows)?;
+        let mut std = column_std_devs(rows)?;
+        for s in &mut std {
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Ok(StandardScaler { mean, std })
+    }
+
+    /// Feature dimensionality the scaler was fit on.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardizes one feature vector.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.mean.len());
+        x.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardizes a batch.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_stats() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs).unwrap(), 5.0);
+        assert_eq!(variance(&xs).unwrap(), 4.0);
+        assert_eq!(std_dev(&xs).unwrap(), 2.0);
+        assert_eq!(min_max(&xs).unwrap(), (2.0, 9.0));
+        assert!(mean(&[]).is_err());
+        assert!(min_max(&[]).is_err());
+    }
+
+    #[test]
+    fn column_stats() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]];
+        assert_eq!(column_means(&rows).unwrap(), vec![3.0, 10.0]);
+        let sd = column_std_devs(&rows).unwrap();
+        assert!((sd[0] - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(sd[1], 0.0);
+        assert!(column_means(&[]).is_err());
+        assert!(column_means(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn covariance_known_case() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 6.0], vec![5.0, 10.0]];
+        let cov = covariance_matrix(&rows).unwrap();
+        // x has variance 8/3; y = 2x so cov(x,y) = 16/3, var(y) = 32/3.
+        assert!((cov[(0, 0)] - 8.0 / 3.0).abs() < 1e-12);
+        assert!((cov[(0, 1)] - 16.0 / 3.0).abs() < 1e-12);
+        assert!((cov[(1, 0)] - 16.0 / 3.0).abs() < 1e-12);
+        assert!((cov[(1, 1)] - 32.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_is_psd_diagonal_nonneg() {
+        let rows = vec![
+            vec![1.0, -1.0, 0.5],
+            vec![2.0, 0.0, 0.25],
+            vec![0.0, 1.0, -0.5],
+            vec![1.5, 0.5, 0.0],
+        ];
+        let cov = covariance_matrix(&rows).unwrap();
+        for i in 0..3 {
+            assert!(cov[(i, i)] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn minmax_scaler_basic() {
+        let rows = vec![vec![0.0, 100.0], vec![10.0, 200.0]];
+        let s = MinMaxScaler::fit(&rows).unwrap();
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.transform(&[5.0, 150.0]), vec![0.5, 0.5]);
+        assert_eq!(s.transform(&[0.0, 100.0]), vec![0.0, 0.0]);
+        assert_eq!(s.transform(&[10.0, 200.0]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn minmax_scaler_clamps_and_handles_constant() {
+        let rows = vec![vec![1.0, 7.0], vec![3.0, 7.0]];
+        let s = MinMaxScaler::fit(&rows).unwrap();
+        // Out-of-range clamps; constant column maps to 0.
+        assert_eq!(s.transform(&[100.0, 7.0]), vec![1.0, 0.0]);
+        assert_eq!(s.transform(&[-100.0, 9.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn minmax_scaler_batch() {
+        let rows = vec![vec![0.0], vec![2.0]];
+        let s = MinMaxScaler::fit(&rows).unwrap();
+        assert_eq!(s.transform_all(&rows), vec![vec![0.0], vec![1.0]]);
+    }
+
+    #[test]
+    fn minmax_scaler_rejects_bad_input() {
+        assert!(MinMaxScaler::fit(&[]).is_err());
+        assert!(MinMaxScaler::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Free functions over `&[f64]` vectors.
+//!
+//! These are the primitive operations shared by the SVM kernels
+//! (`tsvr-svm`), the trajectory feature pipeline (`tsvr-trajectory`) and
+//! the relevance-feedback scoring code (`tsvr-mil`). They all assume the
+//! two slices have equal length and panic (via `debug_assert!`) otherwise;
+//! the callers guarantee the invariant because feature dimensionality is
+//! fixed per retrieval session.
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between two equal-length slices.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    sq_dist(a, b).sqrt()
+}
+
+/// Manhattan (L1) distance.
+#[inline]
+pub fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
+}
+
+/// `out[i] += s * a[i]` (axpy).
+#[inline]
+pub fn axpy(s: f64, a: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), out.len());
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o += s * x;
+    }
+}
+
+/// Scales a vector in place.
+#[inline]
+pub fn scale_in_place(a: &mut [f64], s: f64) {
+    for x in a {
+        *x *= s;
+    }
+}
+
+/// Elementwise weighted squared distance `sum_i w[i] * (a[i]-b[i])^2`.
+///
+/// This is the similarity core of the weighted relevance-feedback
+/// baseline (paper §6.2), where `w` holds the per-feature weights.
+#[inline]
+pub fn weighted_sq_dist(a: &[f64], b: &[f64], w: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), w.len());
+    a.iter()
+        .zip(b)
+        .zip(w)
+        .map(|((&x, &y), &wi)| {
+            let d = x - y;
+            wi * d * d
+        })
+        .sum()
+}
+
+/// Sum of all elements.
+#[inline]
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Index and value of the maximum element; `None` for an empty slice.
+/// NaN entries are skipped.
+pub fn argmax(a: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best
+}
+
+/// Index and value of the minimum element; `None` for an empty slice.
+/// NaN entries are skipped.
+pub fn argmin(a: &[f64]) -> Option<(usize, f64)> {
+    argmax(&a.iter().map(|&x| -x).collect::<Vec<_>>()).map(|(i, v)| (i, -v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(sq_dist(&a, &b), 25.0);
+        assert_eq!(dist(&a, &b), 5.0);
+        assert_eq!(l1_dist(&a, &b), 7.0);
+        assert_eq!(dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut out = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut out);
+        assert_eq!(out, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_works() {
+        let mut a = vec![1.0, -2.0];
+        scale_in_place(&mut a, -0.5);
+        assert_eq!(a, vec![-0.5, 1.0]);
+    }
+
+    #[test]
+    fn weighted_distance() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 2.0];
+        // weight 0 eliminates the feature, as the paper observes for
+        // linearly normalized weights.
+        assert_eq!(weighted_sq_dist(&a, &b, &[0.0, 1.0]), 4.0);
+        assert_eq!(weighted_sq_dist(&a, &b, &[1.0, 1.0]), 5.0);
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some((1, 3.0)));
+        assert_eq!(argmin(&[1.0, 3.0, 2.0]), Some((0, 1.0)));
+        assert_eq!(argmax(&[]), None);
+        // NaN skipped
+        assert_eq!(argmax(&[f64::NAN, 2.0]), Some((1, 2.0)));
+        // ties resolve to the first occurrence
+        assert_eq!(argmax(&[2.0, 2.0]), Some((0, 2.0)));
+    }
+
+    #[test]
+    fn sum_works() {
+        assert_eq!(sum(&[1.5, 2.5]), 4.0);
+        assert_eq!(sum(&[]), 0.0);
+    }
+}

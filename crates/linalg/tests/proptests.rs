@@ -1,0 +1,178 @@
+//! Property-based tests for the numerical kernels.
+
+use proptest::prelude::*;
+use tsvr_linalg::decomp::{solve, solve_least_squares, Cholesky, Lu};
+use tsvr_linalg::eigen::symmetric_eigen;
+use tsvr_linalg::polyfit;
+use tsvr_linalg::stats::{covariance_matrix, MinMaxScaler};
+use tsvr_linalg::{vecops, Matrix};
+
+/// Strategy: a well-conditioned square matrix built as (diagonally
+/// dominant) = random entries plus a large diagonal boost.
+fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let mut m = Matrix::from_vec(n, n, data).unwrap();
+        for i in 0..n {
+            m[(i, i)] += n as f64 + 1.0;
+        }
+        m
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, n)
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_residual_small((a, b) in dominant_matrix(4).prop_flat_map(|a| (Just(a), vector(4)))) {
+        let x = solve(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(&b) {
+            prop_assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn lu_inverse_roundtrip(a in dominant_matrix(3)) {
+        let inv = Lu::factorize(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        prop_assert!(prod.approx_eq(&Matrix::identity(3), 1e-8));
+    }
+
+    #[test]
+    fn qr_least_squares_residual_orthogonal(
+        cols in prop::collection::vec(vector(6), 2),
+        b in vector(6),
+    ) {
+        // Build a 6x3 design with an intercept column to guarantee rank
+        // issues are rare; skip degenerate draws.
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![1.0, cols[0][i], cols[1][i]])
+            .collect();
+        let a = Matrix::from_rows(&rows).unwrap();
+        if let Ok(x) = solve_least_squares(&a, &b) {
+            let ax = a.matvec(&x).unwrap();
+            let r: Vec<f64> = b.iter().zip(&ax).map(|(&bi, &axi)| bi - axi).collect();
+            let atr = a.transpose().matvec(&r).unwrap();
+            let scale = 1.0 + a.max_abs() * vecops::norm2(&b);
+            for v in atr {
+                prop_assert!(v.abs() < 1e-6 * scale, "A^T r = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_matches_lu_on_spd(a in dominant_matrix(4), b in vector(4)) {
+        // Make SPD: S = A A^T + I (dominant A keeps it well conditioned).
+        let s = a.matmul(&a.transpose()).unwrap().add(&Matrix::identity(4)).unwrap();
+        let x1 = Cholesky::factorize(&s).unwrap().solve(&b).unwrap();
+        let x2 = solve(&s, &b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(a in dominant_matrix(4)) {
+        let s = a.matmul(&a.transpose()).unwrap();
+        let e = symmetric_eigen(&s).unwrap();
+        // Eigenvalues sorted descending.
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        // Orthonormal vectors.
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        prop_assert!(vtv.approx_eq(&Matrix::identity(4), 1e-7));
+        // Reconstruction.
+        let mut d = Matrix::zeros(4, 4);
+        for i in 0..4 { d[(i, i)] = e.values[i]; }
+        let recon = e.vectors.matmul(&d).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        prop_assert!(recon.approx_eq(&s, 1e-6 * (1.0 + s.max_abs())));
+    }
+
+    #[test]
+    fn polyfit_recovers_exact_polynomials(
+        coeffs in prop::collection::vec(-2.0f64..2.0, 1..5),
+        n_extra in 0usize..10,
+    ) {
+        let truth = polyfit::Polynomial::new(coeffs.clone());
+        let degree = coeffs.len() - 1;
+        let n = degree + 1 + n_extra;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| truth.eval(x)).collect();
+        let p = polyfit::fit(&xs, &ys, degree).unwrap();
+        for &x in &xs {
+            let scale = 1.0 + truth.eval(x).abs();
+            prop_assert!((p.eval(x) - truth.eval(x)).abs() < 1e-6 * scale);
+        }
+    }
+
+    #[test]
+    fn polyfit_derivative_matches_finite_difference(
+        coeffs in prop::collection::vec(-2.0f64..2.0, 2..5),
+        x in -3.0f64..3.0,
+    ) {
+        let p = polyfit::Polynomial::new(coeffs);
+        let d = p.derivative();
+        let h = 1e-6;
+        let fd = (p.eval(x + h) - p.eval(x - h)) / (2.0 * h);
+        prop_assert!((d.eval(x) - fd).abs() < 1e-4 * (1.0 + fd.abs()));
+    }
+
+    #[test]
+    fn covariance_diagonal_nonnegative(rows in prop::collection::vec(vector(3), 2..20)) {
+        let cov = covariance_matrix(&rows).unwrap();
+        for i in 0..3 {
+            prop_assert!(cov[(i, i)] >= -1e-12);
+        }
+        // Symmetry.
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((cov[(i, j)] - cov[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_transform_in_unit_box(rows in prop::collection::vec(vector(3), 1..20), probe in vector(3)) {
+        let s = MinMaxScaler::fit(&rows).unwrap();
+        for v in s.transform(&probe) {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        for r in &rows {
+            for v in s.transform(r) {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_associative(a in dominant_matrix(3), b in dominant_matrix(3), c in dominant_matrix(3)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-6 * (1.0 + left.max_abs())));
+    }
+
+    #[test]
+    fn transpose_reverses_product(a in dominant_matrix(3), b in dominant_matrix(3)) {
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn vecops_triangle_inequality(a in vector(4), b in vector(4), c in vector(4)) {
+        let ab = vecops::dist(&a, &b);
+        let bc = vecops::dist(&b, &c);
+        let ac = vecops::dist(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn vecops_cauchy_schwarz(a in vector(5), b in vector(5)) {
+        let d = vecops::dot(&a, &b).abs();
+        let bound = vecops::norm2(&a) * vecops::norm2(&b);
+        prop_assert!(d <= bound + 1e-9);
+    }
+}

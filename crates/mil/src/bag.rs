@@ -1,0 +1,137 @@
+//! Bags and instances for Multiple Instance Learning.
+//!
+//! An [`Instance`] is one Trajectory Sequence: a short sequence of
+//! per-checkpoint feature rows (the paper's `α = [α_1, …, α_n]`). A
+//! [`Bag`] is one Video Sequence holding all the instances whose
+//! vehicles cross that window.
+
+/// One MIL instance: a trajectory sequence inside one window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Caller-defined key (the vehicle track id in the retrieval
+    /// pipeline).
+    pub key: u64,
+    /// Per-checkpoint feature rows, all of equal dimensionality.
+    pub points: Vec<Vec<f64>>,
+}
+
+impl Instance {
+    /// Creates an instance, checking row consistency.
+    pub fn new(key: u64, points: Vec<Vec<f64>>) -> Instance {
+        assert!(!points.is_empty(), "instance needs at least one point");
+        let d = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == d),
+            "instance rows have differing dimensions"
+        );
+        Instance { key, points }
+    }
+
+    /// Per-row dimensionality.
+    pub fn dim(&self) -> usize {
+        self.points[0].len()
+    }
+
+    /// The flat feature vector: concatenation of all rows (what the
+    /// One-class SVM consumes — paper §5.3 learns "the entire trajectory
+    /// sequence … not only the highest scored sampling point").
+    pub fn concat(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.points.len() * self.dim());
+        for p in &self.points {
+            v.extend_from_slice(p);
+        }
+        v
+    }
+
+    /// The row with the largest squared norm (the "highest scored
+    /// sampling point" used by the initial heuristic).
+    pub fn peak_row(&self) -> &[f64] {
+        self.points
+            .iter()
+            .max_by(|a, b| {
+                let na: f64 = a.iter().map(|x| x * x).sum();
+                let nb: f64 = b.iter().map(|x| x * x).sum();
+                na.partial_cmp(&nb).unwrap()
+            })
+            .expect("instance has points")
+    }
+}
+
+/// One MIL bag: a video sequence with its contained instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bag {
+    /// Dense bag index within the dataset (used as the feedback key).
+    pub id: usize,
+    /// The instances contained in the bag.
+    pub instances: Vec<Instance>,
+}
+
+impl Bag {
+    /// Creates a bag.
+    pub fn new(id: usize, instances: Vec<Instance>) -> Bag {
+        Bag { id, instances }
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the bag has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::new(
+            7,
+            vec![
+                vec![0.1, 0.0, 0.0],
+                vec![0.0, 0.9, 0.2],
+                vec![0.0, 0.1, 0.0],
+            ],
+        )
+    }
+
+    #[test]
+    fn instance_dim_and_concat() {
+        let i = inst();
+        assert_eq!(i.dim(), 3);
+        let c = i.concat();
+        assert_eq!(c.len(), 9);
+        assert_eq!(c[0], 0.1);
+        assert_eq!(c[4], 0.9);
+    }
+
+    #[test]
+    fn peak_row_is_max_norm() {
+        let i = inst();
+        assert_eq!(i.peak_row(), &[0.0, 0.9, 0.2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_instance_panics() {
+        let _ = Instance::new(1, vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_instance_panics() {
+        let _ = Instance::new(1, vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn bag_basics() {
+        let b = Bag::new(3, vec![inst(), inst()]);
+        assert_eq!(b.id, 3);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert!(Bag::new(0, vec![]).is_empty());
+    }
+}

@@ -1,0 +1,430 @@
+//! Diverse Density and EM-DD reference baselines.
+//!
+//! The paper's literature review (§2.1) anchors its MIL mapping against
+//! the classic MIL algorithms: Maron & Lozano-Pérez's Diverse Density
+//! \[6\] and Zhang & Goldman's EM-DD \[7\]. They are implemented here as
+//! additional [`Learner`]s so the experiment harness can compare the
+//! paper's One-class-SVM approach against the methods it cites.
+//!
+//! Both learn a single *concept point* `t` in instance-feature space:
+//!
+//! * **DD** maximizes the diverse density
+//!   `Π_{pos bags} P(t|B) · Π_{neg bags} (1 − P(t|B))` with the noisy-or
+//!   bag model `P(t|B) = 1 − Π_j (1 − exp(−s‖x_j − t‖²))`, by gradient
+//!   ascent from every positive instance (the standard multi-start
+//!   scheme).
+//! * **EM-DD** alternates picking the best instance per positive bag
+//!   (E-step) with re-estimating `t` as the mean of the picked
+//!   instances (simplified M-step; the original optimizes a Gaussian
+//!   likelihood, for which the mean is the closed-form optimum when
+//!   scales are fixed).
+//!
+//! Bags are scored by `max_j exp(−s‖x_j − t‖²)`.
+
+use crate::bag::Bag;
+use crate::session::Learner;
+use std::collections::HashSet;
+use tsvr_linalg::vecops;
+
+/// Shared bag-probability model.
+fn instance_prob(x: &[f64], t: &[f64], scale: f64) -> f64 {
+    (-scale * vecops::sq_dist(x, t)).exp()
+}
+
+fn bag_prob(bag: &[Vec<f64>], t: &[f64], scale: f64) -> f64 {
+    let mut not_any = 1.0;
+    for x in bag {
+        not_any *= 1.0 - instance_prob(x, t, scale);
+    }
+    1.0 - not_any
+}
+
+/// Negative log diverse density (lower is better).
+fn nldd(pos: &[Vec<Vec<f64>>], neg: &[Vec<Vec<f64>>], t: &[f64], scale: f64) -> f64 {
+    const EPS: f64 = 1e-12;
+    let mut nll = 0.0;
+    for b in pos {
+        nll -= bag_prob(b, t, scale).max(EPS).ln();
+    }
+    for b in neg {
+        nll -= (1.0 - bag_prob(b, t, scale)).max(EPS).ln();
+    }
+    nll
+}
+
+/// Gradient of the negative log diverse density w.r.t. `t`.
+fn nldd_grad(pos: &[Vec<Vec<f64>>], neg: &[Vec<Vec<f64>>], t: &[f64], scale: f64) -> Vec<f64> {
+    const EPS: f64 = 1e-12;
+    let d = t.len();
+    let mut grad = vec![0.0; d];
+    // d P(B)/dt = Σ_j [Π_{k≠j} (1 - p_k)] · dp_j/dt,
+    // dp_j/dt = p_j · 2s (x_j - t).
+    let mut accumulate = |bag: &Vec<Vec<f64>>, sign: f64, denom: f64| {
+        // Products excluding one factor, computed via the full product
+        // over (1 - p_k) divided out (guarded for p_k ≈ 1).
+        let ps: Vec<f64> = bag.iter().map(|x| instance_prob(x, t, scale)).collect();
+        for (j, x) in bag.iter().enumerate() {
+            let mut others = 1.0;
+            for (k, &p) in ps.iter().enumerate() {
+                if k != j {
+                    others *= 1.0 - p;
+                }
+            }
+            let coeff = sign * others * ps[j] * 2.0 * scale / denom;
+            for i in 0..d {
+                grad[i] += coeff * (t[i] - x[i]);
+            }
+        }
+    };
+    for b in pos {
+        // d(-ln P)/dt = -(dP/dt)/P ; dP/dt has a minus sign through
+        // (t - x), folded into `accumulate`'s sign convention.
+        let p = bag_prob(b, t, scale).max(EPS);
+        accumulate(b, 1.0, p);
+    }
+    for b in neg {
+        let q = (1.0 - bag_prob(b, t, scale)).max(EPS);
+        accumulate(b, -1.0, q);
+    }
+    grad
+}
+
+/// Maron & Lozano-Pérez Diverse Density learner.
+#[derive(Debug, Clone)]
+pub struct DiverseDensityLearner {
+    /// Distance scale `s` in the instance probability.
+    pub scale: f64,
+    /// Gradient-descent steps per start.
+    pub steps: usize,
+    /// Gradient step size.
+    pub learning_rate: f64,
+    positives: Vec<Vec<Vec<f64>>>,
+    negatives: Vec<Vec<Vec<f64>>>,
+    seen: HashSet<usize>,
+    concept: Option<Vec<f64>>,
+}
+
+impl DiverseDensityLearner {
+    /// Creates a DD learner with sensible defaults for unit-scaled
+    /// features.
+    pub fn new(scale: f64) -> Self {
+        DiverseDensityLearner {
+            scale,
+            steps: 60,
+            learning_rate: 0.05,
+            positives: Vec::new(),
+            negatives: Vec::new(),
+            seen: HashSet::new(),
+            concept: None,
+        }
+    }
+
+    /// The learned concept point, if trained.
+    pub fn concept(&self) -> Option<&[f64]> {
+        self.concept.as_deref()
+    }
+
+    fn retrain(&mut self) {
+        if self.positives.is_empty() {
+            return;
+        }
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        // Multi-start: every instance of every positive bag.
+        for bag in &self.positives {
+            for start in bag {
+                let mut t = start.clone();
+                for _ in 0..self.steps {
+                    let g = nldd_grad(&self.positives, &self.negatives, &t, self.scale);
+                    for (ti, gi) in t.iter_mut().zip(&g) {
+                        *ti -= self.learning_rate * gi;
+                    }
+                }
+                let obj = nldd(&self.positives, &self.negatives, &t, self.scale);
+                if best.as_ref().map(|(b, _)| obj < *b).unwrap_or(true) {
+                    best = Some((obj, t));
+                }
+            }
+        }
+        self.concept = best.map(|(_, t)| t);
+    }
+}
+
+impl Learner for DiverseDensityLearner {
+    fn learn(&mut self, bags: &[Bag], feedback: &[(usize, bool)]) {
+        for &(bag_id, relevant) in feedback {
+            if !self.seen.insert(bag_id) {
+                continue;
+            }
+            let Some(bag) = bags.iter().find(|b| b.id == bag_id) else {
+                continue;
+            };
+            let instances: Vec<Vec<f64>> = bag.instances.iter().map(|i| i.concat()).collect();
+            if relevant {
+                self.positives.push(instances);
+            } else {
+                self.negatives.push(instances);
+            }
+        }
+        self.retrain();
+    }
+
+    fn score(&self, bag: &Bag) -> f64 {
+        match &self.concept {
+            Some(t) => bag
+                .instances
+                .iter()
+                .map(|i| instance_prob(&i.concat(), t, self.scale))
+                .fold(f64::NEG_INFINITY, f64::max),
+            None => crate::heuristic::bag_score(bag),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DiverseDensity"
+    }
+}
+
+/// Zhang & Goldman EM-DD learner (simplified M-step).
+#[derive(Debug, Clone)]
+pub struct EmDdLearner {
+    /// Distance scale `s` in the instance probability.
+    pub scale: f64,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    positives: Vec<Vec<Vec<f64>>>,
+    negatives: Vec<Vec<Vec<f64>>>,
+    seen: HashSet<usize>,
+    concept: Option<Vec<f64>>,
+}
+
+impl EmDdLearner {
+    /// Creates an EM-DD learner.
+    pub fn new(scale: f64) -> Self {
+        EmDdLearner {
+            scale,
+            max_iters: 50,
+            positives: Vec::new(),
+            negatives: Vec::new(),
+            seen: HashSet::new(),
+            concept: None,
+        }
+    }
+
+    /// The learned concept point, if trained.
+    pub fn concept(&self) -> Option<&[f64]> {
+        self.concept.as_deref()
+    }
+
+    fn retrain(&mut self) {
+        if self.positives.is_empty() {
+            return;
+        }
+        // Start from the instance with the best diverse density.
+        let mut t = {
+            let mut best: Option<(f64, Vec<f64>)> = None;
+            for bag in &self.positives {
+                for x in bag {
+                    let obj = nldd(&self.positives, &self.negatives, x, self.scale);
+                    if best.as_ref().map(|(b, _)| obj < *b).unwrap_or(true) {
+                        best = Some((obj, x.clone()));
+                    }
+                }
+            }
+            best.unwrap().1
+        };
+
+        let mut prev_selection: Option<Vec<usize>> = None;
+        for _ in 0..self.max_iters {
+            // E-step: the most concept-like instance per positive bag.
+            let selection: Vec<usize> = self
+                .positives
+                .iter()
+                .map(|bag| {
+                    (0..bag.len())
+                        .min_by(|&a, &b| {
+                            vecops::sq_dist(&bag[a], &t)
+                                .partial_cmp(&vecops::sq_dist(&bag[b], &t))
+                                .unwrap()
+                        })
+                        .unwrap()
+                })
+                .collect();
+            if prev_selection.as_ref() == Some(&selection) {
+                break;
+            }
+            // M-step: mean of the selected instances.
+            let d = t.len();
+            let mut mean = vec![0.0; d];
+            for (bag, &j) in self.positives.iter().zip(&selection) {
+                for (m, &x) in mean.iter_mut().zip(&bag[j]) {
+                    *m += x;
+                }
+            }
+            for m in &mut mean {
+                *m /= self.positives.len() as f64;
+            }
+            t = mean;
+            prev_selection = Some(selection);
+        }
+        self.concept = Some(t);
+    }
+}
+
+impl Learner for EmDdLearner {
+    fn learn(&mut self, bags: &[Bag], feedback: &[(usize, bool)]) {
+        for &(bag_id, relevant) in feedback {
+            if !self.seen.insert(bag_id) {
+                continue;
+            }
+            let Some(bag) = bags.iter().find(|b| b.id == bag_id) else {
+                continue;
+            };
+            let instances: Vec<Vec<f64>> = bag.instances.iter().map(|i| i.concat()).collect();
+            if relevant {
+                self.positives.push(instances);
+            } else {
+                self.negatives.push(instances);
+            }
+        }
+        self.retrain();
+    }
+
+    fn score(&self, bag: &Bag) -> f64 {
+        match &self.concept {
+            Some(t) => bag
+                .instances
+                .iter()
+                .map(|i| instance_prob(&i.concat(), t, self.scale))
+                .fold(f64::NEG_INFINITY, f64::max),
+            None => crate::heuristic::bag_score(bag),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "EM-DD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag::Instance;
+
+    /// Positive bags share a concept instance near `c`; every bag also
+    /// carries background instances near the origin.
+    fn dataset(c: &[f64]) -> (Vec<Bag>, Vec<(usize, bool)>) {
+        let mut bags = Vec::new();
+        let mut fb = Vec::new();
+        for i in 0..6 {
+            let j = i as f64 * 0.01;
+            let bg = Instance::new(0, vec![vec![0.05 + j, 0.02, 0.0]]);
+            let hot = Instance::new(1, vec![vec![c[0] + j, c[1] - j, c[2]]]);
+            let positive = i % 2 == 0;
+            let instances = if positive { vec![bg, hot] } else { vec![bg] };
+            bags.push(Bag::new(i, instances));
+            fb.push((i, positive));
+        }
+        (bags, fb)
+    }
+
+    const CONCEPT: [f64; 3] = [0.7, 0.8, 0.5];
+
+    #[test]
+    fn dd_finds_the_shared_concept() {
+        let (bags, fb) = dataset(&CONCEPT);
+        let mut l = DiverseDensityLearner::new(4.0);
+        l.learn(&bags, &fb);
+        let t = l.concept().expect("trained");
+        let d = vecops::dist(t, &CONCEPT);
+        assert!(d < 0.15, "concept off by {d}: {t:?}");
+    }
+
+    #[test]
+    fn dd_ranks_concept_bags_higher() {
+        let (bags, fb) = dataset(&CONCEPT);
+        let mut l = DiverseDensityLearner::new(4.0);
+        l.learn(&bags, &fb);
+        let hot = Bag::new(100, vec![Instance::new(0, vec![vec![0.7, 0.8, 0.5]])]);
+        let cold = Bag::new(101, vec![Instance::new(0, vec![vec![0.05, 0.0, 0.0]])]);
+        assert!(l.score(&hot) > l.score(&cold));
+    }
+
+    #[test]
+    fn dd_untrained_falls_back_to_heuristic() {
+        let l = DiverseDensityLearner::new(4.0);
+        let hot = Bag::new(0, vec![Instance::new(0, vec![vec![0.9, 0.9, 0.9]])]);
+        let cold = Bag::new(1, vec![Instance::new(0, vec![vec![0.0, 0.0, 0.0]])]);
+        assert!(l.score(&hot) > l.score(&cold));
+        assert!(l.concept().is_none());
+    }
+
+    #[test]
+    fn emdd_finds_the_shared_concept() {
+        let (bags, fb) = dataset(&CONCEPT);
+        let mut l = EmDdLearner::new(4.0);
+        l.learn(&bags, &fb);
+        let t = l.concept().expect("trained");
+        let d = vecops::dist(t, &CONCEPT);
+        assert!(d < 0.1, "concept off by {d}: {t:?}");
+    }
+
+    #[test]
+    fn emdd_selection_converges() {
+        let (bags, fb) = dataset(&CONCEPT);
+        let mut l = EmDdLearner::new(4.0);
+        l.learn(&bags, &fb);
+        // Re-training on the same data must be stable.
+        let t1 = l.concept().unwrap().to_vec();
+        l.retrain();
+        let t2 = l.concept().unwrap();
+        assert!(vecops::dist(&t1, t2) < 1e-9);
+    }
+
+    #[test]
+    fn negative_only_feedback_trains_nothing() {
+        let (bags, _) = dataset(&CONCEPT);
+        let mut dd = DiverseDensityLearner::new(4.0);
+        let mut em = EmDdLearner::new(4.0);
+        let neg_fb: Vec<(usize, bool)> = (0..bags.len()).map(|i| (i, false)).collect();
+        dd.learn(&bags, &neg_fb);
+        em.learn(&bags, &neg_fb);
+        assert!(dd.concept().is_none());
+        assert!(em.concept().is_none());
+    }
+
+    #[test]
+    fn bag_prob_is_noisy_or() {
+        let bag = vec![vec![0.0, 0.0], vec![1.0, 0.0]];
+        let t = [0.0, 0.0];
+        let p = bag_prob(&bag, &t, 1.0);
+        let p1 = instance_prob(&bag[0], &t, 1.0);
+        let p2 = instance_prob(&bag[1], &t, 1.0);
+        assert!((p - (1.0 - (1.0 - p1) * (1.0 - p2))).abs() < 1e-12);
+        assert!(p >= p1.max(p2));
+    }
+
+    #[test]
+    fn gradient_points_downhill() {
+        let (bags, fb) = dataset(&CONCEPT);
+        let mut l = DiverseDensityLearner::new(4.0);
+        l.learn(&bags, &fb);
+        // Finite-difference check at a probe point.
+        let pos = &l.positives;
+        let neg = &l.negatives;
+        let t = vec![0.4, 0.4, 0.4];
+        let g = nldd_grad(pos, neg, &t, 4.0);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut tp = t.clone();
+            tp[i] += h;
+            let mut tm = t.clone();
+            tm[i] -= h;
+            let fd = (nldd(pos, neg, &tp, 4.0) - nldd(pos, neg, &tm, 4.0)) / (2.0 * h);
+            assert!(
+                (g[i] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                "dim {i}: analytic {} vs fd {fd}",
+                g[i]
+            );
+        }
+    }
+}

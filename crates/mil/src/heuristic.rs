@@ -1,0 +1,94 @@
+//! The initial (feedback-free) query heuristic of §5.3.
+//!
+//! Before any relevance feedback exists, a bag's relevance is scored by
+//! event-specific heuristics: the score of a sampling point is "the
+//! square sum of all the three features in the feature vector
+//! `α_i = [1/mdist_i, vdiff_i, θ_i]`"; a TS scores as its highest
+//! sampling point, and a VS as its highest TS:
+//! `S_v = max(S_T1, …, S_Tn)`, `S_Ti = max(S_a1, …, S_an)`.
+
+use crate::bag::{Bag, Instance};
+
+/// Squared-sum score of one sampling point.
+pub fn point_score(row: &[f64]) -> f64 {
+    row.iter().map(|x| x * x).sum()
+}
+
+/// Score of a trajectory sequence: its best sampling point.
+pub fn instance_score(instance: &Instance) -> f64 {
+    instance
+        .points
+        .iter()
+        .map(|p| point_score(p))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Score of a video sequence: its best trajectory sequence. Empty bags
+/// score `-inf` (they can never be retrieved).
+pub fn bag_score(bag: &Bag) -> f64 {
+    bag.instances
+        .iter()
+        .map(instance_score)
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Index of the highest-scoring instance in a bag, if any.
+pub fn best_instance(bag: &Bag) -> Option<usize> {
+    (0..bag.instances.len()).max_by(|&a, &b| {
+        instance_score(&bag.instances[a])
+            .partial_cmp(&instance_score(&bag.instances[b]))
+            .unwrap()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> Instance {
+        Instance::new(1, vec![vec![0.01, 0.02, 0.0]; 3])
+    }
+
+    fn hot() -> Instance {
+        Instance::new(
+            2,
+            vec![
+                vec![0.0, 0.0, 0.0],
+                vec![0.3, 0.9, 0.8], // accident checkpoint
+                vec![0.1, 0.1, 0.0],
+            ],
+        )
+    }
+
+    #[test]
+    fn point_score_is_square_sum() {
+        assert!((point_score(&[0.3, 0.9, 0.8]) - (0.09 + 0.81 + 0.64)).abs() < 1e-12);
+        assert_eq!(point_score(&[]), 0.0);
+    }
+
+    #[test]
+    fn instance_takes_max_point() {
+        assert!((instance_score(&hot()) - 1.54).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bag_takes_max_instance() {
+        let b = Bag::new(0, vec![quiet(), hot()]);
+        assert!((bag_score(&b) - 1.54).abs() < 1e-12);
+        assert_eq!(best_instance(&b), Some(1));
+    }
+
+    #[test]
+    fn hot_bag_outranks_quiet_bag() {
+        let hot_bag = Bag::new(0, vec![quiet(), hot()]);
+        let quiet_bag = Bag::new(1, vec![quiet(), quiet()]);
+        assert!(bag_score(&hot_bag) > bag_score(&quiet_bag));
+    }
+
+    #[test]
+    fn empty_bag_scores_neg_infinity() {
+        let b = Bag::new(0, vec![]);
+        assert_eq!(bag_score(&b), f64::NEG_INFINITY);
+        assert_eq!(best_instance(&b), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! Retrieval metrics.
+//!
+//! The paper's headline measure is *accuracy*: "the percentage of all
+//! the 'relevant' VSs within the top n (e.g. n=20) returned VSs"
+//! (§6.2) — chosen because the total number of correct results is
+//! unknown to a deployed system. With simulated ground truth we can
+//! additionally report precision/recall and average precision.
+
+/// Accuracy@n: fraction of the top-`n` ranked bags that are relevant.
+///
+/// When fewer than `n` bags exist, the denominator stays `n` (matching
+/// the paper's fixed-size result page).
+pub fn accuracy_at(ranking: &[usize], labels: &[bool], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let hits = ranking
+        .iter()
+        .take(n)
+        .filter(|&&b| labels.get(b).copied().unwrap_or(false))
+        .count();
+    hits as f64 / n as f64
+}
+
+/// Recall@n: fraction of all relevant bags that appear in the top `n`.
+pub fn recall_at(ranking: &[usize], labels: &[bool], n: usize) -> f64 {
+    let total_relevant = labels.iter().filter(|&&l| l).count();
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let hits = ranking
+        .iter()
+        .take(n)
+        .filter(|&&b| labels.get(b).copied().unwrap_or(false))
+        .count();
+    hits as f64 / total_relevant as f64
+}
+
+/// Average precision over the full ranking.
+pub fn average_precision(ranking: &[usize], labels: &[bool]) -> f64 {
+    let total_relevant = labels.iter().filter(|&&l| l).count();
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, &b) in ranking.iter().enumerate() {
+        if labels.get(b).copied().unwrap_or(false) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total_relevant as f64
+}
+
+/// The best achievable accuracy@n given the number of relevant bags
+/// (the ceiling the paper's curves saturate against).
+pub fn accuracy_ceiling(labels: &[bool], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let total_relevant = labels.iter().filter(|&&l| l).count();
+    (total_relevant.min(n)) as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Vec<bool> {
+        // Bags 0, 2, 5 are relevant.
+        vec![true, false, true, false, false, true, false, false]
+    }
+
+    #[test]
+    fn accuracy_counts_top_n_hits() {
+        let l = labels();
+        assert_eq!(accuracy_at(&[0, 2, 5, 1], &l, 3), 1.0);
+        assert_eq!(accuracy_at(&[1, 3, 4, 0], &l, 3), 0.0);
+        assert_eq!(accuracy_at(&[0, 1, 2, 3], &l, 4), 0.5);
+    }
+
+    #[test]
+    fn accuracy_denominator_is_n() {
+        let l = labels();
+        // Only 2 results returned but n = 4: the empty slots count
+        // against accuracy, like a half-empty result page.
+        assert_eq!(accuracy_at(&[0, 2], &l, 4), 0.5);
+        assert_eq!(accuracy_at(&[], &l, 4), 0.0);
+        assert_eq!(accuracy_at(&[0], &l, 0), 0.0);
+    }
+
+    #[test]
+    fn recall_uses_total_relevant() {
+        let l = labels();
+        assert_eq!(recall_at(&[0, 2, 1, 3], &l, 2), 2.0 / 3.0);
+        assert_eq!(recall_at(&[0, 2, 5], &l, 3), 1.0);
+        assert_eq!(recall_at(&[0], &[false; 5], 1), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_ranking() {
+        let l = labels();
+        let ap = average_precision(&[0, 2, 5, 1, 3, 4, 6, 7], &l);
+        assert!((ap - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_worst_ranking() {
+        let l = labels();
+        let ap = average_precision(&[1, 3, 4, 6, 7, 0, 2, 5], &l);
+        // Hits at positions 6,7,8: AP = (1/6 + 2/7 + 3/8)/3.
+        let want = (1.0 / 6.0 + 2.0 / 7.0 + 3.0 / 8.0) / 3.0;
+        assert!((ap - want).abs() < 1e-12);
+        assert!(ap < 0.5);
+    }
+
+    #[test]
+    fn ceiling_reflects_scarcity() {
+        let l = labels(); // 3 relevant
+        assert_eq!(accuracy_ceiling(&l, 20), 3.0 / 20.0);
+        assert_eq!(accuracy_ceiling(&l, 2), 1.0);
+        assert_eq!(accuracy_ceiling(&l, 0), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_bags_count_as_irrelevant() {
+        let l = labels();
+        assert_eq!(accuracy_at(&[100, 101], &l, 2), 0.0);
+    }
+}

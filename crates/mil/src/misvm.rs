@@ -1,0 +1,270 @@
+//! MI-SVM (Andrews, Tsochantaridis & Hofmann, NIPS 2003 — the paper's
+//! reference \[16\]).
+//!
+//! The maximum-pattern-margin formulation solved by the standard
+//! alternating heuristic:
+//!
+//! 1. initialize each positive bag's *witness* as its heuristically
+//!    best instance;
+//! 2. train a binary C-SVM on {witnesses} vs {all instances of negative
+//!    bags};
+//! 3. re-select each positive bag's witness as its highest-decision
+//!    instance;
+//! 4. repeat until the witness selection stabilizes.
+//!
+//! Bags are scored by the maximum decision value over their instances —
+//! the same MIL max-rule the one-class learner uses, which makes the two
+//! directly comparable in the experiment harness. Unlike the paper's
+//! one-class method, MI-SVM *requires* negative bags, so in early rounds
+//! with few irrelevant labels it can be under-constrained.
+
+use crate::bag::Bag;
+use crate::heuristic;
+use crate::session::Learner;
+use std::collections::HashSet;
+use tsvr_svm::{Kernel, Svc, SvcModel};
+
+/// The MI-SVM learner.
+#[derive(Debug, Clone)]
+pub struct MiSvmLearner {
+    /// Kernel for the inner binary SVM.
+    pub kernel: Kernel,
+    /// Soft-margin penalty.
+    pub c: f64,
+    /// Maximum witness-reselection iterations.
+    pub max_outer_iters: usize,
+    positives: Vec<Vec<Vec<f64>>>,
+    negatives: Vec<Vec<Vec<f64>>>,
+    seen: HashSet<usize>,
+    model: Option<SvcModel>,
+}
+
+impl MiSvmLearner {
+    /// Creates a learner with the given kernel and C.
+    pub fn new(kernel: Kernel, c: f64) -> MiSvmLearner {
+        MiSvmLearner {
+            kernel,
+            c,
+            max_outer_iters: 20,
+            positives: Vec::new(),
+            negatives: Vec::new(),
+            seen: HashSet::new(),
+            model: None,
+        }
+    }
+
+    /// The trained inner SVM, if any.
+    pub fn model(&self) -> Option<&SvcModel> {
+        self.model.as_ref()
+    }
+
+    fn retrain(&mut self) {
+        if self.positives.is_empty() || self.negatives.is_empty() {
+            return; // under-constrained: keep the previous model
+        }
+        let neg_instances: Vec<Vec<f64>> = self
+            .negatives
+            .iter()
+            .flat_map(|b| b.iter().cloned())
+            .collect();
+
+        // Initial witnesses: the instance with the largest squared norm
+        // (the heuristic peak) of each positive bag.
+        let mut witnesses: Vec<usize> = self
+            .positives
+            .iter()
+            .map(|bag| {
+                (0..bag.len())
+                    .max_by(|&a, &b| {
+                        let na: f64 = bag[a].iter().map(|x| x * x).sum();
+                        let nb: f64 = bag[b].iter().map(|x| x * x).sum();
+                        na.partial_cmp(&nb).unwrap()
+                    })
+                    .unwrap_or(0)
+            })
+            .collect();
+
+        let mut model = None;
+        for _ in 0..self.max_outer_iters {
+            let mut data: Vec<Vec<f64>> = witnesses
+                .iter()
+                .zip(&self.positives)
+                .map(|(&w, bag)| bag[w].clone())
+                .collect();
+            let mut labels = vec![true; data.len()];
+            data.extend(neg_instances.iter().cloned());
+            labels.extend(vec![false; neg_instances.len()]);
+
+            let Ok(m) = Svc::new(self.kernel, self.c).fit(&data, &labels) else {
+                break; // degenerate split: keep the last good model
+            };
+
+            // Witness reselection.
+            let new_witnesses: Vec<usize> = self
+                .positives
+                .iter()
+                .map(|bag| {
+                    (0..bag.len())
+                        .max_by(|&a, &b| {
+                            m.decision(&bag[a])
+                                .partial_cmp(&m.decision(&bag[b]))
+                                .unwrap()
+                        })
+                        .unwrap_or(0)
+                })
+                .collect();
+            let stable = new_witnesses == witnesses;
+            witnesses = new_witnesses;
+            model = Some(m);
+            if stable {
+                break;
+            }
+        }
+        if model.is_some() {
+            self.model = model;
+        }
+    }
+}
+
+impl Learner for MiSvmLearner {
+    fn learn(&mut self, bags: &[Bag], feedback: &[(usize, bool)]) {
+        for &(bag_id, relevant) in feedback {
+            if !self.seen.insert(bag_id) {
+                continue;
+            }
+            let Some(bag) = bags.iter().find(|b| b.id == bag_id) else {
+                continue;
+            };
+            let instances: Vec<Vec<f64>> = bag.instances.iter().map(|i| i.concat()).collect();
+            if instances.is_empty() {
+                continue;
+            }
+            if relevant {
+                self.positives.push(instances);
+            } else {
+                self.negatives.push(instances);
+            }
+        }
+        self.retrain();
+    }
+
+    fn score(&self, bag: &Bag) -> f64 {
+        match &self.model {
+            Some(m) => bag
+                .instances
+                .iter()
+                .map(|i| m.decision(&i.concat()))
+                .fold(f64::NEG_INFINITY, f64::max),
+            None => heuristic::bag_score(bag),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "MI-SVM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag::Instance;
+
+    fn bag(id: usize, rows: Vec<Vec<Vec<f64>>>) -> Bag {
+        Bag::new(
+            id,
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, points)| Instance::new(i as u64, points))
+                .collect(),
+        )
+    }
+
+    fn hot(level: f64) -> Vec<Vec<f64>> {
+        vec![vec![level, level * 0.7, 0.1], vec![0.05, 0.0, 0.0]]
+    }
+
+    fn quiet(jit: f64) -> Vec<Vec<f64>> {
+        vec![vec![0.02 + jit, 0.01, 0.0], vec![0.01, 0.02, jit]]
+    }
+
+    fn dataset() -> (Vec<Bag>, Vec<(usize, bool)>) {
+        let mut bags = Vec::new();
+        let mut fb = Vec::new();
+        for i in 0..8 {
+            let j = i as f64 * 0.008;
+            let positive = i % 2 == 0;
+            let instances = if positive {
+                vec![quiet(j), hot(0.75 + j)]
+            } else {
+                vec![quiet(j), quiet(j + 0.004)]
+            };
+            bags.push(bag(i, instances));
+            fb.push((i, positive));
+        }
+        (bags, fb)
+    }
+
+    fn rbf() -> Kernel {
+        Kernel::Rbf { gamma: 4.0 }
+    }
+
+    #[test]
+    fn learns_witnesses_and_separates() {
+        let (bags, fb) = dataset();
+        let mut l = MiSvmLearner::new(rbf(), 10.0);
+        l.learn(&bags, &fb);
+        assert!(l.model().is_some());
+        let hot_bag = bag(100, vec![quiet(0.0), hot(0.77)]);
+        let cold_bag = bag(101, vec![quiet(0.0), quiet(0.001)]);
+        assert!(
+            l.score(&hot_bag) > l.score(&cold_bag),
+            "hot {} vs cold {}",
+            l.score(&hot_bag),
+            l.score(&cold_bag)
+        );
+        assert!(l.score(&hot_bag) > 0.0, "positive bag below the margin");
+        assert!(l.score(&cold_bag) < 0.0, "negative bag above the margin");
+    }
+
+    #[test]
+    fn without_negatives_falls_back_to_heuristic() {
+        let (bags, _) = dataset();
+        let mut l = MiSvmLearner::new(rbf(), 10.0);
+        l.learn(&bags, &[(0, true), (2, true)]);
+        assert!(l.model().is_none());
+        // Heuristic fallback still orders hot above cold.
+        let hot_bag = bag(100, vec![hot(0.8)]);
+        let cold_bag = bag(101, vec![quiet(0.0)]);
+        assert!(l.score(&hot_bag) > l.score(&cold_bag));
+    }
+
+    #[test]
+    fn repeated_feedback_is_idempotent() {
+        let (bags, fb) = dataset();
+        let mut l = MiSvmLearner::new(rbf(), 10.0);
+        l.learn(&bags, &fb);
+        let s1 = l.score(&bags[0]);
+        l.learn(&bags, &fb);
+        let s2 = l.score(&bags[0]);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn witness_is_the_hot_instance() {
+        // After training, the positive bag's max-decision instance must
+        // be the hot one, not the quiet cover.
+        let (bags, fb) = dataset();
+        let mut l = MiSvmLearner::new(rbf(), 10.0);
+        l.learn(&bags, &fb);
+        let m = l.model().unwrap();
+        let b = &bags[0]; // positive: [quiet, hot]
+        let d_quiet = m.decision(&b.instances[0].concat());
+        let d_hot = m.decision(&b.instances[1].concat());
+        assert!(d_hot > d_quiet);
+    }
+
+    #[test]
+    fn reports_name() {
+        assert_eq!(MiSvmLearner::new(rbf(), 1.0).name(), "MI-SVM");
+    }
+}

@@ -1,0 +1,374 @@
+//! The proposed learner: One-class SVM over the trajectory sequences of
+//! relevant bags (paper §5.2–5.3).
+//!
+//! After each feedback round the training set is extended with "the
+//! highest scored TSs in the 'relevant' VSs" (§5.3): for every newly
+//! labeled relevant Video Sequence, its top-scoring Trajectory Sequence
+//! plus any other TS scoring at least `collect_ratio` of the bag's top
+//! score (multi-vehicle accidents contribute several genuinely relevant
+//! TSs; quiet background traffic scores orders of magnitude lower and is
+//! excluded). With `h` relevant VSs contributing `H` collected TSs, at
+//! least one TS per relevant VS is genuinely relevant, so the expected
+//! fraction of mislabeled ("outlier") TSs in the training set is at most
+//! `1 − h/H`; Eq. 9 sets the One-class SVM's outlier parameter to
+//!
+//! ```text
+//! δ = 1 − (h/H + z)
+//! ```
+//!
+//! with a small `z` (0.05 in the paper) absorbing multi-vehicle
+//! accidents, where more than one TS per relevant VS is genuine.
+
+use crate::bag::Bag;
+use crate::heuristic;
+use crate::session::Learner;
+use std::collections::HashSet;
+use tsvr_svm::{Kernel, OneClassModel, OneClassSvm};
+
+/// The One-class-SVM MIL learner.
+#[derive(Debug, Clone)]
+pub struct OcSvmMilLearner {
+    /// Kernel for the One-class SVM (paper: RBF).
+    pub kernel: Kernel,
+    /// When set, an RBF kernel's γ is re-derived from the training set
+    /// at each retraining with the median heuristic:
+    /// `γ = scale / median(‖x_i − x_j‖²)`. The paper does not report its
+    /// kernel width; the median heuristic is the standard way to keep
+    /// the kernel matched to the data's scale as the training set grows.
+    pub adaptive_gamma: Option<f64>,
+    /// The `z` adjustment of Eq. 9 (paper: 0.05).
+    pub z: f64,
+    /// Bounds applied to δ so the SVM stays well-posed.
+    pub delta_clamp: (f64, f64),
+    /// A TS joins the training set when its heuristic score reaches
+    /// this fraction of its bag's top score (1.0 = strictly the single
+    /// best TS per relevant bag).
+    pub collect_ratio: f64,
+    /// Absolute heuristic-score floor for collection. A relevant bag
+    /// whose event vehicle was lost by the tracker contains only quiet
+    /// trajectories; collecting its "best" TS would anchor the one-class
+    /// ball on the quiet cluster and invert the ranking. Such bags
+    /// contribute nothing (and do not count toward `h`).
+    pub min_collect_score: f64,
+    relevant_bags: usize,
+    training: Vec<Vec<f64>>,
+    seen: HashSet<usize>,
+    model: Option<OneClassModel>,
+}
+
+impl OcSvmMilLearner {
+    /// Creates the learner with the paper's defaults (`z = 0.05`).
+    pub fn new(kernel: Kernel) -> OcSvmMilLearner {
+        OcSvmMilLearner {
+            kernel,
+            adaptive_gamma: None,
+            z: 0.05,
+            delta_clamp: (0.02, 0.8),
+            collect_ratio: 0.85,
+            min_collect_score: 0.08,
+            relevant_bags: 0,
+            training: Vec::new(),
+            seen: HashSet::new(),
+            model: None,
+        }
+    }
+
+    /// Sets `z` (builder style).
+    pub fn with_z(mut self, z: f64) -> Self {
+        self.z = z;
+        self
+    }
+
+    /// Enables the training-set median-heuristic γ (re-derived at each
+    /// retraining). The preferred calibration is the *database*-level
+    /// median heuristic computed by the retrieval engine before the
+    /// session (see `tsvr-core`), which also covers unlabeled data.
+    pub fn with_adaptive_gamma(mut self, scale: f64) -> Self {
+        self.adaptive_gamma = Some(scale);
+        self
+    }
+
+    /// The kernel the next training run will use.
+    fn effective_kernel(&self) -> Kernel {
+        match (self.kernel, self.adaptive_gamma) {
+            (Kernel::Rbf { gamma }, Some(scale)) => {
+                let mut dists: Vec<f64> = Vec::new();
+                for (i, a) in self.training.iter().enumerate() {
+                    for b in self.training.iter().skip(i + 1) {
+                        dists.push(tsvr_linalg::vecops::sq_dist(a, b));
+                    }
+                }
+                dists.retain(|d| *d > 1e-12);
+                if dists.is_empty() {
+                    return Kernel::Rbf { gamma };
+                }
+                dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let median = dists[dists.len() / 2];
+                Kernel::Rbf {
+                    gamma: scale / median,
+                }
+            }
+            (k, _) => k,
+        }
+    }
+
+    /// The current Eq. 9 outlier fraction, if any training data exists.
+    pub fn delta(&self) -> Option<f64> {
+        if self.training.is_empty() {
+            return None;
+        }
+        let h = self.relevant_bags as f64;
+        let cap_h = self.training.len() as f64;
+        let raw = 1.0 - (h / cap_h + self.z);
+        Some(raw.clamp(self.delta_clamp.0, self.delta_clamp.1))
+    }
+
+    /// Cumulative training-set size (the paper's `H`).
+    pub fn training_size(&self) -> usize {
+        self.training.len()
+    }
+
+    /// Cumulative relevant-bag count (the paper's `h`).
+    pub fn relevant_bag_count(&self) -> usize {
+        self.relevant_bags
+    }
+
+    /// The trained model, once at least one relevant bag was observed.
+    pub fn model(&self) -> Option<&OneClassModel> {
+        self.model.as_ref()
+    }
+}
+
+impl Learner for OcSvmMilLearner {
+    fn learn(&mut self, bags: &[Bag], feedback: &[(usize, bool)]) {
+        for &(bag_id, relevant) in feedback {
+            if !self.seen.insert(bag_id) {
+                continue; // the user re-confirmed an earlier label
+            }
+            if !relevant {
+                // One-class training uses relevant samples only;
+                // irrelevant TSs are treated as outliers implicitly.
+                continue;
+            }
+            let Some(bag) = bags.iter().find(|b| b.id == bag_id) else {
+                continue;
+            };
+            // Collect the highest-scored TSs of this relevant VS.
+            let scores: Vec<f64> = bag
+                .instances
+                .iter()
+                .map(heuristic::instance_score)
+                .collect();
+            let top = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if top < self.min_collect_score {
+                continue; // event vehicle untracked: unusable feedback
+            }
+            self.relevant_bags += 1;
+            for (inst, &s) in bag.instances.iter().zip(&scores) {
+                if s >= (top * self.collect_ratio).max(self.min_collect_score) {
+                    self.training.push(inst.concat());
+                }
+            }
+        }
+
+        if let Some(delta) = self.delta() {
+            let svm = OneClassSvm::new(self.effective_kernel(), delta);
+            match svm.fit(&self.training) {
+                Ok(m) => self.model = Some(m),
+                Err(_) => {
+                    // Keep the previous model; the session degrades to
+                    // the heuristic ranking rather than panicking.
+                }
+            }
+        }
+    }
+
+    fn score(&self, bag: &Bag) -> f64 {
+        match &self.model {
+            Some(m) => bag
+                .instances
+                .iter()
+                .map(|i| m.decision(&i.concat()))
+                .fold(f64::NEG_INFINITY, f64::max),
+            // Before any relevant feedback, fall back to the initial
+            // heuristic (this matches the session protocol: round 0 is
+            // always the heuristic).
+            None => heuristic::bag_score(bag),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "MIL_OneClassSVM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag::Instance;
+
+    /// A bag whose single instance has the given constant rows.
+    fn bag(id: usize, rows: Vec<Vec<f64>>) -> Bag {
+        Bag::new(id, vec![Instance::new(id as u64, rows)])
+    }
+
+    fn hot_rows(level: f64) -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0, 0.0],
+            vec![level, level * 0.8, level * 0.5],
+            vec![level * 0.2, 0.1, 0.0],
+        ]
+    }
+
+    fn quiet_rows(jitter: f64) -> Vec<Vec<f64>> {
+        vec![
+            vec![0.01 + jitter, 0.0, 0.01],
+            vec![0.02, 0.01 + jitter, 0.0],
+            vec![0.0, 0.02, 0.01],
+        ]
+    }
+
+    fn rbf() -> Kernel {
+        Kernel::Rbf { gamma: 2.0 }
+    }
+
+    #[test]
+    fn delta_matches_equation_nine() {
+        let mut l = OcSvmMilLearner::new(rbf());
+        assert_eq!(l.delta(), None);
+        // Two relevant bags: a single-vehicle accident and a
+        // two-vehicle accident with background traffic.
+        let bags = vec![
+            bag(0, hot_rows(0.9)),
+            Bag::new(
+                1,
+                vec![
+                    Instance::new(10, hot_rows(0.8)),
+                    Instance::new(11, hot_rows(0.78)), // second involved vehicle
+                    Instance::new(12, quiet_rows(0.01)), // bystander, excluded
+                ],
+            ),
+        ];
+        l.learn(&bags, &[(0, true), (1, true)]);
+        assert_eq!(l.relevant_bag_count(), 2);
+        assert_eq!(l.training_size(), 3);
+        // δ = 1 - (2/3 + 0.05) = 0.2833…
+        assert!((l.delta().unwrap() - (1.0 - (2.0 / 3.0 + 0.05))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quiet_instances_excluded_from_training() {
+        let mut l = OcSvmMilLearner::new(rbf());
+        let bags = vec![Bag::new(
+            0,
+            vec![
+                Instance::new(1, hot_rows(0.9)),
+                Instance::new(2, quiet_rows(0.0)),
+                Instance::new(3, quiet_rows(0.02)),
+            ],
+        )];
+        l.learn(&bags, &[(0, true)]);
+        assert_eq!(l.training_size(), 1);
+    }
+
+    #[test]
+    fn delta_clamped_when_all_singletons() {
+        let mut l = OcSvmMilLearner::new(rbf());
+        let bags = vec![bag(0, hot_rows(0.9)), bag(1, hot_rows(0.85))];
+        l.learn(&bags, &[(0, true), (1, true)]);
+        // Raw δ = 1 - (2/2 + 0.05) = -0.05 -> clamped to the floor.
+        assert!((l.delta().unwrap() - 0.02).abs() < 1e-12);
+        assert!(l.model().is_some());
+    }
+
+    #[test]
+    fn irrelevant_feedback_not_added_to_training() {
+        let mut l = OcSvmMilLearner::new(rbf());
+        let bags = vec![bag(0, hot_rows(0.9)), bag(1, quiet_rows(0.0))];
+        l.learn(&bags, &[(0, true), (1, false)]);
+        assert_eq!(l.training_size(), 1);
+        assert_eq!(l.relevant_bag_count(), 1);
+    }
+
+    #[test]
+    fn repeated_feedback_is_idempotent() {
+        let mut l = OcSvmMilLearner::new(rbf());
+        let bags = vec![bag(0, hot_rows(0.9))];
+        l.learn(&bags, &[(0, true)]);
+        l.learn(&bags, &[(0, true)]);
+        assert_eq!(l.training_size(), 1);
+        assert_eq!(l.relevant_bag_count(), 1);
+    }
+
+    #[test]
+    fn scores_follow_heuristic_before_training() {
+        let l = OcSvmMilLearner::new(rbf());
+        let hot = bag(0, hot_rows(0.9));
+        let quiet = bag(1, quiet_rows(0.0));
+        assert!(l.score(&hot) > l.score(&quiet));
+    }
+
+    #[test]
+    fn after_training_relevant_like_bags_score_higher() {
+        let mut l = OcSvmMilLearner::new(rbf());
+        // Train on several hot bags.
+        let train: Vec<Bag> = (0..6)
+            .map(|i| bag(i, hot_rows(0.8 + 0.02 * i as f64)))
+            .collect();
+        let fb: Vec<(usize, bool)> = (0..6).map(|i| (i, true)).collect();
+        l.learn(&train, &fb);
+        assert!(l.model().is_some());
+        let similar = bag(100, hot_rows(0.83));
+        let dissimilar = bag(101, quiet_rows(0.0));
+        assert!(
+            l.score(&similar) > l.score(&dissimilar),
+            "similar {} vs dissimilar {}",
+            l.score(&similar),
+            l.score(&dissimilar)
+        );
+    }
+
+    #[test]
+    fn multi_instance_bag_scored_by_best_instance() {
+        let mut l = OcSvmMilLearner::new(rbf());
+        let train: Vec<Bag> = (0..6).map(|i| bag(i, hot_rows(0.8))).collect();
+        let fb: Vec<(usize, bool)> = (0..6).map(|i| (i, true)).collect();
+        l.learn(&train, &fb);
+        // A bag holding one hot and one quiet instance scores like the
+        // hot one (MIL max rule).
+        let mixed = Bag::new(
+            50,
+            vec![
+                Instance::new(1, quiet_rows(0.0)),
+                Instance::new(2, hot_rows(0.8)),
+            ],
+        );
+        let hot_only = bag(51, hot_rows(0.8));
+        assert!((l.score(&mixed) - l.score(&hot_only)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learner_reports_name() {
+        let l = OcSvmMilLearner::new(rbf());
+        assert_eq!(l.name(), "MIL_OneClassSVM");
+    }
+
+    #[test]
+    fn z_shifts_delta() {
+        let mut a = OcSvmMilLearner::new(rbf()).with_z(0.0);
+        let mut b = OcSvmMilLearner::new(rbf()).with_z(0.2);
+        let bags = vec![Bag::new(
+            0,
+            vec![
+                Instance::new(1, hot_rows(0.9)),
+                Instance::new(2, hot_rows(0.85)),
+            ],
+        )];
+        a.learn(&bags, &[(0, true)]);
+        b.learn(&bags, &[(0, true)]);
+        // Both hot TSs are collected: H = 2, h = 1.
+        // δ_a = 1 - 0.5 = 0.5; δ_b = 1 - 0.7 = 0.3.
+        assert!((a.delta().unwrap() - 0.5).abs() < 1e-12);
+        assert!((b.delta().unwrap() - 0.3).abs() < 1e-12);
+    }
+}

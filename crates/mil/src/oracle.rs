@@ -1,0 +1,142 @@
+//! Relevance oracles.
+//!
+//! In the paper a human inspects each returned Video Sequence and marks
+//! it relevant if it shows the queried event (Fig. 7). For reproducible
+//! experiments the oracle is a function of the ground-truth incident
+//! log: a bag is relevant iff its frame span overlaps an incident of a
+//! queried kind. A noisy wrapper models imperfect users.
+
+/// A source of bag-level relevance labels.
+pub trait Oracle {
+    /// Returns the label for a bag id (true = relevant).
+    fn label(&self, bag_id: usize) -> bool;
+
+    /// Total number of relevant bags known to the oracle (used for
+    /// reporting upper bounds on accuracy@n).
+    fn relevant_count(&self) -> usize;
+}
+
+/// Oracle backed by a precomputed ground-truth label vector.
+#[derive(Debug, Clone)]
+pub struct GroundTruthOracle {
+    labels: Vec<bool>,
+}
+
+impl GroundTruthOracle {
+    /// Creates an oracle from per-bag labels (indexed by bag id).
+    pub fn new(labels: Vec<bool>) -> GroundTruthOracle {
+        GroundTruthOracle { labels }
+    }
+
+    /// The label vector.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+}
+
+impl Oracle for GroundTruthOracle {
+    fn label(&self, bag_id: usize) -> bool {
+        self.labels.get(bag_id).copied().unwrap_or(false)
+    }
+
+    fn relevant_count(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+}
+
+/// Oracle that flips a deterministic pseudo-random subset of labels,
+/// modeling user mistakes at a given error rate.
+#[derive(Debug, Clone)]
+pub struct NoisyOracle {
+    inner: GroundTruthOracle,
+    flipped: Vec<bool>,
+}
+
+impl NoisyOracle {
+    /// Wraps a ground-truth oracle, flipping each label independently
+    /// with probability `error_rate` (deterministic in `seed`).
+    pub fn new(inner: GroundTruthOracle, error_rate: f64, seed: u64) -> NoisyOracle {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let flipped = (0..inner.labels.len())
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                u < error_rate
+            })
+            .collect();
+        NoisyOracle { inner, flipped }
+    }
+}
+
+impl Oracle for NoisyOracle {
+    fn label(&self, bag_id: usize) -> bool {
+        let base = self.inner.label(bag_id);
+        if self.flipped.get(bag_id).copied().unwrap_or(false) {
+            !base
+        } else {
+            base
+        }
+    }
+
+    fn relevant_count(&self) -> usize {
+        (0..self.inner.labels.len())
+            .filter(|&i| self.label(i))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_oracle_reads_labels() {
+        let o = GroundTruthOracle::new(vec![true, false, true]);
+        assert!(o.label(0));
+        assert!(!o.label(1));
+        assert!(o.label(2));
+        assert!(!o.label(99)); // out of range = irrelevant
+        assert_eq!(o.relevant_count(), 2);
+    }
+
+    #[test]
+    fn noiseless_noisy_oracle_matches_inner() {
+        let inner = GroundTruthOracle::new(vec![true, false, true, false]);
+        let o = NoisyOracle::new(inner.clone(), 0.0, 42);
+        for i in 0..4 {
+            assert_eq!(o.label(i), inner.label(i));
+        }
+    }
+
+    #[test]
+    fn full_noise_flips_everything() {
+        let inner = GroundTruthOracle::new(vec![true, false, true, false]);
+        let o = NoisyOracle::new(inner.clone(), 1.0, 42);
+        for i in 0..4 {
+            assert_eq!(o.label(i), !inner.label(i));
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_in_seed() {
+        let inner = GroundTruthOracle::new(vec![true; 100]);
+        let a = NoisyOracle::new(inner.clone(), 0.3, 7);
+        let b = NoisyOracle::new(inner.clone(), 0.3, 7);
+        let c = NoisyOracle::new(inner, 0.3, 8);
+        let la: Vec<bool> = (0..100).map(|i| a.label(i)).collect();
+        let lb: Vec<bool> = (0..100).map(|i| b.label(i)).collect();
+        let lc: Vec<bool> = (0..100).map(|i| c.label(i)).collect();
+        assert_eq!(la, lb);
+        assert_ne!(la, lc);
+    }
+
+    #[test]
+    fn moderate_noise_flips_roughly_expected_fraction() {
+        let inner = GroundTruthOracle::new(vec![true; 1000]);
+        let o = NoisyOracle::new(inner, 0.2, 3);
+        let flipped = (0..1000).filter(|&i| !o.label(i)).count();
+        assert!((120..280).contains(&flipped), "flipped {flipped}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Query by example (paper §7, future work).
+//!
+//! "Currently, the framework only supports the user's query by specified
+//! event types. We will extend this to include query by example …".
+//! Here the user hands the system one or more example Video Sequences
+//! ("find more like this window") instead of naming an event type. The
+//! scorer is a kernel nearest-neighbour over trajectory sequences: a bag
+//! scores as the best kernel similarity between any of its TSs and any
+//! example TS. It also implements [`Learner`], folding later relevance
+//! feedback into the example set, so an example-seeded session runs
+//! through the same protocol as the heuristic-seeded one.
+
+use crate::bag::Bag;
+use crate::heuristic;
+use crate::session::Learner;
+use std::collections::HashSet;
+use tsvr_svm::Kernel;
+
+/// Kernel nearest-neighbour scorer over example trajectory sequences.
+#[derive(Debug, Clone)]
+pub struct QueryByExample {
+    /// Similarity kernel.
+    pub kernel: Kernel,
+    /// How many of a bag's top TSs seed the example set when a bag is
+    /// added (the rest of the bag is usually quiet traffic).
+    pub per_bag: usize,
+    examples: Vec<Vec<f64>>,
+    seen: HashSet<usize>,
+}
+
+impl QueryByExample {
+    /// Creates an empty query (falls back to the heuristic until an
+    /// example is added).
+    pub fn new(kernel: Kernel) -> QueryByExample {
+        QueryByExample {
+            kernel,
+            per_bag: 2,
+            examples: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Seeds the query with an example bag: its highest-scored
+    /// trajectory sequences become exemplars (at most `per_bag`, and
+    /// only those within half of the bag's top score — the example's
+    /// quiet background traffic must not become an exemplar, or every
+    /// quiet window would match the query perfectly).
+    pub fn add_example_bag(&mut self, bag: &Bag) {
+        let mut scored: Vec<(f64, Vec<f64>)> = bag
+            .instances
+            .iter()
+            .map(|i| (heuristic::instance_score(i), i.concat()))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let Some(top) = scored.first().map(|(s, _)| *s) else {
+            return;
+        };
+        for (s, v) in scored.into_iter().take(self.per_bag) {
+            if s >= top * 0.5 {
+                self.examples.push(v);
+            }
+        }
+    }
+
+    /// Seeds the query with a raw feature vector (e.g. from a stored
+    /// session or another clip).
+    pub fn add_example_vector(&mut self, v: Vec<f64>) {
+        self.examples.push(v);
+    }
+
+    /// Number of exemplars currently held.
+    pub fn example_count(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Best kernel similarity between the bag and any exemplar.
+    pub fn similarity(&self, bag: &Bag) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        for inst in &bag.instances {
+            let v = inst.concat();
+            for e in &self.examples {
+                best = best.max(self.kernel.eval(e, &v));
+            }
+        }
+        best
+    }
+}
+
+impl Learner for QueryByExample {
+    fn learn(&mut self, bags: &[Bag], feedback: &[(usize, bool)]) {
+        for &(bag_id, relevant) in feedback {
+            if !self.seen.insert(bag_id) || !relevant {
+                continue;
+            }
+            if let Some(bag) = bags.iter().find(|b| b.id == bag_id) {
+                self.add_example_bag(bag);
+            }
+        }
+    }
+
+    fn score(&self, bag: &Bag) -> f64 {
+        if self.examples.is_empty() {
+            heuristic::bag_score(bag)
+        } else {
+            self.similarity(bag)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "QueryByExample"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag::Instance;
+
+    fn bag(id: usize, hot_level: Option<f64>) -> Bag {
+        let mut instances = vec![Instance::new(
+            0,
+            vec![vec![0.02, 0.01, 0.0], vec![0.01, 0.02, 0.01]],
+        )];
+        if let Some(l) = hot_level {
+            instances.push(Instance::new(
+                1,
+                vec![vec![0.05, l, 0.1], vec![l * 0.4, l * 0.9, 0.0]],
+            ));
+        }
+        Bag::new(id, instances)
+    }
+
+    fn rbf() -> Kernel {
+        Kernel::Rbf { gamma: 4.0 }
+    }
+
+    #[test]
+    fn example_seeding_picks_top_instances() {
+        let mut q = QueryByExample::new(rbf());
+        assert_eq!(q.example_count(), 0);
+        q.add_example_bag(&bag(0, Some(0.8)));
+        // Only the hot instance qualifies; the quiet cover is filtered.
+        assert_eq!(q.example_count(), 1);
+    }
+
+    #[test]
+    fn similar_bags_outrank_dissimilar() {
+        let mut q = QueryByExample::new(rbf());
+        q.add_example_bag(&bag(0, Some(0.8)));
+        let similar = bag(1, Some(0.75));
+        let dissimilar = bag(2, None);
+        assert!(q.score(&similar) > q.score(&dissimilar));
+        // Similarity is bounded by the kernel's K(x,x) = 1.
+        assert!(q.score(&similar) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn empty_query_falls_back_to_heuristic() {
+        let q = QueryByExample::new(rbf());
+        let hot = bag(0, Some(0.9));
+        let cold = bag(1, None);
+        assert!(q.score(&hot) > q.score(&cold));
+    }
+
+    #[test]
+    fn feedback_expands_the_example_set() {
+        let mut q = QueryByExample::new(rbf());
+        q.add_example_bag(&bag(0, Some(0.8)));
+        let n0 = q.example_count();
+        let bags = vec![bag(1, Some(0.5)), bag(2, None)];
+        q.learn(&bags, &[(1, true), (2, false)]);
+        assert!(q.example_count() > n0);
+        let n1 = q.example_count();
+        // Irrelevant feedback adds nothing; repeated feedback ignored.
+        q.learn(&bags, &[(1, true), (2, false)]);
+        assert_eq!(q.example_count(), n1);
+    }
+
+    #[test]
+    fn raw_vector_examples_work() {
+        let mut q = QueryByExample::new(rbf());
+        q.add_example_vector(vec![0.05, 0.8, 0.1, 0.32, 0.72, 0.0]);
+        assert_eq!(q.example_count(), 1);
+        assert!(q.score(&bag(0, Some(0.8))) > q.score(&bag(1, None)));
+    }
+}

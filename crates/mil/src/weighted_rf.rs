@@ -1,0 +1,244 @@
+//! The traditional weighted relevance-feedback baseline (paper §6.2).
+//!
+//! Each of the three α features carries a weight, initially 1 (so the
+//! initial round equals the heuristic query). After feedback, "the
+//! feature vectors of all relevant trajectory sequences are gathered;
+//! the inverse of the standard deviation of each feature is computed and
+//! used as the updated weight". Large raw weights bias the score, so the
+//! paper compares three normalizations and finds the percentage scheme
+//! best:
+//!
+//! * none — raw `1/σ` weights;
+//! * linear — min–max scaled to `[0, 1]` ("a weight that equals zero
+//!   will always eliminate the corresponding feature", the flaw the
+//!   paper observes);
+//! * percentage — `w_i / Σ_j w_j`.
+
+use crate::bag::Bag;
+use crate::session::Learner;
+use std::collections::HashSet;
+use tsvr_linalg::stats::column_std_devs;
+
+/// Weight normalization scheme (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Normalization {
+    /// Raw inverse-σ weights.
+    None,
+    /// Linear min–max normalization to `[0, 1]`.
+    Linear,
+    /// Each weight as its percentage of the total (the paper's best).
+    Percentage,
+}
+
+/// Guard added to σ before inversion so constant features get a large
+/// (but finite) weight instead of ∞.
+const SIGMA_FLOOR: f64 = 1e-6;
+
+/// The weighted-RF baseline learner.
+#[derive(Debug, Clone)]
+pub struct WeightedRfLearner {
+    /// Active normalization scheme.
+    pub normalization: Normalization,
+    weights: Option<Vec<f64>>,
+    relevant_rows: Vec<Vec<f64>>,
+    seen: HashSet<usize>,
+}
+
+impl WeightedRfLearner {
+    /// Creates the baseline with the given normalization.
+    pub fn new(normalization: Normalization) -> WeightedRfLearner {
+        WeightedRfLearner {
+            normalization,
+            weights: None,
+            relevant_rows: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Current per-feature weights (all-ones before the first update).
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    fn recompute_weights(&mut self) {
+        if self.relevant_rows.is_empty() {
+            return;
+        }
+        let sigma = column_std_devs(&self.relevant_rows).expect("non-empty rows");
+        let mut w: Vec<f64> = sigma.iter().map(|s| 1.0 / (s + SIGMA_FLOOR)).collect();
+        match self.normalization {
+            Normalization::None => {}
+            Normalization::Linear => {
+                let lo = w.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let span = hi - lo;
+                for x in &mut w {
+                    *x = if span > 0.0 { (*x - lo) / span } else { 1.0 };
+                }
+            }
+            Normalization::Percentage => {
+                let total: f64 = w.iter().sum();
+                if total > 0.0 {
+                    for x in &mut w {
+                        *x /= total;
+                    }
+                }
+            }
+        }
+        self.weights = Some(w);
+    }
+
+    fn point_score(&self, row: &[f64]) -> f64 {
+        match &self.weights {
+            Some(w) => row.iter().zip(w).map(|(&x, &wi)| wi * x * x).sum(),
+            None => row.iter().map(|x| x * x).sum(),
+        }
+    }
+}
+
+impl Learner for WeightedRfLearner {
+    fn learn(&mut self, bags: &[Bag], feedback: &[(usize, bool)]) {
+        for &(bag_id, relevant) in feedback {
+            if !self.seen.insert(bag_id) || !relevant {
+                continue;
+            }
+            let Some(bag) = bags.iter().find(|b| b.id == bag_id) else {
+                continue;
+            };
+            for inst in &bag.instances {
+                for row in &inst.points {
+                    self.relevant_rows.push(row.clone());
+                }
+            }
+        }
+        self.recompute_weights();
+    }
+
+    fn score(&self, bag: &Bag) -> f64 {
+        bag.instances
+            .iter()
+            .map(|inst| {
+                inst.points
+                    .iter()
+                    .map(|p| self.point_score(p))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.normalization {
+            Normalization::None => "Weighted_RF_raw",
+            Normalization::Linear => "Weighted_RF_linear",
+            Normalization::Percentage => "Weighted_RF",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag::Instance;
+
+    fn bag_with_rows(id: usize, rows: Vec<Vec<f64>>) -> Bag {
+        Bag::new(id, vec![Instance::new(id as u64, rows)])
+    }
+
+    #[test]
+    fn initial_score_equals_square_sum() {
+        let l = WeightedRfLearner::new(Normalization::Percentage);
+        let b = bag_with_rows(0, vec![vec![0.3, 0.4, 0.0], vec![0.1, 0.0, 0.0]]);
+        assert!((l.score(&b) - 0.25).abs() < 1e-12);
+        assert!(l.weights().is_none());
+    }
+
+    #[test]
+    fn weights_favor_low_variance_features() {
+        let mut l = WeightedRfLearner::new(Normalization::Percentage);
+        // Relevant rows: feature 0 stable (σ≈0), feature 1 varies, 2 varies more.
+        let bags = vec![
+            bag_with_rows(0, vec![vec![0.5, 0.1, 0.9], vec![0.5, 0.4, 0.1]]),
+            bag_with_rows(1, vec![vec![0.5, 0.9, 0.5], vec![0.5, 0.2, 0.0]]),
+        ];
+        l.learn(&bags, &[(0, true), (1, true)]);
+        let w = l.weights().unwrap();
+        assert!(w[0] > w[1] && w[0] > w[2], "weights {w:?}");
+        // Percentage normalization sums to 1.
+        let total: f64 = w.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_normalization_zeroes_weakest_feature() {
+        let mut l = WeightedRfLearner::new(Normalization::Linear);
+        let bags = vec![
+            bag_with_rows(0, vec![vec![0.5, 0.1, 0.9], vec![0.5, 0.4, 0.1]]),
+            bag_with_rows(1, vec![vec![0.5, 0.9, 0.5], vec![0.5, 0.2, 0.0]]),
+        ];
+        l.learn(&bags, &[(0, true), (1, true)]);
+        let w = l.weights().unwrap();
+        // The paper's observed flaw: the min weight becomes exactly 0.
+        assert!(w.contains(&0.0), "weights {w:?}");
+        assert!(w.contains(&1.0));
+    }
+
+    #[test]
+    fn raw_normalization_keeps_inverse_sigma() {
+        let mut l = WeightedRfLearner::new(Normalization::None);
+        let bags = vec![bag_with_rows(
+            0,
+            vec![vec![0.0, 0.0, 0.0], vec![1.0, 2.0, 4.0]],
+        )];
+        l.learn(&bags, &[(0, true)]);
+        let w = l.weights().unwrap();
+        // σ = [0.5, 1.0, 2.0] -> w ≈ [2, 1, 0.5].
+        assert!((w[0] - 2.0).abs() < 1e-3);
+        assert!((w[1] - 1.0).abs() < 1e-3);
+        assert!((w[2] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn irrelevant_bags_do_not_update_weights() {
+        let mut l = WeightedRfLearner::new(Normalization::Percentage);
+        let bags = vec![bag_with_rows(0, vec![vec![0.9, 0.9, 0.9]])];
+        l.learn(&bags, &[(0, false)]);
+        assert!(l.weights().is_none());
+    }
+
+    #[test]
+    fn duplicate_feedback_ignored() {
+        let mut l = WeightedRfLearner::new(Normalization::None);
+        let bags = vec![bag_with_rows(
+            0,
+            vec![vec![0.1, 0.2, 0.3], vec![0.3, 0.2, 0.1]],
+        )];
+        l.learn(&bags, &[(0, true)]);
+        let w1 = l.weights().unwrap().to_vec();
+        l.learn(&bags, &[(0, true)]);
+        assert_eq!(l.weights().unwrap(), &w1[..]);
+    }
+
+    #[test]
+    fn weighting_changes_ranking() {
+        let mut l = WeightedRfLearner::new(Normalization::Percentage);
+        // Relevant data says feature 1 (vdiff) is the consistent one.
+        let bags = vec![
+            bag_with_rows(0, vec![vec![0.1, 0.8, 0.3]]),
+            bag_with_rows(1, vec![vec![0.6, 0.8, 0.9]]),
+        ];
+        l.learn(&bags, &[(0, true), (1, true)]);
+        // Candidate A is hot in feature 1; candidate B equally hot in
+        // feature 2 (which varies, hence downweighted).
+        let a = bag_with_rows(10, vec![vec![0.0, 0.8, 0.0]]);
+        let b = bag_with_rows(11, vec![vec![0.0, 0.0, 0.8]]);
+        assert!(l.score(&a) > l.score(&b));
+    }
+
+    #[test]
+    fn names_distinguish_normalizations() {
+        assert_ne!(
+            WeightedRfLearner::new(Normalization::None).name(),
+            WeightedRfLearner::new(Normalization::Percentage).name()
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the MIL framework invariants.
+
+use proptest::prelude::*;
+use tsvr_mil::session::rank_by;
+use tsvr_mil::{heuristic, metrics, Bag, GroundTruthOracle, Instance, Oracle};
+
+/// Strategy: a database of bags with 1..4 instances of 3-D rows.
+fn bag_db() -> impl Strategy<Value = Vec<Bag>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0.0f64..1.0, 3), 1..4),
+            1..4,
+        ),
+        1..20,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(id, instances)| {
+                Bag::new(
+                    id,
+                    instances
+                        .into_iter()
+                        .enumerate()
+                        .map(|(k, rows)| Instance::new(k as u64, rows))
+                        .collect(),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rank_by_is_a_permutation(bags in bag_db()) {
+        let ranking = rank_by(&bags, heuristic::bag_score);
+        let mut sorted = ranking.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..bags.len()).collect::<Vec<_>>());
+        // Scores are non-increasing along the ranking.
+        for w in ranking.windows(2) {
+            prop_assert!(
+                heuristic::bag_score(&bags[w[0]]) >= heuristic::bag_score(&bags[w[1]])
+                    || w[0] < w[1] // equal scores tie-break by id
+            );
+        }
+    }
+
+    #[test]
+    fn heuristic_bag_score_equals_best_instance(bags in bag_db()) {
+        for bag in &bags {
+            let s = heuristic::bag_score(bag);
+            let best = bag
+                .instances
+                .iter()
+                .map(heuristic::instance_score)
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((s - best).abs() < 1e-12);
+            // Adding a quiet instance never changes the score downward.
+            let mut bigger = bag.clone();
+            bigger
+                .instances
+                .push(Instance::new(99, vec![vec![0.0, 0.0, 0.0]]));
+            prop_assert!(heuristic::bag_score(&bigger) >= s);
+        }
+    }
+
+    #[test]
+    fn instance_score_monotone_under_scaling(rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 3), 1..5), k in 1.0f64..3.0) {
+        let a = Instance::new(0, rows.clone());
+        let scaled = Instance::new(
+            0,
+            rows.iter()
+                .map(|r| r.iter().map(|x| x * k).collect())
+                .collect(),
+        );
+        prop_assert!(heuristic::instance_score(&scaled) >= heuristic::instance_score(&a) - 1e-12);
+    }
+
+    #[test]
+    fn accuracy_bounds_and_consistency(
+        labels in prop::collection::vec(any::<bool>(), 1..40),
+        n in 1usize..25,
+    ) {
+        let ranking: Vec<usize> = (0..labels.len()).collect();
+        let acc = metrics::accuracy_at(&ranking, &labels, n);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!(acc <= metrics::accuracy_ceiling(&labels, n) + 1e-12);
+        let recall = metrics::recall_at(&ranking, &labels, n);
+        prop_assert!((0.0..=1.0).contains(&recall));
+        // Full-length recall is 1 when any relevant exist.
+        let full = metrics::recall_at(&ranking, &labels, labels.len());
+        if labels.iter().any(|&l| l) {
+            prop_assert!((full - 1.0).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(full, 0.0);
+        }
+    }
+
+    #[test]
+    fn average_precision_is_maximal_for_perfect_ranking(labels in prop::collection::vec(any::<bool>(), 1..30)) {
+        prop_assume!(labels.iter().any(|&l| l));
+        // Perfect ranking: all relevant first.
+        let mut perfect: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
+        perfect.extend((0..labels.len()).filter(|&i| !labels[i]));
+        let ap_perfect = metrics::average_precision(&perfect, &labels);
+        prop_assert!((ap_perfect - 1.0).abs() < 1e-12);
+        // Any other ranking scores no higher.
+        let identity: Vec<usize> = (0..labels.len()).collect();
+        prop_assert!(metrics::average_precision(&identity, &labels) <= ap_perfect + 1e-12);
+    }
+
+    #[test]
+    fn oracle_counts_match_labels(labels in prop::collection::vec(any::<bool>(), 0..50)) {
+        let o = GroundTruthOracle::new(labels.clone());
+        prop_assert_eq!(o.relevant_count(), labels.iter().filter(|&&l| l).count());
+        for (i, &l) in labels.iter().enumerate() {
+            prop_assert_eq!(o.label(i), l);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Planar geometry primitives shared by the simulator and the renderer.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 2-D vector / point in world coordinates (pixels; the simulator works
+/// directly in camera-image units so the renderer needs no projection).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// Constructs a vector.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec2) -> f64 {
+        self.x * o.x + self.y * o.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product).
+    #[inline]
+    pub fn cross(self, o: Vec2) -> f64 {
+        self.x * o.y - self.y * o.x
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared length.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn dist(self, o: Vec2) -> f64 {
+        (self - o).norm()
+    }
+
+    /// Unit vector in this direction; `ZERO` stays `ZERO`.
+    pub fn normalized(self) -> Vec2 {
+        let n = self.norm();
+        if n == 0.0 {
+            Vec2::ZERO
+        } else {
+            self * (1.0 / n)
+        }
+    }
+
+    /// Rotates by `angle` radians counter-clockwise.
+    pub fn rotated(self, angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// Angle of this vector in radians, in `(-pi, pi]`.
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Absolute angle in radians between two vectors, in `[0, pi]`.
+    ///
+    /// This is exactly the paper's θ — "the change of motion vector is
+    /// denoted as the angle between the current motion vector and the
+    /// previous motion vector" (Fig. 3), recorded as an absolute
+    /// difference with no axis normalization.
+    pub fn angle_between(self, o: Vec2) -> f64 {
+        let na = self.norm();
+        let nb = o.norm();
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        let cos = (self.dot(o) / (na * nb)).clamp(-1.0, 1.0);
+        cos.acos()
+    }
+
+    /// Linear interpolation: `self + t * (o - self)`.
+    pub fn lerp(self, o: Vec2, t: f64) -> Vec2 {
+        self + (o - self) * t
+    }
+
+    /// Perpendicular vector (rotated +90°).
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+/// Axis-aligned bounding box (used for image bounds and MBRs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner (inclusive).
+    pub min: Vec2,
+    /// Maximum corner (inclusive).
+    pub max: Vec2,
+}
+
+impl Aabb {
+    /// Builds a box from two opposite corners in any order.
+    pub fn from_corners(a: Vec2, b: Vec2) -> Self {
+        Aabb {
+            min: Vec2::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Vec2::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Vec2 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Width (x extent).
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (y extent).
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area.
+    pub fn area(&self) -> f64 {
+        self.width().max(0.0) * self.height().max(0.0)
+    }
+
+    /// Whether the point is inside (inclusive of edges).
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether two boxes overlap (touching edges count).
+    pub fn intersects(&self, o: &Aabb) -> bool {
+        self.min.x <= o.max.x
+            && o.min.x <= self.max.x
+            && self.min.y <= o.max.y
+            && o.min.y <= self.max.y
+    }
+
+    /// Smallest box containing both.
+    pub fn union(&self, o: &Aabb) -> Aabb {
+        Aabb {
+            min: Vec2::new(self.min.x.min(o.min.x), self.min.y.min(o.min.y)),
+            max: Vec2::new(self.max.x.max(o.max.x), self.max.y.max(o.max.y)),
+        }
+    }
+
+    /// Expands the box by `margin` on all sides.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        Aabb {
+            min: self.min - Vec2::new(margin, margin),
+            max: self.max + Vec2::new(margin, margin),
+        }
+    }
+}
+
+/// Wraps an angle into `(-pi, pi]`.
+pub fn wrap_angle(a: f64) -> f64 {
+    use std::f64::consts::PI;
+    let mut a = a % (2.0 * PI);
+    if a <= -PI {
+        a += 2.0 * PI;
+    } else if a > PI {
+        a -= 2.0 * PI;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        assert_eq!(a.dot(b), 1.0);
+        assert_eq!(a.cross(b), -7.0);
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let v = Vec2::new(3.0, 4.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.norm_sq(), 25.0);
+        assert_eq!(Vec2::ZERO.dist(v), 5.0);
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let v = Vec2::new(1.0, 0.0).rotated(FRAC_PI_2);
+        assert!((v.x).abs() < 1e-12);
+        assert!((v.y - 1.0).abs() < 1e-12);
+        assert_eq!(Vec2::new(1.0, 0.0).perp(), Vec2::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn angle_between_is_absolute() {
+        let a = Vec2::new(1.0, 0.0);
+        assert!((a.angle_between(Vec2::new(0.0, 1.0)) - FRAC_PI_2).abs() < 1e-12);
+        assert!((a.angle_between(Vec2::new(0.0, -1.0)) - FRAC_PI_2).abs() < 1e-12);
+        assert!((a.angle_between(Vec2::new(-1.0, 0.0)) - PI).abs() < 1e-12);
+        assert_eq!(a.angle_between(Vec2::ZERO), 0.0);
+        assert_eq!(a.angle_between(a), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(10.0, -2.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(5.0, -1.0));
+    }
+
+    #[test]
+    fn aabb_basics() {
+        let b = Aabb::from_corners(Vec2::new(4.0, 1.0), Vec2::new(0.0, 3.0));
+        assert_eq!(b.min, Vec2::new(0.0, 1.0));
+        assert_eq!(b.width(), 4.0);
+        assert_eq!(b.height(), 2.0);
+        assert_eq!(b.area(), 8.0);
+        assert_eq!(b.center(), Vec2::new(2.0, 2.0));
+        assert!(b.contains(Vec2::new(2.0, 2.0)));
+        assert!(b.contains(b.min));
+        assert!(!b.contains(Vec2::new(-0.1, 2.0)));
+    }
+
+    #[test]
+    fn aabb_intersection_and_union() {
+        let a = Aabb::from_corners(Vec2::ZERO, Vec2::new(2.0, 2.0));
+        let b = Aabb::from_corners(Vec2::new(1.0, 1.0), Vec2::new(3.0, 3.0));
+        let c = Aabb::from_corners(Vec2::new(5.0, 5.0), Vec2::new(6.0, 6.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        let u = a.union(&b);
+        assert_eq!(u.min, Vec2::ZERO);
+        assert_eq!(u.max, Vec2::new(3.0, 3.0));
+        // Touching edges count as intersecting.
+        let d = Aabb::from_corners(Vec2::new(2.0, 0.0), Vec2::new(4.0, 2.0));
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn aabb_inflate() {
+        let a = Aabb::from_corners(Vec2::ZERO, Vec2::new(1.0, 1.0)).inflated(1.0);
+        assert_eq!(a.min, Vec2::new(-1.0, -1.0));
+        assert_eq!(a.max, Vec2::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn wrap_angle_range() {
+        assert!((wrap_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((wrap_angle(-3.0 * PI) - PI).abs() < 1e-12);
+        assert_eq!(wrap_angle(0.0), 0.0);
+        for k in -10..10 {
+            let a = wrap_angle(k as f64 * 1.7);
+            assert!(a > -PI - 1e-12 && a <= PI + 1e-12);
+        }
+    }
+}

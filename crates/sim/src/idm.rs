@@ -1,0 +1,201 @@
+//! Intelligent Driver Model (Treiber, Hennecke & Helbing 2000).
+//!
+//! The IDM gives smooth, collision-free car following for the background
+//! ("normal") traffic; incidents are injected on top of it by overriding
+//! individual vehicles (see [`crate::incident`]). Smooth background
+//! motion matters for the reproduction: the paper's event model assumes
+//! that *normal* driving has small `vdiff` and `θ`, so outliers stand
+//! out.
+
+/// Parameters of the Intelligent Driver Model. Units are pixels and
+/// frames (the simulation's native units); the presets in
+/// [`crate::scenario`] pick values that correspond to plausible highway /
+/// urban speeds at the assumed camera scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdmParams {
+    /// Desired (free-flow) speed, px/frame.
+    pub desired_speed: f64,
+    /// Maximum acceleration, px/frame².
+    pub max_accel: f64,
+    /// Comfortable deceleration, px/frame².
+    pub comfortable_decel: f64,
+    /// Minimum bumper-to-bumper jam distance, px.
+    pub min_gap: f64,
+    /// Desired time headway, frames.
+    pub time_headway: f64,
+    /// Acceleration exponent (4 in the original model).
+    pub exponent: f64,
+}
+
+impl Default for IdmParams {
+    fn default() -> Self {
+        IdmParams {
+            desired_speed: 4.0,
+            max_accel: 0.15,
+            comfortable_decel: 0.3,
+            min_gap: 8.0,
+            time_headway: 8.0,
+            exponent: 4.0,
+        }
+    }
+}
+
+/// State of the leading vehicle as seen by a follower.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Leader {
+    /// Bumper-to-bumper gap to the leader, px (>= 0).
+    pub gap: f64,
+    /// Leader speed, px/frame.
+    pub speed: f64,
+}
+
+/// Computes the IDM acceleration for a vehicle travelling at `speed`
+/// with an optional leader.
+///
+/// Free road: `a = a_max (1 - (v/v0)^δ)`.
+/// With leader: adds the interaction term `-(s*/s)²` where
+/// `s* = s0 + v T + v Δv / (2 sqrt(a b))`.
+pub fn acceleration(p: &IdmParams, speed: f64, leader: Option<Leader>) -> f64 {
+    let free = 1.0 - (speed / p.desired_speed).max(0.0).powf(p.exponent);
+    let interaction = match leader {
+        Some(l) => {
+            let dv = speed - l.speed;
+            let s_star = p.min_gap
+                + (speed * p.time_headway
+                    + speed * dv / (2.0 * (p.max_accel * p.comfortable_decel).sqrt()))
+                .max(0.0);
+            let s = l.gap.max(0.1);
+            let ratio = s_star / s;
+            ratio * ratio
+        }
+        None => 0.0,
+    };
+    p.max_accel * (free - interaction)
+}
+
+/// Advances `(position, speed)` by one frame of IDM dynamics, clamping
+/// speed at zero (the IDM can momentarily request negative speeds near
+/// standstill).
+pub fn step(p: &IdmParams, pos: f64, speed: f64, leader: Option<Leader>, dt: f64) -> (f64, f64) {
+    let a = acceleration(p, speed, leader);
+    let new_speed = (speed + a * dt).max(0.0);
+    let new_pos = pos + new_speed * dt;
+    (new_pos, new_speed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_road_accelerates_to_desired_speed() {
+        let p = IdmParams::default();
+        let mut v = 0.0;
+        let mut s = 0.0;
+        for _ in 0..2000 {
+            let (ns, nv) = step(&p, s, v, None, 1.0);
+            s = ns;
+            v = nv;
+        }
+        assert!((v - p.desired_speed).abs() < 0.05, "v = {v}");
+    }
+
+    #[test]
+    fn at_desired_speed_accel_is_zero() {
+        let p = IdmParams::default();
+        let a = acceleration(&p, p.desired_speed, None);
+        assert!(a.abs() < 1e-12);
+    }
+
+    #[test]
+    fn above_desired_speed_decelerates() {
+        let p = IdmParams::default();
+        assert!(acceleration(&p, p.desired_speed * 1.5, None) < 0.0);
+    }
+
+    #[test]
+    fn close_leader_forces_braking() {
+        let p = IdmParams::default();
+        let a = acceleration(
+            &p,
+            p.desired_speed,
+            Some(Leader {
+                gap: p.min_gap,
+                speed: 0.0,
+            }),
+        );
+        assert!(a < -p.comfortable_decel, "a = {a}");
+    }
+
+    #[test]
+    fn follower_never_collides_with_stopped_leader() {
+        let p = IdmParams::default();
+        let leader_pos = 500.0;
+        let mut pos = 0.0;
+        let mut v = p.desired_speed;
+        for _ in 0..3000 {
+            let gap = leader_pos - pos;
+            let (np, nv) = step(&p, pos, v, Some(Leader { gap, speed: 0.0 }), 1.0);
+            pos = np;
+            v = nv;
+            assert!(pos < leader_pos, "collision at pos {pos}");
+        }
+        // Settles near the jam distance.
+        assert!(
+            leader_pos - pos < p.min_gap * 3.0,
+            "gap = {}",
+            leader_pos - pos
+        );
+        assert!(v < 0.05);
+    }
+
+    #[test]
+    fn platoon_follows_at_headway() {
+        let p = IdmParams::default();
+        // Leader cruising at a fixed speed; follower should converge to
+        // roughly s0 + v*T behind.
+        let lead_speed = 3.0;
+        let mut lead_pos = 200.0;
+        let mut pos = 0.0;
+        let mut v = 0.0;
+        for _ in 0..5000 {
+            lead_pos += lead_speed;
+            let gap = lead_pos - pos;
+            let (np, nv) = step(
+                &p,
+                pos,
+                v,
+                Some(Leader {
+                    gap,
+                    speed: lead_speed,
+                }),
+                1.0,
+            );
+            pos = np;
+            v = nv;
+        }
+        assert!((v - lead_speed).abs() < 0.05, "v = {v}");
+        let gap = lead_pos - pos;
+        let expected = p.min_gap + lead_speed * p.time_headway;
+        assert!(
+            (gap - expected).abs() < expected * 0.2,
+            "gap {gap} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn speed_never_negative() {
+        let p = IdmParams::default();
+        let (_, v) = step(
+            &p,
+            0.0,
+            0.01,
+            Some(Leader {
+                gap: 0.1,
+                speed: 0.0,
+            }),
+            1.0,
+        );
+        assert!(v >= 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # tsvr-sim
+//!
+//! Deterministic 2-D traffic micro-simulation.
+//!
+//! The paper evaluates on two real surveillance clips (a tunnel and a
+//! signalized intersection in Taiwan) that are not available. This crate
+//! is the substitution documented in `DESIGN.md`: it generates vehicle
+//! motion with the same spatio-temporal phenomenology the paper's feature
+//! model keys on — sudden velocity changes, sudden heading changes and
+//! small inter-vehicle distances around incidents — plus a ground-truth
+//! incident log that stands in for the human relevance-feedback oracle.
+//!
+//! Components:
+//!
+//! * [`rng`] — a small deterministic PCG32 generator so every experiment
+//!   is reproducible from a seed;
+//! * [`geometry`] — `Vec2` / axis-aligned boxes / angle helpers;
+//! * [`road`] — polyline lanes with arc-length parameterization, plus the
+//!   tunnel and intersection layouts;
+//! * [`idm`] — the Intelligent Driver Model for car following;
+//! * [`signal`] — a fixed-cycle signal controller for the intersection;
+//! * [`incident`] — scripted incident injection (wall crash, sudden stop,
+//!   rear-end crash, side collision, U-turn, speeding) and the ground
+//!   truth event log;
+//! * [`scenario`] — scenario configuration and the two paper-calibrated
+//!   presets;
+//! * [`world`] — the frame-stepped simulation engine producing per-frame
+//!   vehicle observations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geometry;
+pub mod idm;
+pub mod incident;
+pub mod rng;
+pub mod road;
+pub mod scenario;
+pub mod signal;
+pub mod world;
+
+pub use geometry::{Aabb, Vec2};
+pub use incident::{IncidentKind, IncidentRecord};
+pub use rng::Pcg32;
+pub use scenario::{Scenario, ScenarioKind};
+pub use world::{FrameObservation, VehicleClass, VehicleObs, World};

@@ -1,0 +1,302 @@
+//! Road geometry: polyline lanes with arc-length parameterization and the
+//! two scene layouts used in the paper's evaluation (tunnel, signalized
+//! intersection).
+//!
+//! World units are image pixels: the surveillance camera's image plane is
+//! the simulation plane, so the renderer in `tsvr-vision` draws vehicle
+//! footprints directly.
+
+use crate::geometry::Vec2;
+
+/// Identifier of a lane within a [`RoadNetwork`].
+pub type LaneId = usize;
+
+/// A directed lane described by a polyline centerline.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    /// Polyline waypoints in travel order.
+    points: Vec<Vec2>,
+    /// Cumulative arc length at each waypoint (`cum[0] == 0`).
+    cum: Vec<f64>,
+    /// Which approach/movement this lane belongss to (free-form tag used
+    /// by signal control, e.g. "ns" or "ew"). Empty = unsignalized.
+    pub approach: String,
+    /// Arc length at which the signal stop line sits, if any.
+    pub stop_line: Option<f64>,
+}
+
+impl Lane {
+    /// Builds a lane from waypoints. Panics if fewer than 2 points.
+    pub fn new(points: Vec<Vec2>) -> Self {
+        assert!(points.len() >= 2, "lane needs at least 2 waypoints");
+        let mut cum = Vec::with_capacity(points.len());
+        let mut acc = 0.0;
+        cum.push(0.0);
+        for w in points.windows(2) {
+            acc += w[0].dist(w[1]);
+            cum.push(acc);
+        }
+        Lane {
+            points,
+            cum,
+            approach: String::new(),
+            stop_line: None,
+        }
+    }
+
+    /// Tags the lane with an approach id (builder style).
+    pub fn with_approach(mut self, approach: &str, stop_line: f64) -> Self {
+        self.approach = approach.to_string();
+        self.stop_line = Some(stop_line);
+        self
+    }
+
+    /// Total arc length.
+    pub fn length(&self) -> f64 {
+        *self.cum.last().unwrap()
+    }
+
+    /// Position at arc length `s` (clamped to the lane extent).
+    pub fn position(&self, s: f64) -> Vec2 {
+        let (i, t) = self.locate(s);
+        self.points[i].lerp(self.points[i + 1], t)
+    }
+
+    /// Unit heading (tangent) at arc length `s`.
+    pub fn heading(&self, s: f64) -> Vec2 {
+        let (i, _) = self.locate(s);
+        (self.points[i + 1] - self.points[i]).normalized()
+    }
+
+    /// Position offset laterally from the centerline; positive offsets
+    /// are to the left of the travel direction.
+    pub fn offset_position(&self, s: f64, lateral: f64) -> Vec2 {
+        self.position(s) + self.heading(s).perp() * lateral
+    }
+
+    /// Finds the segment index and interpolation parameter for `s`.
+    fn locate(&self, s: f64) -> (usize, f64) {
+        let s = s.clamp(0.0, self.length());
+        // Binary search over cumulative lengths.
+        let mut i = match self.cum.binary_search_by(|c| c.partial_cmp(&s).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        if i >= self.points.len() - 1 {
+            i = self.points.len() - 2;
+        }
+        let seg = self.cum[i + 1] - self.cum[i];
+        let t = if seg > 0.0 {
+            (s - self.cum[i]) / seg
+        } else {
+            0.0
+        };
+        (i, t)
+    }
+}
+
+/// A set of lanes plus the image bounds they live in.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    /// All lanes, indexed by [`LaneId`].
+    pub lanes: Vec<Lane>,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+}
+
+impl RoadNetwork {
+    /// Convenience accessor.
+    pub fn lane(&self, id: LaneId) -> &Lane {
+        &self.lanes[id]
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+}
+
+/// Image dimensions used by both presets (QVGA, typical for 2007-era
+/// surveillance hardware).
+pub const IMAGE_W: u32 = 320;
+/// See [`IMAGE_W`].
+pub const IMAGE_H: u32 = 240;
+
+/// Builds the tunnel layout: two parallel straight lanes crossing the
+/// image left→right, with tunnel walls just outside the outer lanes.
+/// Matches the paper's clip 1 ("taken in a tunnel", single direction,
+/// accidents are speeding vehicles hitting the side walls).
+pub fn tunnel_network() -> RoadNetwork {
+    let w = IMAGE_W as f64;
+    let lane_ys = [104.0, 136.0];
+    let lanes = lane_ys
+        .iter()
+        .map(|&y| Lane::new(vec![Vec2::new(-40.0, y), Vec2::new(w + 40.0, y)]))
+        .collect();
+    RoadNetwork {
+        lanes,
+        width: IMAGE_W,
+        height: IMAGE_H,
+    }
+}
+
+/// Y coordinate of the upper tunnel wall.
+pub const TUNNEL_WALL_TOP: f64 = 80.0;
+/// Y coordinate of the lower tunnel wall.
+pub const TUNNEL_WALL_BOTTOM: f64 = 160.0;
+
+/// Builds the intersection layout: one east–west road (two lanes, one per
+/// direction) crossing one north–south road, with stop lines at the
+/// conflict-zone boundary. Matches the paper's clip 2 ("a road
+/// intersection in Taiwan", multi-vehicle accidents).
+pub fn intersection_network() -> RoadNetwork {
+    let w = IMAGE_W as f64;
+    let h = IMAGE_H as f64;
+    let cx = w / 2.0;
+    let cy = h / 2.0;
+    // Conflict zone is a square around (cx, cy).
+    let half = 28.0;
+
+    let lanes = vec![
+        // Eastbound (left -> right), south side of the EW road.
+        Lane::new(vec![
+            Vec2::new(-40.0, cy + 12.0),
+            Vec2::new(w + 40.0, cy + 12.0),
+        ])
+        .with_approach("ew", cx - half + 40.0),
+        // Westbound (right -> left), north side of the EW road.
+        Lane::new(vec![
+            Vec2::new(w + 40.0, cy - 12.0),
+            Vec2::new(-40.0, cy - 12.0),
+        ])
+        .with_approach("ew", w + 40.0 - (cx + half)),
+        // Southbound (top -> bottom), west side of the NS road.
+        Lane::new(vec![
+            Vec2::new(cx - 12.0, -40.0),
+            Vec2::new(cx - 12.0, h + 40.0),
+        ])
+        .with_approach("ns", cy - half + 40.0),
+        // Northbound (bottom -> top), east side of the NS road.
+        Lane::new(vec![
+            Vec2::new(cx + 12.0, h + 40.0),
+            Vec2::new(cx + 12.0, -40.0),
+        ])
+        .with_approach("ns", h + 40.0 - (cy + half)),
+    ];
+    RoadNetwork {
+        lanes,
+        width: IMAGE_W,
+        height: IMAGE_H,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_arc_length() {
+        let lane = Lane::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(3.0, 0.0),
+            Vec2::new(3.0, 4.0),
+        ]);
+        assert_eq!(lane.length(), 7.0);
+    }
+
+    #[test]
+    fn lane_position_interpolates() {
+        let lane = Lane::new(vec![Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0)]);
+        assert_eq!(lane.position(0.0), Vec2::new(0.0, 0.0));
+        assert_eq!(lane.position(5.0), Vec2::new(5.0, 0.0));
+        assert_eq!(lane.position(10.0), Vec2::new(10.0, 0.0));
+        // Clamping outside the extent.
+        assert_eq!(lane.position(-5.0), Vec2::new(0.0, 0.0));
+        assert_eq!(lane.position(15.0), Vec2::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn lane_position_multisegment() {
+        let lane = Lane::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(4.0, 0.0),
+            Vec2::new(4.0, 4.0),
+        ]);
+        assert_eq!(lane.position(6.0), Vec2::new(4.0, 2.0));
+        let h = lane.heading(6.0);
+        assert!((h.x).abs() < 1e-12 && (h.y - 1.0).abs() < 1e-12);
+        let h0 = lane.heading(1.0);
+        assert!((h0.x - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_heading_at_vertex_uses_next_segment() {
+        let lane = Lane::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(4.0, 0.0),
+            Vec2::new(4.0, 4.0),
+        ]);
+        // Exactly at the corner (s=4): either segment is acceptable; the
+        // locate() convention picks the second.
+        let h = lane.heading(4.0);
+        assert!(h.norm() > 0.99);
+    }
+
+    #[test]
+    fn lateral_offset_is_perpendicular() {
+        let lane = Lane::new(vec![Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0)]);
+        let p = lane.offset_position(5.0, 2.0);
+        assert_eq!(p, Vec2::new(5.0, 2.0));
+        let q = lane.offset_position(5.0, -2.0);
+        assert_eq!(q, Vec2::new(5.0, -2.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn lane_requires_two_points() {
+        let _ = Lane::new(vec![Vec2::ZERO]);
+    }
+
+    #[test]
+    fn tunnel_layout_sane() {
+        let net = tunnel_network();
+        assert_eq!(net.lane_count(), 2);
+        for lane in &net.lanes {
+            // Both lanes are between the walls.
+            let y = lane.position(lane.length() / 2.0).y;
+            assert!(y > TUNNEL_WALL_TOP && y < TUNNEL_WALL_BOTTOM);
+            // Lanes span the image horizontally.
+            assert!(lane.length() > net.width as f64);
+        }
+    }
+
+    #[test]
+    fn intersection_layout_sane() {
+        let net = intersection_network();
+        assert_eq!(net.lane_count(), 4);
+        let approaches: Vec<&str> = net.lanes.iter().map(|l| l.approach.as_str()).collect();
+        assert_eq!(approaches.iter().filter(|a| **a == "ew").count(), 2);
+        assert_eq!(approaches.iter().filter(|a| **a == "ns").count(), 2);
+        // Every lane has a stop line strictly inside its extent.
+        for lane in &net.lanes {
+            let sl = lane.stop_line.unwrap();
+            assert!(
+                sl > 0.0 && sl < lane.length(),
+                "stop line {sl} outside lane"
+            );
+        }
+        // Lanes all pass near the image center (conflict zone).
+        let c = Vec2::new(IMAGE_W as f64 / 2.0, IMAGE_H as f64 / 2.0);
+        for lane in &net.lanes {
+            let mut best = f64::INFINITY;
+            let n = 100;
+            for i in 0..=n {
+                let s = lane.length() * i as f64 / n as f64;
+                best = best.min(lane.position(s).dist(c));
+            }
+            assert!(best < 20.0, "lane misses conflict zone: {best}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Fixed-cycle two-phase signal controller for the intersection scenario.
+
+/// Signal state for one approach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalState {
+    /// Proceed.
+    Green,
+    /// Clear the intersection.
+    Yellow,
+    /// Stop at the stop line.
+    Red,
+}
+
+/// A two-phase fixed-time signal alternating between the "ns" and "ew"
+/// approaches, with a yellow interval and an all-red clearance interval.
+#[derive(Debug, Clone)]
+pub struct SignalController {
+    /// Green duration per phase, frames.
+    pub green: u32,
+    /// Yellow duration, frames.
+    pub yellow: u32,
+    /// All-red clearance, frames.
+    pub all_red: u32,
+}
+
+impl Default for SignalController {
+    fn default() -> Self {
+        SignalController {
+            green: 120,
+            yellow: 20,
+            all_red: 10,
+        }
+    }
+}
+
+impl SignalController {
+    /// Full cycle length in frames.
+    pub fn cycle(&self) -> u32 {
+        2 * (self.green + self.yellow + self.all_red)
+    }
+
+    /// State of the given approach ("ns" or "ew") at a frame index.
+    /// Unknown approaches are treated as unsignalized (always green).
+    pub fn state(&self, approach: &str, frame: u32) -> SignalState {
+        if approach != "ns" && approach != "ew" {
+            return SignalState::Green;
+        }
+        let half = self.green + self.yellow + self.all_red;
+        let t = frame % self.cycle();
+        let (phase_t, active) = if t < half {
+            (t, "ew")
+        } else {
+            (t - half, "ns")
+        };
+        if approach == active {
+            if phase_t < self.green {
+                SignalState::Green
+            } else if phase_t < self.green + self.yellow {
+                SignalState::Yellow
+            } else {
+                SignalState::Red
+            }
+        } else {
+            SignalState::Red
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_alternate() {
+        let s = SignalController::default();
+        assert_eq!(s.state("ew", 0), SignalState::Green);
+        assert_eq!(s.state("ns", 0), SignalState::Red);
+        let half = s.green + s.yellow + s.all_red;
+        assert_eq!(s.state("ns", half), SignalState::Green);
+        assert_eq!(s.state("ew", half), SignalState::Red);
+    }
+
+    #[test]
+    fn yellow_follows_green() {
+        let s = SignalController::default();
+        assert_eq!(s.state("ew", s.green), SignalState::Yellow);
+        assert_eq!(s.state("ew", s.green + s.yellow), SignalState::Red);
+    }
+
+    #[test]
+    fn all_red_interval_has_no_green() {
+        let s = SignalController::default();
+        let t = s.green + s.yellow + s.all_red / 2;
+        assert_eq!(s.state("ew", t), SignalState::Red);
+        assert_eq!(s.state("ns", t), SignalState::Red);
+    }
+
+    #[test]
+    fn cycle_repeats() {
+        let s = SignalController::default();
+        for f in 0..s.cycle() {
+            assert_eq!(s.state("ew", f), s.state("ew", f + s.cycle()));
+            assert_eq!(s.state("ns", f), s.state("ns", f + s.cycle()));
+        }
+    }
+
+    #[test]
+    fn unsignalized_approach_always_green() {
+        let s = SignalController::default();
+        for f in (0..s.cycle()).step_by(13) {
+            assert_eq!(s.state("", f), SignalState::Green);
+            assert_eq!(s.state("tunnel", f), SignalState::Green);
+        }
+    }
+
+    #[test]
+    fn exactly_one_approach_green_at_any_time() {
+        let s = SignalController::default();
+        for f in 0..s.cycle() {
+            let greens = ["ns", "ew"]
+                .iter()
+                .filter(|a| s.state(a, f) == SignalState::Green)
+                .count();
+            assert!(greens <= 1, "frame {f}: {greens} greens");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the traffic simulation substrate.
+
+use proptest::prelude::*;
+use tsvr_sim::idm::{self, IdmParams, Leader};
+use tsvr_sim::{Pcg32, Scenario, Vec2, World};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rng_uniform_respects_bounds(seed in any::<u64>(), lo in -100.0f64..100.0, span in 0.001f64..100.0) {
+        let mut rng = Pcg32::seeded(seed);
+        for _ in 0..100 {
+            let x = rng.uniform(lo, lo + span);
+            prop_assert!(x >= lo && x < lo + span);
+        }
+    }
+
+    #[test]
+    fn rng_uniform_u32_in_range(seed in any::<u64>(), bound in 1u32..10_000) {
+        let mut rng = Pcg32::seeded(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.uniform_u32(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_shuffle_is_permutation(seed in any::<u64>(), n in 0usize..50) {
+        let mut rng = Pcg32::seeded(seed);
+        let mut xs: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn idm_speed_stays_bounded(
+        v0 in 0.5f64..8.0,
+        init in 0.0f64..8.0,
+        gap in 1.0f64..500.0,
+        lead_speed in 0.0f64..8.0,
+    ) {
+        let p = IdmParams { desired_speed: v0, ..IdmParams::default() };
+        let mut v = init;
+        let mut pos = 0.0;
+        for _ in 0..500 {
+            let (np, nv) = idm::step(&p, pos, v, Some(Leader { gap, speed: lead_speed }), 1.0);
+            pos = np;
+            v = nv;
+            prop_assert!(v >= 0.0, "negative speed {v}");
+            prop_assert!(v <= v0.max(init) + p.max_accel + 1e-9, "overshoot {v}");
+        }
+    }
+
+    #[test]
+    fn idm_follower_never_passes_stationary_leader(
+        v0 in 1.0f64..8.0,
+        leader_pos in 100.0f64..800.0,
+    ) {
+        let p = IdmParams { desired_speed: v0, ..IdmParams::default() };
+        let mut pos = 0.0;
+        let mut v = v0;
+        for _ in 0..3000 {
+            let gap = leader_pos - pos;
+            let (np, nv) = idm::step(&p, pos, v, Some(Leader { gap, speed: 0.0 }), 1.0);
+            pos = np;
+            v = nv;
+            prop_assert!(pos < leader_pos, "passed the leader at {pos}");
+        }
+    }
+
+    #[test]
+    fn angle_between_is_bounded_and_symmetric(
+        ax in -10.0f64..10.0, ay in -10.0f64..10.0,
+        bx in -10.0f64..10.0, by in -10.0f64..10.0,
+    ) {
+        let a = Vec2::new(ax, ay);
+        let b = Vec2::new(bx, by);
+        let t1 = a.angle_between(b);
+        let t2 = b.angle_between(a);
+        prop_assert!((t1 - t2).abs() < 1e-9);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&t1));
+    }
+
+    #[test]
+    fn world_is_deterministic_per_seed(seed in 0u64..500) {
+        let mut s = Scenario::tunnel_small(seed);
+        s.total_frames = 120;
+        let a = World::run(s.clone());
+        let b = World::run(s);
+        prop_assert_eq!(a.frames, b.frames);
+        prop_assert_eq!(a.incidents, b.incidents);
+    }
+
+    #[test]
+    fn observed_vehicles_stay_in_image(seed in 0u64..200) {
+        let mut s = Scenario::tunnel_small(seed);
+        s.total_frames = 150;
+        let out = World::run(s);
+        for f in &out.frames {
+            for v in &f.vehicles {
+                prop_assert!(v.center.x >= 0.0 && v.center.x < out.width as f64);
+                prop_assert!(v.center.y >= 0.0 && v.center.y < out.height as f64);
+                prop_assert!(v.speed >= 0.0 && v.speed < 12.0, "speed {}", v.speed);
+            }
+        }
+    }
+
+    #[test]
+    fn incident_records_are_well_formed(seed in 0u64..100) {
+        let mut s = Scenario::tunnel_small(seed);
+        s.total_frames = 350;
+        let out = World::run(s);
+        for r in &out.incidents {
+            prop_assert!(r.end_frame > r.start_frame);
+            prop_assert!(!r.vehicle_ids.is_empty());
+            prop_assert!(r.start_frame < 350 + 100);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Edge-case integration tests for the simulation engine: signal
+//! compliance, trigger patience, despawn hygiene, and scenario
+//! degenerate configurations.
+
+use tsvr_sim::incident::IncidentSpec;
+use tsvr_sim::signal::SignalState;
+use tsvr_sim::{IncidentKind, Scenario, Vec2, World};
+
+#[test]
+fn vehicles_respect_red_lights() {
+    // Intersection with no incidents: nobody may cross the conflict zone
+    // while their approach shows red (excluding vehicles already inside).
+    let mut s = Scenario::intersection_paper(5);
+    s.incidents.clear();
+    s.total_frames = 400;
+    let net = s.network();
+    let signal = s.signal().unwrap();
+    let out = World::run(s);
+
+    let cx = net.width as f64 / 2.0;
+    let cy = net.height as f64 / 2.0;
+    let conflict = tsvr_sim::Aabb::from_corners(
+        Vec2::new(cx - 24.0, cy - 24.0),
+        Vec2::new(cx + 24.0, cy + 24.0),
+    );
+
+    // A vehicle ENTERING the conflict zone this frame (outside last
+    // frame, inside now) must not face a red that has been red for a
+    // while (entering on fresh red/yellow is permitted: it was already
+    // committed).
+    let mut prev_inside: std::collections::HashSet<u64> = Default::default();
+    for f in &out.frames {
+        let mut now_inside = std::collections::HashSet::new();
+        for v in &f.vehicles {
+            if conflict.contains(v.center) {
+                now_inside.insert(v.id);
+                if !prev_inside.contains(&v.id) {
+                    // Determine approach from heading: mostly-horizontal
+                    // movement = "ew", vertical = "ns".
+                    let approach = if v.heading.cos().abs() > v.heading.sin().abs() {
+                        "ew"
+                    } else {
+                        "ns"
+                    };
+                    // Was it red for the whole previous second?
+                    let long_red = (0..25).all(|dt| {
+                        f.frame
+                            .checked_sub(dt)
+                            .map(|fr| signal.state(approach, fr) == SignalState::Red)
+                            .unwrap_or(false)
+                    });
+                    assert!(
+                        !long_red,
+                        "vehicle {} entered the conflict zone on a stale red at frame {}",
+                        v.id, f.frame
+                    );
+                }
+            }
+        }
+        prev_inside = now_inside;
+    }
+}
+
+#[test]
+fn impossible_triggers_are_dropped_not_stuck() {
+    // A side collision cannot trigger in a tunnel; the world must finish
+    // without it and without panicking.
+    let mut s = Scenario::tunnel_small(9);
+    s.incidents = vec![IncidentSpec::new(IncidentKind::SideCollision, 10)];
+    let out = World::run(s);
+    assert!(out.incidents.is_empty(), "{:?}", out.incidents);
+}
+
+#[test]
+fn trigger_waits_for_a_candidate() {
+    // Schedule an incident before any vehicle can reach the mid-region;
+    // it should still fire later (within patience).
+    let mut s = Scenario::tunnel_small(10);
+    s.incidents = vec![IncidentSpec::new(IncidentKind::SuddenStop, 0)];
+    let out = World::run(s);
+    assert_eq!(out.incidents.len(), 1);
+    assert!(
+        out.incidents[0].start_frame > 0,
+        "incident fired with no eligible vehicle"
+    );
+}
+
+#[test]
+fn empty_scenario_is_fine() {
+    let mut s = Scenario::tunnel_small(11);
+    s.incidents.clear();
+    s.mean_spawn_interval = 1e9; // effectively no traffic
+    let out = World::run(s);
+    assert!(out.incidents.is_empty());
+    assert!(out.frames.iter().all(|f| f.vehicles.is_empty()));
+}
+
+#[test]
+fn vehicle_ids_are_unique_and_stable() {
+    let out = World::run(Scenario::tunnel_small(12));
+    // A given id always refers to one contiguous lifetime with a
+    // consistent class.
+    let mut class_of: std::collections::HashMap<u64, tsvr_sim::VehicleClass> = Default::default();
+    for f in &out.frames {
+        let mut seen = std::collections::HashSet::new();
+        for v in &f.vehicles {
+            assert!(
+                seen.insert(v.id),
+                "duplicate id {} in frame {}",
+                v.id,
+                f.frame
+            );
+            let prior = class_of.insert(v.id, v.class);
+            if let Some(c) = prior {
+                assert_eq!(c, v.class, "vehicle {} changed class", v.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_traffic_does_not_collide_without_incidents() {
+    let mut s = Scenario::tunnel_small(13);
+    s.incidents.clear();
+    s.mean_spawn_interval = 40.0;
+    s.total_frames = 600;
+    let out = World::run(s);
+    // Same-lane vehicles keep positive gaps: no two centers within a
+    // body length at the same y-band.
+    for f in &out.frames {
+        for (i, a) in f.vehicles.iter().enumerate() {
+            for b in f.vehicles.iter().skip(i + 1) {
+                if (a.center.y - b.center.y).abs() < 4.0 {
+                    let gap = (a.center.x - b.center.x).abs();
+                    assert!(
+                        gap > (a.half_len + b.half_len) * 0.85,
+                        "same-lane overlap at frame {}: {} px",
+                        f.frame,
+                        gap
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn speeding_vehicle_actually_speeds() {
+    let mut s = Scenario::tunnel_small(14);
+    s.incidents = vec![IncidentSpec::new(IncidentKind::Speeding, 60)];
+    let out = World::run(s);
+    let Some(rec) = out
+        .incidents
+        .iter()
+        .find(|r| r.kind == IncidentKind::Speeding)
+    else {
+        // Candidate scarcity can drop the spec on some seeds; that is
+        // exercised by `trigger_waits_for_a_candidate`.
+        return;
+    };
+    let vid = rec.vehicle_ids[0];
+    let speeds: Vec<f64> = out
+        .frames
+        .iter()
+        .flat_map(|f| f.vehicles.iter())
+        .filter(|v| v.id == vid)
+        .map(|v| v.speed)
+        .collect();
+    let vmax = speeds.iter().cloned().fold(0.0, f64::max);
+    assert!(vmax > 5.5, "speeding vehicle peaked at {vmax} px/frame");
+}

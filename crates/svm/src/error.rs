@@ -1,0 +1,73 @@
+//! Error type for SVM training and prediction.
+
+use std::fmt;
+
+/// Errors produced by SVM routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SvmError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// Training vectors have inconsistent dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the first vector.
+        expected: usize,
+        /// Dimensionality of the offending vector.
+        got: usize,
+    },
+    /// The ν parameter is outside `(0, 1)`.
+    InvalidNu(f64),
+    /// A kernel parameter is invalid (e.g. non-positive σ).
+    InvalidKernelParam(String),
+    /// The optimizer exhausted its iteration budget before reaching the
+    /// requested tolerance.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Remaining KKT violation.
+        violation: f64,
+    },
+}
+
+impl fmt::Display for SvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvmError::EmptyTrainingSet => write!(f, "empty training set"),
+            SvmError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            SvmError::InvalidNu(nu) => write!(f, "nu must be in (0,1), got {nu}"),
+            SvmError::InvalidKernelParam(msg) => write!(f, "invalid kernel parameter: {msg}"),
+            SvmError::NoConvergence {
+                iterations,
+                violation,
+            } => write!(
+                f,
+                "SMO did not converge after {iterations} iterations (violation {violation:.2e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(SvmError::EmptyTrainingSet.to_string().contains("empty"));
+        assert!(SvmError::InvalidNu(1.5).to_string().contains("1.5"));
+        assert!(SvmError::DimensionMismatch {
+            expected: 9,
+            got: 3
+        }
+        .to_string()
+        .contains('9'));
+        let e = SvmError::NoConvergence {
+            iterations: 1000,
+            violation: 0.5,
+        };
+        assert!(e.to_string().contains("1000"));
+    }
+}

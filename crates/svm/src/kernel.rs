@@ -1,0 +1,219 @@
+//! Mercer kernels (paper Eq. 5–6).
+
+use crate::SvmError;
+use tsvr_linalg::vecops;
+
+/// A kernel function `K(u, v) = θ(u) · θ(v)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Linear kernel `u · v`.
+    Linear,
+    /// Gaussian RBF `exp(−γ ||u−v||²)`.
+    ///
+    /// The paper's Eq. 6 prints `exp(||u−v||/2σ)`; the standard Gaussian
+    /// with `γ = 1/(2σ²)` is the intended kernel (see crate docs).
+    Rbf {
+        /// Width parameter γ.
+        gamma: f64,
+    },
+    /// Laplacian `exp(−||u−v|| / σ)` — the alternative literal reading
+    /// of Eq. 6 with the sign fixed.
+    Laplacian {
+        /// Width parameter σ.
+        sigma: f64,
+    },
+    /// Polynomial `(γ u·v + c₀)^d`.
+    Polynomial {
+        /// Scale γ.
+        gamma: f64,
+        /// Offset c₀.
+        coef0: f64,
+        /// Degree d.
+        degree: u32,
+    },
+    /// Sigmoid `tanh(γ u·v + c₀)` (not Mercer for all parameters; kept
+    /// for completeness).
+    Sigmoid {
+        /// Scale γ.
+        gamma: f64,
+        /// Offset c₀.
+        coef0: f64,
+    },
+}
+
+impl Kernel {
+    /// Gaussian RBF parameterized by the paper's σ: `γ = 1/(2σ²)`.
+    pub fn rbf_sigma(sigma: f64) -> Result<Kernel, SvmError> {
+        if sigma <= 0.0 || !sigma.is_finite() {
+            return Err(SvmError::InvalidKernelParam(format!("sigma = {sigma}")));
+        }
+        Ok(Kernel::Rbf {
+            gamma: 1.0 / (2.0 * sigma * sigma),
+        })
+    }
+
+    /// Validates kernel parameters.
+    pub fn validate(&self) -> Result<(), SvmError> {
+        let bad = |msg: String| Err(SvmError::InvalidKernelParam(msg));
+        match *self {
+            Kernel::Linear => Ok(()),
+            Kernel::Rbf { gamma } => {
+                if gamma > 0.0 && gamma.is_finite() {
+                    Ok(())
+                } else {
+                    bad(format!("gamma = {gamma}"))
+                }
+            }
+            Kernel::Laplacian { sigma } => {
+                if sigma > 0.0 && sigma.is_finite() {
+                    Ok(())
+                } else {
+                    bad(format!("sigma = {sigma}"))
+                }
+            }
+            Kernel::Polynomial { gamma, degree, .. } => {
+                if gamma > 0.0 && degree >= 1 {
+                    Ok(())
+                } else {
+                    bad(format!("gamma = {gamma}, degree = {degree}"))
+                }
+            }
+            Kernel::Sigmoid { gamma, .. } => {
+                if gamma > 0.0 {
+                    Ok(())
+                } else {
+                    bad(format!("gamma = {gamma}"))
+                }
+            }
+        }
+    }
+
+    /// Evaluates `K(u, v)`.
+    #[inline]
+    pub fn eval(&self, u: &[f64], v: &[f64]) -> f64 {
+        match *self {
+            Kernel::Linear => vecops::dot(u, v),
+            Kernel::Rbf { gamma } => (-gamma * vecops::sq_dist(u, v)).exp(),
+            Kernel::Laplacian { sigma } => (-vecops::dist(u, v) / sigma).exp(),
+            Kernel::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => (gamma * vecops::dot(u, v) + coef0).powi(degree as i32),
+            Kernel::Sigmoid { gamma, coef0 } => (gamma * vecops::dot(u, v) + coef0).tanh(),
+        }
+    }
+
+    /// Precomputes the full Gram matrix of a dataset (row-major,
+    /// `n x n`). The retrieval training sets are tiny (tens of vectors),
+    /// so dense precomputation is the right cache strategy.
+    pub fn gram(&self, data: &[Vec<f64>]) -> Vec<f64> {
+        let n = data.len();
+        let mut g = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let k = self.eval(&data[i], &data[j]);
+                g[i * n + j] = k;
+                g[j * n + i] = k;
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const U: [f64; 3] = [1.0, 2.0, 3.0];
+    const V: [f64; 3] = [0.0, 2.0, 4.0];
+
+    #[test]
+    fn linear_is_dot() {
+        assert_eq!(Kernel::Linear.eval(&U, &V), 16.0);
+    }
+
+    #[test]
+    fn rbf_properties() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        // K(x,x) = 1.
+        assert!((k.eval(&U, &U) - 1.0).abs() < 1e-12);
+        // Symmetric, in (0,1], decreasing with distance.
+        assert_eq!(k.eval(&U, &V), k.eval(&V, &U));
+        let near = k.eval(&U, &[1.1, 2.0, 3.0]);
+        let far = k.eval(&U, &[5.0, 2.0, 3.0]);
+        assert!(near > far);
+        assert!(far > 0.0 && near <= 1.0);
+    }
+
+    #[test]
+    fn rbf_sigma_conversion() {
+        let k = Kernel::rbf_sigma(2.0).unwrap();
+        let Kernel::Rbf { gamma } = k else { panic!() };
+        assert!((gamma - 1.0 / 8.0).abs() < 1e-12);
+        assert!(Kernel::rbf_sigma(0.0).is_err());
+        assert!(Kernel::rbf_sigma(-1.0).is_err());
+        assert!(Kernel::rbf_sigma(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn laplacian_properties() {
+        let k = Kernel::Laplacian { sigma: 1.0 };
+        assert!((k.eval(&U, &U) - 1.0).abs() < 1e-12);
+        let d = tsvr_linalg::vecops::dist(&U, &V);
+        assert!((k.eval(&U, &V) - (-d).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polynomial_known_value() {
+        let k = Kernel::Polynomial {
+            gamma: 1.0,
+            coef0: 1.0,
+            degree: 2,
+        };
+        assert_eq!(k.eval(&U, &V), 289.0); // (16+1)^2
+    }
+
+    #[test]
+    fn sigmoid_bounded() {
+        let k = Kernel::Sigmoid {
+            gamma: 0.1,
+            coef0: 0.0,
+        };
+        let v = k.eval(&U, &V);
+        assert!((-1.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn validate_rejects_bad_params() {
+        assert!(Kernel::Rbf { gamma: -1.0 }.validate().is_err());
+        assert!(Kernel::Rbf {
+            gamma: f64::INFINITY
+        }
+        .validate()
+        .is_err());
+        assert!(Kernel::Laplacian { sigma: 0.0 }.validate().is_err());
+        assert!(Kernel::Polynomial {
+            gamma: 1.0,
+            coef0: 0.0,
+            degree: 0
+        }
+        .validate()
+        .is_err());
+        assert!(Kernel::Linear.validate().is_ok());
+        assert!(Kernel::Rbf { gamma: 0.5 }.validate().is_ok());
+    }
+
+    #[test]
+    fn gram_matrix_symmetric_unit_diagonal() {
+        let data = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0]];
+        let k = Kernel::Rbf { gamma: 0.3 };
+        let g = k.gram(&data);
+        for i in 0..3 {
+            assert!((g[i * 3 + i] - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert_eq!(g[i * 3 + j], g[j * 3 + i]);
+            }
+        }
+    }
+}

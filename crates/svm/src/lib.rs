@@ -1,0 +1,35 @@
+//! # tsvr-svm
+//!
+//! Support Vector Machine substrate — specifically the One-class ν-SVM of
+//! Schölkopf et al. that the paper adopts as its core learning algorithm
+//! (§5.2, citing \[18\]).
+//!
+//! No SVM crates are available offline, so the solver is built from
+//! scratch:
+//!
+//! * [`kernel`] — Mercer kernels. The paper's Eq. 6 prints
+//!   `K(u,v) = exp(||u−v|| / 2σ)`, which grows with distance and is not a
+//!   valid RBF kernel; this is treated as a typo for the Gaussian
+//!   `exp(−||u−v||² / 2σ²)` (see DESIGN.md). A Laplacian variant
+//!   `exp(−||u−v||/σ)` — the other plausible reading — is provided too.
+//! * [`oneclass`] — the ν-parameterized one-class SVM trained by
+//!   Sequential Minimal Optimization with maximal-violating-pair working
+//!   set selection (the same optimizer family libsvm used in 2007);
+//! * [`svc`] — a binary soft-margin C-SVM, the building block of the
+//!   MI-SVM baseline (\[16\] in the paper's review).
+//!
+//! In the paper's notation the outlier-fraction parameter is `δ`
+//! (Eq. 7–9); the SVM literature calls it `ν`. The API uses `nu`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod kernel;
+pub mod oneclass;
+pub mod svc;
+
+pub use error::SvmError;
+pub use kernel::Kernel;
+pub use oneclass::{OneClassModel, OneClassSvm};
+pub use svc::{Svc, SvcModel};

@@ -1,0 +1,139 @@
+//! Property-based tests for the SVM solvers.
+
+use proptest::prelude::*;
+use tsvr_svm::{Kernel, OneClassSvm, Svc};
+
+/// Strategy: a cluster of points around a center with bounded spread.
+fn points(n: std::ops::Range<usize>, lo: f64, hi: f64) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(lo..hi, 3), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn oneclass_nu_property(data in points(10..60, -1.0, 1.0), nu in 0.05f64..0.6) {
+        let model = OneClassSvm::new(Kernel::Rbf { gamma: 1.0 }, nu)
+            .fit(&data)
+            .unwrap();
+        let n = data.len() as f64;
+        // Count strict outliers with a tolerance above the solver's
+        // KKT threshold: boundary SVs land within ±tolerance of zero.
+        let outliers = data.iter().filter(|x| model.decision(x) < -1e-5).count() as f64;
+        // ν-property with finite-sample slack (±2 points): the exact
+        // statement is asymptotic.
+        prop_assert!(outliers / n <= nu + 2.0 / n + 1e-9,
+            "outliers {outliers}/{n} exceed nu {nu}");
+        prop_assert!(model.support_count() as f64 / n >= nu - 2.0 / n - 1e-9,
+            "SVs {} below nu {nu}", model.support_count());
+    }
+
+    #[test]
+    fn oneclass_alphas_sum_to_one(data in points(5..40, -2.0, 2.0), nu in 0.1f64..0.8) {
+        let model = OneClassSvm::new(Kernel::Rbf { gamma: 0.7 }, nu)
+            .fit(&data)
+            .unwrap();
+        let sum: f64 = model.coeffs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-7, "sum alpha = {sum}");
+        let c = 1.0 / (nu * data.len() as f64);
+        for &a in &model.coeffs {
+            prop_assert!(a > 0.0 && a <= c + 1e-9);
+        }
+    }
+
+    #[test]
+    fn oneclass_decision_invariant_to_duplication(data in points(5..20, -1.0, 1.0)) {
+        // Training on the same data twice over yields (approximately)
+        // the same decision boundary: the dual is scale-structured.
+        let m1 = OneClassSvm::new(Kernel::Rbf { gamma: 1.0 }, 0.3).fit(&data).unwrap();
+        let doubled: Vec<Vec<f64>> = data.iter().chain(data.iter()).cloned().collect();
+        let m2 = OneClassSvm::new(Kernel::Rbf { gamma: 1.0 }, 0.3).fit(&doubled).unwrap();
+        for probe in data.iter().take(5) {
+            let d1 = m1.decision(probe);
+            let d2 = m2.decision(probe);
+            prop_assert!((d1 - d2).abs() < 0.05, "{d1} vs {d2}");
+        }
+    }
+
+    #[test]
+    fn svc_separates_translated_clusters(
+        base in points(6..20, -0.8, 0.8),
+        shift in 3.0f64..6.0,
+    ) {
+        // Positive cluster = base; negative = base translated by shift.
+        let mut data = base.clone();
+        let mut labels = vec![true; base.len()];
+        for p in &base {
+            data.push(p.iter().map(|x| x + shift).collect());
+            labels.push(false);
+        }
+        let model = Svc::new(Kernel::Rbf { gamma: 0.5 }, 10.0)
+            .fit(&data, &labels)
+            .unwrap();
+        let correct = data
+            .iter()
+            .zip(&labels)
+            .filter(|(x, &l)| model.predict(x) == l)
+            .count();
+        prop_assert!(correct == data.len(),
+            "only {correct}/{} correct on separable data", data.len());
+    }
+
+    #[test]
+    fn svc_dual_constraint_holds(base in points(6..16, -1.0, 1.0)) {
+        let mut data = base.clone();
+        let mut labels = vec![true; base.len()];
+        for p in &base {
+            data.push(p.iter().map(|x| x + 4.0).collect());
+            labels.push(false);
+        }
+        let c = 5.0;
+        let model = Svc::new(Kernel::Rbf { gamma: 0.5 }, c).fit(&data, &labels).unwrap();
+        let sum: f64 = model.coeffs.iter().sum();
+        prop_assert!(sum.abs() < 1e-6, "sum alpha*y = {sum}");
+        for &a in &model.coeffs {
+            prop_assert!(a.abs() <= c + 1e-9);
+        }
+    }
+
+    #[test]
+    fn kernels_are_symmetric_and_bounded(
+        u in prop::collection::vec(-5.0f64..5.0, 4),
+        v in prop::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        for k in [
+            Kernel::Rbf { gamma: 0.3 },
+            Kernel::Laplacian { sigma: 2.0 },
+            Kernel::Linear,
+        ] {
+            prop_assert!((k.eval(&u, &v) - k.eval(&v, &u)).abs() < 1e-12);
+        }
+        // RBF/Laplacian in (0, 1], self-similarity exactly 1.
+        for k in [Kernel::Rbf { gamma: 0.3 }, Kernel::Laplacian { sigma: 2.0 }] {
+            let kv = k.eval(&u, &v);
+            prop_assert!(kv > 0.0 && kv <= 1.0);
+            prop_assert!((k.eval(&u, &u) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rbf_gram_matrix_is_psd(data in points(2..10, -2.0, 2.0)) {
+        // Mercer check: x^T G x >= 0 for random x (probe with a few
+        // deterministic vectors derived from the data).
+        let k = Kernel::Rbf { gamma: 0.8 };
+        let g = k.gram(&data);
+        let n = data.len();
+        for probe_seed in 0..3u64 {
+            let x: Vec<f64> = (0..n)
+                .map(|i| (((i as u64 + 1) * (probe_seed + 3) * 2654435761) % 17) as f64 / 8.5 - 1.0)
+                .collect();
+            let mut quad = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    quad += x[i] * x[j] * g[i * n + j];
+                }
+            }
+            prop_assert!(quad >= -1e-8, "x^T G x = {quad}");
+        }
+    }
+}

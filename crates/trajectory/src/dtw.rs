@@ -1,0 +1,228 @@
+//! Dynamic time warping over planar trajectories, the matcher behind
+//! query-by-sketch (paper §7, future work: "query by sketches").
+//!
+//! A sketch is compared against tracked trajectories by shape, not by
+//! absolute position or speed: both curves are resampled uniformly by
+//! arc length, translated to start at the origin, scaled to unit total
+//! length, and aligned with DTW under Euclidean local cost. The result
+//! is invariant to where in the image the maneuver happened and how fast
+//! it was driven — exactly what "find trajectories shaped like this" needs.
+
+use tsvr_sim::Vec2;
+
+/// Plain DTW distance between two point sequences (Euclidean local
+/// cost), normalized by the warping-path length so values are comparable
+/// across sequence lengths. Returns `f64::INFINITY` if either input is
+/// empty.
+pub fn dtw_distance(a: &[Vec2], b: &[Vec2]) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return f64::INFINITY;
+    }
+    // DP over accumulated cost; also track path length for
+    // normalization.
+    let idx = |i: usize, j: usize| i * m + j;
+    let mut cost = vec![f64::INFINITY; n * m];
+    let mut steps = vec![0u32; n * m];
+    cost[idx(0, 0)] = a[0].dist(b[0]);
+    steps[idx(0, 0)] = 1;
+    for i in 0..n {
+        for j in 0..m {
+            if i == 0 && j == 0 {
+                continue;
+            }
+            let local = a[i].dist(b[j]);
+            let mut best = f64::INFINITY;
+            let mut best_steps = 0;
+            if i > 0 && cost[idx(i - 1, j)] < best {
+                best = cost[idx(i - 1, j)];
+                best_steps = steps[idx(i - 1, j)];
+            }
+            if j > 0 && cost[idx(i, j - 1)] < best {
+                best = cost[idx(i, j - 1)];
+                best_steps = steps[idx(i, j - 1)];
+            }
+            if i > 0 && j > 0 && cost[idx(i - 1, j - 1)] < best {
+                best = cost[idx(i - 1, j - 1)];
+                best_steps = steps[idx(i - 1, j - 1)];
+            }
+            cost[idx(i, j)] = best + local;
+            steps[idx(i, j)] = best_steps + 1;
+        }
+    }
+    cost[idx(n - 1, m - 1)] / steps[idx(n - 1, m - 1)] as f64
+}
+
+/// Resamples a polyline to `k` points spaced uniformly by arc length.
+/// Degenerate inputs (single point, zero length) repeat the first point.
+pub fn resample(path: &[Vec2], k: usize) -> Vec<Vec2> {
+    assert!(k >= 2, "resample needs at least 2 points");
+    if path.is_empty() {
+        return Vec::new();
+    }
+    let total: f64 = path.windows(2).map(|w| w[0].dist(w[1])).sum();
+    if total <= 0.0 || path.len() < 2 {
+        return vec![path[0]; k];
+    }
+    let mut out = Vec::with_capacity(k);
+    let step = total / (k - 1) as f64;
+    let mut target = 0.0;
+    let mut seg = 0usize;
+    let mut seg_start_s = 0.0;
+    for _ in 0..k {
+        // Advance to the segment containing `target`.
+        while seg + 1 < path.len() - 1
+            && seg_start_s + path[seg].dist(path[seg + 1]) < target - 1e-12
+        {
+            seg_start_s += path[seg].dist(path[seg + 1]);
+            seg += 1;
+        }
+        let seg_len = path[seg].dist(path[seg + 1]);
+        let t = if seg_len > 0.0 {
+            ((target - seg_start_s) / seg_len).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        out.push(path[seg].lerp(path[seg + 1], t));
+        target += step;
+    }
+    out
+}
+
+/// Normalizes a path into a canonical *shape*: resampled to `k` points,
+/// translated so it starts at the origin, scaled to unit total length.
+pub fn normalize_shape(path: &[Vec2], k: usize) -> Vec<Vec2> {
+    let pts = resample(path, k);
+    if pts.is_empty() {
+        return pts;
+    }
+    let origin = pts[0];
+    let total: f64 = pts.windows(2).map(|w| w[0].dist(w[1])).sum();
+    let scale = if total > 1e-9 { 1.0 / total } else { 1.0 };
+    pts.iter().map(|&p| (p - origin) * scale).collect()
+}
+
+/// Shape distance between two paths: DTW over their normalized shapes.
+/// Lower = more similar; identical shapes (up to translation and scale)
+/// give ~0.
+pub fn shape_distance(a: &[Vec2], b: &[Vec2], k: usize) -> f64 {
+    dtw_distance(&normalize_shape(a, k), &normalize_shape(b, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, dx: f64, dy: f64) -> Vec<Vec2> {
+        (0..n)
+            .map(|i| Vec2::new(i as f64 * dx, i as f64 * dy))
+            .collect()
+    }
+
+    fn u_turn(n: usize) -> Vec<Vec2> {
+        // Right, half-circle, left.
+        let mut p: Vec<Vec2> = (0..n).map(|i| Vec2::new(i as f64, 0.0)).collect();
+        let cx = n as f64 - 1.0;
+        for k in 1..=8 {
+            let a = std::f64::consts::PI * k as f64 / 8.0;
+            p.push(Vec2::new(cx + 3.0 * a.sin(), 3.0 - 3.0 * a.cos()));
+        }
+        for i in 0..n {
+            p.push(Vec2::new(cx - i as f64, 6.0));
+        }
+        p
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let a = line(10, 2.0, 1.0);
+        assert!(dtw_distance(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn dtw_is_symmetric_and_positive() {
+        let a = line(10, 2.0, 0.0);
+        let b = u_turn(6);
+        let d1 = dtw_distance(&a, &b);
+        let d2 = dtw_distance(&b, &a);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 > 0.0);
+    }
+
+    #[test]
+    fn dtw_handles_different_lengths() {
+        let a = line(5, 1.0, 0.0);
+        let b = line(50, 0.1, 0.0); // same segment, denser sampling
+        assert!(dtw_distance(&a, &b) < 0.3);
+    }
+
+    #[test]
+    fn empty_input_is_infinite() {
+        assert_eq!(dtw_distance(&[], &line(3, 1.0, 0.0)), f64::INFINITY);
+        assert_eq!(dtw_distance(&line(3, 1.0, 0.0), &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints_and_spacing() {
+        let p = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(10.0, 0.0),
+            Vec2::new(10.0, 10.0),
+        ];
+        let r = resample(&p, 21);
+        assert_eq!(r.len(), 21);
+        assert!(r[0].dist(p[0]) < 1e-9);
+        assert!(r[20].dist(p[2]) < 1e-9);
+        // Uniform arc-length spacing: consecutive distances all ~1.
+        for w in r.windows(2) {
+            assert!((w[0].dist(w[1]) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn resample_degenerate_path() {
+        let p = vec![Vec2::new(3.0, 4.0)];
+        let r = resample(&p, 5);
+        assert_eq!(r.len(), 5);
+        assert!(r.iter().all(|q| q.dist(p[0]) < 1e-12));
+    }
+
+    #[test]
+    fn normalized_shape_is_translation_and_scale_invariant() {
+        let a = line(20, 1.0, 0.5);
+        let b: Vec<Vec2> = line(20, 3.0, 1.5) // scaled x3
+            .into_iter()
+            .map(|p| p + Vec2::new(100.0, -40.0)) // translated
+            .collect();
+        assert!(shape_distance(&a, &b, 32) < 1e-9);
+    }
+
+    #[test]
+    fn shape_distance_separates_maneuvers() {
+        let straight = line(30, 2.0, 0.0);
+        let turn = u_turn(15);
+        let another_straight = line(25, 0.0, 3.0); // vertical line
+                                                   // A straight sketch matches straight tracks (any direction,
+                                                   // after... note: no rotation invariance, so direction matters).
+        let d_same = shape_distance(&straight, &line(40, 1.5, 0.0), 32);
+        let d_turn = shape_distance(&straight, &turn, 32);
+        assert!(d_same < d_turn, "straight {d_same} vs u-turn {d_turn}");
+        // Rotation is NOT factored out: a vertical line differs from a
+        // horizontal one (sketches are drawn in image space).
+        let d_rot = shape_distance(&straight, &another_straight, 32);
+        assert!(d_rot > d_same);
+    }
+
+    #[test]
+    fn dtw_triangle_like_consistency() {
+        // Not a metric, but sanity: d(a,c) should not exceed
+        // d(a,b)+d(b,c) wildly for these smooth curves.
+        let a = line(20, 1.0, 0.0);
+        let b = u_turn(10);
+        let c = line(20, 0.0, 1.0);
+        let ab = dtw_distance(&a, &b);
+        let bc = dtw_distance(&b, &c);
+        let ac = dtw_distance(&a, &c);
+        assert!(ac <= (ab + bc) * 2.0);
+    }
+}

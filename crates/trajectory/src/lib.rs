@@ -1,0 +1,29 @@
+//! # tsvr-trajectory
+//!
+//! Trajectory modeling and semantic event features (paper §3.2–§5.1).
+//!
+//! Takes the vehicle tracks produced by `tsvr-vision` and turns them into
+//! the retrieval dataset the learning framework operates on:
+//!
+//! * [`model`] — least-squares polynomial models of a track's `x(t)` /
+//!   `y(t)` centroid motion (paper Eq. 1–2, Fig. 2) with tangent
+//!   velocities from the first derivative;
+//! * [`checkpoint`] — resampling of tracks on the global checkpoint grid
+//!   (every 5 frames in the paper) and the per-checkpoint property
+//!   vector `α_i = [1/mdist_i, vdiff_i, θ_i]` of §4;
+//! * [`window`] — sliding-window extraction of Video Sequences (bags)
+//!   and the Trajectory Sequences (instances) they contain (§5.1,
+//!   Fig. 4), producing the [`window::Dataset`] consumed by `tsvr-mil`;
+//! * [`dtw`] — dynamic-time-warping shape matching between trajectories
+//!   (the matcher behind the §7 query-by-sketch extension).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod dtw;
+pub mod model;
+pub mod window;
+
+pub use checkpoint::{CheckpointSeries, FeatureConfig};
+pub use window::{Dataset, TrajectorySequence, VideoSequence, WindowConfig};

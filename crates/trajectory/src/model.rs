@@ -1,0 +1,187 @@
+//! Polynomial trajectory models (paper §3.2).
+//!
+//! "We can approximate the trajectory of a vehicle by using the
+//! least-square curve fitting" — each coordinate of the centroid series
+//! is fit with a k-th degree polynomial in the frame index, and the
+//! first derivative gives the tangent (velocity) at any time.
+
+use tsvr_linalg::polyfit::{self, Polynomial};
+use tsvr_linalg::LinalgError;
+use tsvr_sim::Vec2;
+use tsvr_vision::Track;
+
+/// A fitted parametric trajectory `(x(t), y(t))` with `t` = frame index.
+#[derive(Debug, Clone)]
+pub struct TrajectoryModel {
+    /// Polynomial for the x coordinate.
+    pub x: Polynomial,
+    /// Polynomial for the y coordinate.
+    pub y: Polynomial,
+    /// Fitted degree.
+    pub degree: usize,
+    /// First and last frame of the underlying track.
+    pub frame_span: (u32, u32),
+    /// Root-mean-square fitting residual over the track points, px.
+    pub rms_residual: f64,
+}
+
+impl TrajectoryModel {
+    /// Fits a degree-`k` model to a track's centroid series.
+    ///
+    /// The paper demonstrates a 4th-degree fit (Fig. 2); shorter tracks
+    /// automatically reduce the degree so the system stays
+    /// well-determined.
+    pub fn fit(track: &Track, degree: usize) -> Result<TrajectoryModel, LinalgError> {
+        if track.points.is_empty() {
+            return Err(LinalgError::EmptyInput);
+        }
+        let ts: Vec<f64> = track.points.iter().map(|p| p.frame as f64).collect();
+        let xs: Vec<f64> = track.points.iter().map(|p| p.centroid.x).collect();
+        let ys: Vec<f64> = track.points.iter().map(|p| p.centroid.y).collect();
+        let degree = degree.min(ts.len().saturating_sub(1));
+        let px = polyfit::fit(&ts, &xs, degree)?;
+        let py = polyfit::fit(&ts, &ys, degree)?;
+        let sse = px.sse(&ts, &xs) + py.sse(&ts, &ys);
+        let rms = (sse / ts.len() as f64).sqrt();
+        Ok(TrajectoryModel {
+            x: px,
+            y: py,
+            degree,
+            frame_span: (track.start_frame(), track.end_frame()),
+            rms_residual: rms,
+        })
+    }
+
+    /// Smoothed position at a frame.
+    pub fn position(&self, frame: f64) -> Vec2 {
+        Vec2::new(self.x.eval(frame), self.y.eval(frame))
+    }
+
+    /// Tangent velocity vector at a frame (px/frame) — the first
+    /// derivative of the fitted curve.
+    pub fn velocity(&self, frame: f64) -> Vec2 {
+        Vec2::new(
+            self.x.derivative().eval(frame),
+            self.y.derivative().eval(frame),
+        )
+    }
+
+    /// Speed (tangent magnitude) at a frame.
+    pub fn speed(&self, frame: f64) -> f64 {
+        self.velocity(frame).norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvr_sim::Aabb;
+    use tsvr_vision::TrackPoint;
+
+    fn track_from_fn(frames: std::ops::Range<u32>, f: impl Fn(f64) -> Vec2) -> Track {
+        let points: Vec<TrackPoint> = frames
+            .map(|fr| {
+                let c = f(fr as f64);
+                TrackPoint {
+                    frame: fr,
+                    centroid: c,
+                    mbr: Aabb::from_corners(c, c),
+                    coasted: false,
+                }
+            })
+            .collect();
+        Track {
+            id: 1,
+            points,
+            stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn fits_straight_motion_exactly() {
+        let t = track_from_fn(0..30, |f| Vec2::new(10.0 + 3.0 * f, 100.0));
+        let m = TrajectoryModel::fit(&t, 4).unwrap();
+        assert!(m.rms_residual < 1e-6, "rms {}", m.rms_residual);
+        let v = m.velocity(15.0);
+        assert!((v.x - 3.0).abs() < 1e-6);
+        assert!(v.y.abs() < 1e-6);
+        assert!((m.speed(15.0) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fits_curved_motion() {
+        // Quadratic arc.
+        let t = track_from_fn(0..40, |f| Vec2::new(4.0 * f, 100.0 + 0.05 * f * f));
+        let m = TrajectoryModel::fit(&t, 4).unwrap();
+        assert!(m.rms_residual < 1e-6);
+        // dy/dt = 0.1 t.
+        let v = m.velocity(20.0);
+        assert!((v.y - 2.0).abs() < 1e-5, "vy {}", v.y);
+    }
+
+    #[test]
+    fn smooths_jittered_centroids() {
+        // Line plus deterministic +-1 px alternating jitter (models
+        // segmentation noise).
+        let t = track_from_fn(0..60, |f| {
+            let n = if (f as u32).is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            };
+            Vec2::new(5.0 + 2.0 * f + n, 120.0 + n)
+        });
+        let m = TrajectoryModel::fit(&t, 3).unwrap();
+        // The fitted curve should be much closer to the true line than
+        // the jittered samples are.
+        let p = m.position(30.0);
+        assert!((p.x - 65.0).abs() < 0.5);
+        assert!((p.y - 120.0).abs() < 0.5);
+        assert!(m.rms_residual < 1.6);
+    }
+
+    #[test]
+    fn degree_reduced_for_short_tracks() {
+        let t = track_from_fn(0..3, |f| Vec2::new(f, f));
+        let m = TrajectoryModel::fit(&t, 4).unwrap();
+        assert_eq!(m.degree, 2);
+    }
+
+    #[test]
+    fn empty_track_rejected() {
+        let t = Track {
+            id: 1,
+            points: vec![],
+            stats: Default::default(),
+        };
+        assert!(TrajectoryModel::fit(&t, 4).is_err());
+    }
+
+    #[test]
+    fn velocity_direction_matches_motion() {
+        // Diagonal motion: tangent direction must match.
+        let t = track_from_fn(0..30, |f| Vec2::new(2.0 * f, 100.0 + 1.0 * f));
+        let m = TrajectoryModel::fit(&t, 2).unwrap();
+        let v = m.velocity(15.0);
+        assert!((v.x - 2.0).abs() < 1e-6);
+        assert!((v.y - 1.0).abs() < 1e-6);
+        // Speed is the tangent magnitude.
+        assert!((m.speed(15.0) - (5.0f64).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_point_track_fits_constant() {
+        let t = track_from_fn(5..6, |_| Vec2::new(42.0, 24.0));
+        let m = TrajectoryModel::fit(&t, 4).unwrap();
+        assert_eq!(m.degree, 0);
+        assert_eq!(m.position(5.0), Vec2::new(42.0, 24.0));
+        assert_eq!(m.speed(5.0), 0.0);
+    }
+
+    #[test]
+    fn frame_span_recorded() {
+        let t = track_from_fn(10..25, |f| Vec2::new(f, 0.0));
+        let m = TrajectoryModel::fit(&t, 2).unwrap();
+        assert_eq!(m.frame_span, (10, 24));
+    }
+}

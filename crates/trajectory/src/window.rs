@@ -1,0 +1,353 @@
+//! Sliding-window extraction of Video Sequences and Trajectory
+//! Sequences (paper §5.1, Fig. 4).
+//!
+//! A Video Sequence (VS) is a window of `window_size` consecutive
+//! checkpoints; a Trajectory Sequence (TS) is one vehicle's feature
+//! trajectory inside a VS. The paper uses window size 3 with 5
+//! frames/checkpoint ("the typical length … for [car crash] events is
+//! very short i.e. about 15 frames"); clip statistics (109 TSs from 2504
+//! frames) imply adjacent windows do not overlap, so the default stride
+//! equals the window size. Both are configurable.
+
+use crate::checkpoint::{build_series, Alpha, CheckpointSeries, FeatureConfig};
+use tsvr_vision::Track;
+
+/// Window extraction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowConfig {
+    /// Checkpoints per window (paper: 3).
+    pub window_size: usize,
+    /// Checkpoints between window starts (paper-calibrated default:
+    /// equal to `window_size`, i.e. non-overlapping).
+    pub stride: usize,
+    /// Feature extraction parameters.
+    pub features: FeatureConfig,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            window_size: 3,
+            stride: 3,
+            features: FeatureConfig::default(),
+        }
+    }
+}
+
+/// One vehicle's trajectory inside one window — a MIL *instance*.
+#[derive(Debug, Clone)]
+pub struct TrajectorySequence {
+    /// Originating track id.
+    pub track_id: u64,
+    /// Per-checkpoint property vectors (`window_size` of them).
+    pub alphas: Vec<Alpha>,
+}
+
+impl TrajectorySequence {
+    /// The flat feature vector fed to the learner: the concatenation
+    /// `[α_1, …, α_w]` (paper §5.3 — One-class SVM "learns from the
+    /// entire trajectory sequence (TS) within the window").
+    pub fn feature_vector(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.alphas.len() * 3);
+        for a in &self.alphas {
+            v.extend_from_slice(&a.as_array());
+        }
+        v
+    }
+
+    /// The per-checkpoint α with the largest squared norm — used by the
+    /// initial heuristic query (§5.3 scores a TS by its highest-scoring
+    /// sampling point).
+    pub fn peak_alpha(&self) -> Alpha {
+        *self
+            .alphas
+            .iter()
+            .max_by(|a, b| sq_norm(a).partial_cmp(&sq_norm(b)).unwrap())
+            .expect("trajectory sequence has at least one checkpoint")
+    }
+}
+
+fn sq_norm(a: &Alpha) -> f64 {
+    let [x, y, z] = a.as_array();
+    x * x + y * y + z * z
+}
+
+/// One window of video — a MIL *bag*.
+#[derive(Debug, Clone)]
+pub struct VideoSequence {
+    /// Window index within the dataset.
+    pub index: usize,
+    /// First checkpoint (inclusive) on the global grid.
+    pub start_checkpoint: usize,
+    /// First frame covered by the window.
+    pub start_frame: u32,
+    /// Last frame covered (inclusive).
+    pub end_frame: u32,
+    /// The trajectory sequences fully covering the window.
+    pub sequences: Vec<TrajectorySequence>,
+}
+
+/// The complete retrieval dataset for one clip.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Extracted video sequences (bags), in temporal order.
+    pub windows: Vec<VideoSequence>,
+    /// Configuration used to build the dataset.
+    pub config: WindowConfig,
+}
+
+impl Dataset {
+    /// Builds the dataset from vehicle tracks.
+    ///
+    /// ```
+    /// use tsvr_sim::{Aabb, Vec2};
+    /// use tsvr_trajectory::{Dataset, WindowConfig};
+    /// use tsvr_vision::{Track, TrackPoint};
+    ///
+    /// // One vehicle crossing at 3 px/frame for 90 frames.
+    /// let points = (0..90)
+    ///     .map(|f| {
+    ///         let c = Vec2::new(3.0 * f as f64, 100.0);
+    ///         TrackPoint { frame: f, centroid: c, mbr: Aabb::from_corners(c, c), coasted: false }
+    ///     })
+    ///     .collect();
+    /// let track = Track { id: 1, points, stats: Default::default() };
+    ///
+    /// let ds = Dataset::build(&[track], WindowConfig::default());
+    /// assert_eq!(ds.window_count(), 6);      // 90 frames / 15 per window
+    /// assert_eq!(ds.feature_dim(), 9);       // 3 checkpoints x [1/mdist, vdiff, theta]
+    /// ```
+    pub fn build(tracks: &[Track], config: WindowConfig) -> Dataset {
+        assert!(config.window_size >= 1, "window size must be positive");
+        assert!(config.stride >= 1, "stride must be positive");
+        let series = build_series(tracks, &config.features);
+        Self::from_series(&series, config)
+    }
+
+    /// Builds the dataset from precomputed checkpoint series.
+    pub fn from_series(series: &[CheckpointSeries], config: WindowConfig) -> Dataset {
+        let rate = config.features.sampling_rate;
+        let w = config.window_size;
+        let max_ck = series.iter().map(|s| s.end_checkpoint()).max().unwrap_or(0);
+
+        let mut windows = Vec::new();
+        let mut start = 0usize;
+        while start + w <= max_ck {
+            let mut sequences = Vec::new();
+            for s in series {
+                if !s.covers(start, start + w) {
+                    continue;
+                }
+                let alphas: Vec<Alpha> =
+                    (start..start + w).map(|k| s.alpha_at(k).unwrap()).collect();
+                sequences.push(TrajectorySequence {
+                    track_id: s.track_id,
+                    alphas,
+                });
+            }
+            if !sequences.is_empty() {
+                windows.push(VideoSequence {
+                    index: windows.len(),
+                    start_checkpoint: start,
+                    start_frame: start as u32 * rate,
+                    // The window "owns" the frames up to (but not
+                    // including) the next checkpoint after its last one:
+                    // w checkpoints x rate frames.
+                    end_frame: (start + w) as u32 * rate - 1,
+                    sequences,
+                });
+            }
+            start += config.stride;
+        }
+        Dataset { windows, config }
+    }
+
+    /// Total number of trajectory sequences across all windows (the
+    /// paper's "TS count": 109 for clip 1, 168 for clip 2).
+    pub fn sequence_count(&self) -> usize {
+        self.windows.iter().map(|w| w.sequences.len()).sum()
+    }
+
+    /// Number of windows (bags).
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Dimensionality of TS feature vectors (`3 * window_size`).
+    pub fn feature_dim(&self) -> usize {
+        3 * self.config.window_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvr_sim::{Aabb, Vec2};
+    use tsvr_vision::TrackPoint;
+
+    fn track(id: u64, frames: std::ops::Range<u32>, f: impl Fn(f64) -> Vec2) -> Track {
+        Track {
+            id,
+            points: frames
+                .map(|fr| {
+                    let c = f(fr as f64);
+                    TrackPoint {
+                        frame: fr,
+                        centroid: c,
+                        mbr: Aabb::from_corners(c, c),
+                        coasted: false,
+                    }
+                })
+                .collect(),
+            stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn window_counts_and_spans() {
+        // One track over frames 0..=89 -> checkpoints 0..=17 (18 of
+        // them) -> 6 non-overlapping windows of 3.
+        let t = track(1, 0..90, |f| Vec2::new(3.0 * f, 100.0));
+        let ds = Dataset::build(&[t], WindowConfig::default());
+        assert_eq!(ds.window_count(), 6);
+        assert_eq!(ds.sequence_count(), 6);
+        let w0 = &ds.windows[0];
+        assert_eq!(w0.start_frame, 0);
+        assert_eq!(w0.end_frame, 14); // 15 frames per window, as in the paper
+        assert_eq!(ds.windows[1].start_frame, 15);
+        assert_eq!(ds.feature_dim(), 9);
+    }
+
+    #[test]
+    fn overlapping_stride_multiplies_windows() {
+        let t = track(1, 0..90, |f| Vec2::new(3.0 * f, 100.0));
+        let cfg = WindowConfig {
+            stride: 1,
+            ..WindowConfig::default()
+        };
+        let ds = Dataset::build(&[t], cfg);
+        // Checkpoints 0..=17 -> starts 0..=15 -> 16 windows.
+        assert_eq!(ds.window_count(), 16);
+    }
+
+    #[test]
+    fn partial_coverage_excluded() {
+        // Track 2 enters mid-clip and only covers later windows.
+        let a = track(1, 0..90, |f| Vec2::new(3.0 * f, 100.0));
+        let b = track(2, 40..90, |f| Vec2::new(2.0 * (f - 40.0), 140.0));
+        let ds = Dataset::build(&[a, b], WindowConfig::default());
+        let w0 = &ds.windows[0];
+        assert_eq!(w0.sequences.len(), 1);
+        let last = ds.windows.last().unwrap();
+        assert_eq!(last.sequences.len(), 2);
+    }
+
+    #[test]
+    fn empty_windows_are_skipped() {
+        // Two tracks with a dead gap between them.
+        let a = track(1, 0..30, |f| Vec2::new(3.0 * f, 100.0));
+        let b = track(2, 120..150, |f| Vec2::new(3.0 * (f - 120.0), 100.0));
+        let ds = Dataset::build(&[a, b], WindowConfig::default());
+        for w in &ds.windows {
+            assert!(!w.sequences.is_empty());
+        }
+        // Window indices stay dense.
+        for (i, w) in ds.windows.iter().enumerate() {
+            assert_eq!(w.index, i);
+        }
+    }
+
+    #[test]
+    fn feature_vector_concatenates_alphas() {
+        let t = track(1, 0..90, |f| Vec2::new(3.0 * f, 100.0));
+        let ds = Dataset::build(&[t], WindowConfig::default());
+        let ts = &ds.windows[2].sequences[0];
+        let fv = ts.feature_vector();
+        assert_eq!(fv.len(), 9);
+        for (i, a) in ts.alphas.iter().enumerate() {
+            assert_eq!(&fv[i * 3..i * 3 + 3], &a.as_array());
+        }
+    }
+
+    #[test]
+    fn peak_alpha_is_max_norm() {
+        let ts = TrajectorySequence {
+            track_id: 1,
+            alphas: vec![
+                Alpha {
+                    inv_mdist: 0.1,
+                    vdiff: 0.0,
+                    theta: 0.0,
+                },
+                Alpha {
+                    inv_mdist: 0.0,
+                    vdiff: 3.0,
+                    theta: 1.0,
+                },
+                Alpha::ZERO,
+            ],
+        };
+        let p = ts.peak_alpha();
+        assert_eq!(p.vdiff, 3.0);
+    }
+
+    #[test]
+    fn no_tracks_no_windows() {
+        let ds = Dataset::build(&[], WindowConfig::default());
+        assert_eq!(ds.window_count(), 0);
+        assert_eq!(ds.sequence_count(), 0);
+    }
+
+    #[test]
+    fn from_series_matches_build() {
+        use crate::checkpoint::build_series;
+        let t = track(1, 0..90, |f| Vec2::new(3.0 * f, 100.0));
+        let cfg = WindowConfig::default();
+        let series = build_series(std::slice::from_ref(&t), &cfg.features);
+        let via_series = Dataset::from_series(&series, cfg);
+        let via_build = Dataset::build(&[t], cfg);
+        assert_eq!(via_series.window_count(), via_build.window_count());
+        assert_eq!(via_series.sequence_count(), via_build.sequence_count());
+        for (a, b) in via_series.windows.iter().zip(&via_build.windows) {
+            assert_eq!(a.start_frame, b.start_frame);
+            assert_eq!(a.sequences.len(), b.sequences.len());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_size_panics() {
+        let cfg = WindowConfig {
+            window_size: 0,
+            stride: 1,
+            features: crate::checkpoint::FeatureConfig::default(),
+        };
+        let _ = Dataset::build(&[], cfg);
+    }
+
+    #[test]
+    fn incident_vehicle_has_hot_features_in_its_window() {
+        // Vehicle stops abruptly at frame 45 (checkpoint 9, window 3).
+        let a = track(1, 0..90, |f| {
+            let x = if f <= 45.0 { 4.0 * f } else { 180.0 };
+            Vec2::new(x, 100.0)
+        });
+        let ds = Dataset::build(&[a], WindowConfig::default());
+        // Find the window with the max peak vdiff.
+        let hottest = ds
+            .windows
+            .iter()
+            .max_by(|a, b| {
+                let pa = a.sequences[0].peak_alpha().vdiff;
+                let pb = b.sequences[0].peak_alpha().vdiff;
+                pa.partial_cmp(&pb).unwrap()
+            })
+            .unwrap();
+        // The stop at frame 45 falls in window 3 (frames 45..=59).
+        assert_eq!(
+            hottest.index, 3,
+            "hot window at frames {}..={}",
+            hottest.start_frame, hottest.end_frame
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! A small LRU buffer cache.
+//!
+//! Decoding a clip bundle from the log costs a full deserialization
+//! pass; retrieval sessions touch the same clip repeatedly, so the
+//! database keeps the most recently used bundles decoded. Implemented
+//! with a `HashMap` plus an access counter — eviction scans for the
+//! minimum counter, which is O(capacity) but capacities here are tiny
+//! (defaults to 8 clips).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// LRU cache mapping keys to shared values.
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (Arc<V>, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a key, refreshing its recency on hit.
+    pub fn get(&mut self, key: &K) -> Option<Arc<V>> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some((v, t)) => {
+                *t = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(v))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a value, evicting the least recently used entry if full.
+    pub fn put(&mut self, key: K, value: Arc<V>) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(evict) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&evict);
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+
+    /// Removes a key (e.g. after a clip is deleted).
+    pub fn invalidate(&mut self, key: &K) {
+        self.map.remove(key);
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_put_get() {
+        let mut c: LruCache<u64, String> = LruCache::new(2);
+        c.put(1, Arc::new("one".into()));
+        assert_eq!(c.get(&1).unwrap().as_str(), "one");
+        assert!(c.get(&2).is_none());
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u64, u64> = LruCache::new(2);
+        c.put(1, Arc::new(10));
+        c.put(2, Arc::new(20));
+        // Touch 1 so 2 becomes LRU.
+        c.get(&1);
+        c.put(3, Arc::new(30));
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&2).is_none(), "LRU entry not evicted");
+        assert!(c.get(&3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_does_not_evict() {
+        let mut c: LruCache<u64, u64> = LruCache::new(2);
+        c.put(1, Arc::new(10));
+        c.put(2, Arc::new(20));
+        c.put(1, Arc::new(11)); // same key: replace
+        assert_eq!(*c.get(&1).unwrap(), 11);
+        assert!(c.get(&2).is_some());
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut c: LruCache<u64, u64> = LruCache::new(4);
+        c.put(1, Arc::new(10));
+        c.put(2, Arc::new(20));
+        c.invalidate(&1);
+        assert!(c.get(&1).is_none());
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let mut c: LruCache<u64, u64> = LruCache::new(0);
+        c.put(1, Arc::new(10));
+        assert!(c.get(&1).is_some());
+        c.put(2, Arc::new(20));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,679 @@
+//! The video database: log + catalog + buffer cache + metadata queries.
+
+use crate::cache::LruCache;
+use crate::codec::{Reader, Writer};
+use crate::error::{DbError, Result};
+use crate::frames::{FrameCodec, StoredFrame};
+use crate::log::Log;
+use crate::record::{ClipBundle, ClipMeta, SessionRow};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Record type tags in the log.
+const TAG_CLIP: u8 = 1;
+const TAG_SESSION: u8 = 2;
+const TAG_TOMBSTONE: u8 = 3;
+const TAG_VIDEO: u8 = 4;
+
+/// Default number of decoded clip bundles kept in the buffer cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 8;
+
+/// The transportation surveillance video database.
+///
+/// Clips are stored as single checksummed log records; the catalog
+/// (clip metadata and record offsets) is rebuilt by scanning the log on
+/// open, and full bundles are decoded on demand through an LRU cache.
+pub struct VideoDb {
+    log: Log,
+    /// clip_id -> (metadata, log offset of the bundle record).
+    catalog: BTreeMap<u64, (ClipMeta, u64)>,
+    /// Session records: (session_id, clip_id, offset).
+    sessions: Vec<(u64, u64, u64)>,
+    /// Video segments: (clip_id, start_frame, frame_count, offset).
+    video_segments: Vec<(u64, u32, u32, u64)>,
+    cache: LruCache<u64, ClipBundle>,
+}
+
+impl VideoDb {
+    /// Creates an ephemeral in-memory database.
+    ///
+    /// ```
+    /// use tsvr_viddb::{ClipBundle, ClipMeta, VideoDb};
+    ///
+    /// let mut db = VideoDb::in_memory();
+    /// db.put_clip(&ClipBundle {
+    ///     meta: ClipMeta {
+    ///         clip_id: 1,
+    ///         name: "demo".into(),
+    ///         location: "tunnel-17".into(),
+    ///         camera: "cam-1".into(),
+    ///         start_time: 0,
+    ///         frame_count: 100,
+    ///         width: 320,
+    ///         height: 240,
+    ///     },
+    ///     tracks: vec![],
+    ///     windows: vec![],
+    ///     incidents: vec![],
+    /// })
+    /// .unwrap();
+    /// assert_eq!(db.find_by_location("tunnel-17").len(), 1);
+    /// assert_eq!(db.load_clip(1).unwrap().meta.name, "demo");
+    /// ```
+    pub fn in_memory() -> VideoDb {
+        VideoDb {
+            log: Log::in_memory(),
+            catalog: BTreeMap::new(),
+            sessions: Vec::new(),
+            video_segments: Vec::new(),
+            cache: LruCache::new(DEFAULT_CACHE_CAPACITY),
+        }
+    }
+
+    /// Opens (or creates) a file-backed database, rebuilding the
+    /// catalog from the log.
+    pub fn open(path: &Path) -> Result<VideoDb> {
+        let mut db = VideoDb {
+            log: Log::open(path)?,
+            catalog: BTreeMap::new(),
+            sessions: Vec::new(),
+            video_segments: Vec::new(),
+            cache: LruCache::new(DEFAULT_CACHE_CAPACITY),
+        };
+        db.rebuild_catalog()?;
+        Ok(db)
+    }
+
+    fn rebuild_catalog(&mut self) -> Result<()> {
+        let records = self.log.scan()?;
+        for (offset, payload) in records {
+            let mut r = Reader::new(&payload);
+            match r.get_u8()? {
+                TAG_CLIP => {
+                    let meta = ClipMeta::decode(&mut r)?;
+                    // Later records win (e.g. after compaction replay).
+                    self.catalog.insert(meta.clip_id, (meta, offset));
+                }
+                TAG_SESSION => {
+                    let session_id = r.get_u64()?;
+                    let clip_id = r.get_u64()?;
+                    self.sessions.push((session_id, clip_id, offset));
+                }
+                TAG_TOMBSTONE => {
+                    let clip_id = r.get_u64()?;
+                    self.catalog.remove(&clip_id);
+                    self.video_segments.retain(|&(cid, _, _, _)| cid != clip_id);
+                }
+                TAG_VIDEO => {
+                    let clip_id = r.get_u64()?;
+                    let start_frame = r.get_u32()?;
+                    let frame_count = r.get_u32()?;
+                    self.video_segments
+                        .push((clip_id, start_frame, frame_count, offset));
+                }
+                t => return Err(DbError::UnknownRecordType(t)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores a clip bundle. Fails on duplicate clip ids.
+    pub fn put_clip(&mut self, bundle: &ClipBundle) -> Result<()> {
+        let id = bundle.meta.clip_id;
+        if self.catalog.contains_key(&id) {
+            return Err(DbError::DuplicateClip(id));
+        }
+        let mut w = Writer::new();
+        w.put_u8(TAG_CLIP);
+        // The metadata is encoded first so the catalog can be rebuilt
+        // without decoding whole bundles.
+        bundle.meta.encode(&mut w);
+        w.put_u32(bundle.tracks.len() as u32);
+        for t in &bundle.tracks {
+            t.encode(&mut w);
+        }
+        w.put_u32(bundle.windows.len() as u32);
+        for win in &bundle.windows {
+            win.encode(&mut w);
+        }
+        w.put_u32(bundle.incidents.len() as u32);
+        for inc in &bundle.incidents {
+            inc.encode(&mut w);
+        }
+        let offset = self.log.append(&w.into_bytes())?;
+        self.catalog.insert(id, (bundle.meta.clone(), offset));
+        Ok(())
+    }
+
+    fn decode_bundle(payload: &[u8]) -> Result<ClipBundle> {
+        let mut r = Reader::new(payload);
+        let tag = r.get_u8()?;
+        if tag != TAG_CLIP {
+            return Err(DbError::UnknownRecordType(tag));
+        }
+        let meta = ClipMeta::decode(&mut r)?;
+        let n = r.get_len()?;
+        let mut tracks = Vec::with_capacity(n);
+        for _ in 0..n {
+            tracks.push(crate::record::TrackRow::decode(&mut r)?);
+        }
+        let n = r.get_len()?;
+        let mut windows = Vec::with_capacity(n);
+        for _ in 0..n {
+            windows.push(crate::record::WindowRow::decode(&mut r)?);
+        }
+        let n = r.get_len()?;
+        let mut incidents = Vec::with_capacity(n);
+        for _ in 0..n {
+            incidents.push(crate::record::IncidentRow::decode(&mut r)?);
+        }
+        Ok(ClipBundle {
+            meta,
+            tracks,
+            windows,
+            incidents,
+        })
+    }
+
+    /// Loads a full clip bundle (through the buffer cache).
+    pub fn load_clip(&mut self, clip_id: u64) -> Result<Arc<ClipBundle>> {
+        if let Some(b) = self.cache.get(&clip_id) {
+            return Ok(b);
+        }
+        let &(_, offset) = self
+            .catalog
+            .get(&clip_id)
+            .ok_or(DbError::ClipNotFound(clip_id))?;
+        let payload = self.log.read(offset)?;
+        let bundle = Arc::new(Self::decode_bundle(&payload)?);
+        self.cache.put(clip_id, Arc::clone(&bundle));
+        Ok(bundle)
+    }
+
+    /// Deletes a clip (tombstone append; space is reclaimed by
+    /// [`VideoDb::compact`]).
+    pub fn delete_clip(&mut self, clip_id: u64) -> Result<()> {
+        if !self.catalog.contains_key(&clip_id) {
+            return Err(DbError::ClipNotFound(clip_id));
+        }
+        let mut w = Writer::new();
+        w.put_u8(TAG_TOMBSTONE);
+        w.put_u64(clip_id);
+        self.log.append(&w.into_bytes())?;
+        self.catalog.remove(&clip_id);
+        self.cache.invalidate(&clip_id);
+        Ok(())
+    }
+
+    /// Metadata of one clip.
+    pub fn meta(&self, clip_id: u64) -> Option<&ClipMeta> {
+        self.catalog.get(&clip_id).map(|(m, _)| m)
+    }
+
+    /// All clips, ordered by id.
+    pub fn list_clips(&self) -> Vec<&ClipMeta> {
+        self.catalog.values().map(|(m, _)| m).collect()
+    }
+
+    /// Number of stored clips.
+    pub fn clip_count(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Clips captured at a location.
+    pub fn find_by_location(&self, location: &str) -> Vec<&ClipMeta> {
+        self.catalog
+            .values()
+            .map(|(m, _)| m)
+            .filter(|m| m.location == location)
+            .collect()
+    }
+
+    /// Clips captured by a camera.
+    pub fn find_by_camera(&self, camera: &str) -> Vec<&ClipMeta> {
+        self.catalog
+            .values()
+            .map(|(m, _)| m)
+            .filter(|m| m.camera == camera)
+            .collect()
+    }
+
+    /// Clips whose capture start time falls in `[from, to]`.
+    pub fn find_by_time_range(&self, from: u64, to: u64) -> Vec<&ClipMeta> {
+        self.catalog
+            .values()
+            .map(|(m, _)| m)
+            .filter(|m| m.start_time >= from && m.start_time <= to)
+            .collect()
+    }
+
+    /// Persists one retrieval session.
+    pub fn put_session(&mut self, session: &SessionRow) -> Result<()> {
+        let mut w = Writer::new();
+        w.put_u8(TAG_SESSION);
+        session.encode(&mut w);
+        let offset = self.log.append(&w.into_bytes())?;
+        self.sessions
+            .push((session.session_id, session.clip_id, offset));
+        Ok(())
+    }
+
+    /// Loads every session recorded against a clip.
+    pub fn sessions_for_clip(&mut self, clip_id: u64) -> Result<Vec<SessionRow>> {
+        let offsets: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|&&(_, cid, _)| cid == clip_id)
+            .map(|&(_, _, off)| off)
+            .collect();
+        let mut out = Vec::with_capacity(offsets.len());
+        for off in offsets {
+            let payload = self.log.read(off)?;
+            let mut r = Reader::new(&payload);
+            let tag = r.get_u8()?;
+            if tag != TAG_SESSION {
+                return Err(DbError::UnknownRecordType(tag));
+            }
+            out.push(SessionRow::decode(&mut r)?);
+        }
+        Ok(out)
+    }
+
+    /// Number of stored sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Stores a segment of video frames for a clip (the clip must
+    /// already exist). Frames are quantized/delta/RLE compressed by
+    /// `codec`; `start_frame` is the absolute index of the first frame.
+    pub fn put_video_segment(
+        &mut self,
+        clip_id: u64,
+        start_frame: u32,
+        frames: &[StoredFrame],
+        codec: FrameCodec,
+    ) -> Result<()> {
+        if !self.catalog.contains_key(&clip_id) {
+            return Err(DbError::ClipNotFound(clip_id));
+        }
+        let payload = codec.encode_segment(frames)?;
+        let mut w = Writer::new();
+        w.put_u8(TAG_VIDEO);
+        w.put_u64(clip_id);
+        w.put_u32(start_frame);
+        w.put_u32(frames.len() as u32);
+        w.put_bytes(&payload);
+        let offset = self.log.append(&w.into_bytes())?;
+        self.video_segments
+            .push((clip_id, start_frame, frames.len() as u32, offset));
+        Ok(())
+    }
+
+    /// Loads the frames of a clip overlapping `[from, to)`, returned as
+    /// `(absolute_frame_index, frame)` pairs in frame order. Frames the
+    /// database never stored are simply absent from the result.
+    pub fn load_frames(
+        &mut self,
+        clip_id: u64,
+        from: u32,
+        to: u32,
+    ) -> Result<Vec<(u32, StoredFrame)>> {
+        let segments: Vec<(u32, u32, u64)> = self
+            .video_segments
+            .iter()
+            .filter(|&&(cid, start, count, _)| cid == clip_id && start < to && start + count > from)
+            .map(|&(_, start, count, off)| (start, count, off))
+            .collect();
+        let mut out = Vec::new();
+        for (start, _, off) in segments {
+            let record = self.log.read(off)?;
+            let mut r = Reader::new(&record);
+            let tag = r.get_u8()?;
+            if tag != TAG_VIDEO {
+                return Err(DbError::UnknownRecordType(tag));
+            }
+            let _clip = r.get_u64()?;
+            let _start = r.get_u32()?;
+            let _count = r.get_u32()?;
+            let frames = FrameCodec::decode_segment(r.get_bytes()?)?;
+            for (i, f) in frames.into_iter().enumerate() {
+                let abs = start + i as u32;
+                if abs >= from && abs < to {
+                    out.push((abs, f));
+                }
+            }
+        }
+        out.sort_by_key(|&(abs, _)| abs);
+        Ok(out)
+    }
+
+    /// Number of stored video segments.
+    pub fn video_segment_count(&self) -> usize {
+        self.video_segments.len()
+    }
+
+    /// Bytes in the log (including dead records awaiting compaction).
+    pub fn log_size(&self) -> u64 {
+        self.log.len()
+    }
+
+    /// Rewrites the log keeping only live records, reclaiming space
+    /// from deleted clips.
+    pub fn compact(&mut self) -> Result<()> {
+        // Collect live payloads before resetting.
+        let mut live: Vec<Vec<u8>> = Vec::new();
+        let clip_offsets: Vec<u64> = self.catalog.values().map(|&(_, off)| off).collect();
+        for off in clip_offsets {
+            live.push(self.log.read(off)?);
+        }
+        let session_offsets: Vec<u64> = self.sessions.iter().map(|&(_, _, off)| off).collect();
+        for off in session_offsets {
+            live.push(self.log.read(off)?);
+        }
+        let video_offsets: Vec<u64> = self
+            .video_segments
+            .iter()
+            .map(|&(_, _, _, off)| off)
+            .collect();
+        for off in video_offsets {
+            live.push(self.log.read(off)?);
+        }
+        self.log.reset()?;
+        self.catalog.clear();
+        self.sessions.clear();
+        self.video_segments.clear();
+        self.cache.clear();
+        for payload in live {
+            self.log.append(&payload)?;
+        }
+        // Rebuild offsets.
+        self.rebuild_catalog()
+    }
+
+    /// `(hits, misses)` of the buffer cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::test_fixtures::sample_bundle;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tsvr-db-test-{}-{name}.db", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn put_and_load_round_trip() {
+        let mut db = VideoDb::in_memory();
+        let b = sample_bundle(1);
+        db.put_clip(&b).unwrap();
+        let loaded = db.load_clip(1).unwrap();
+        assert_eq!(*loaded, b);
+        assert_eq!(db.clip_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_clip_rejected() {
+        let mut db = VideoDb::in_memory();
+        db.put_clip(&sample_bundle(1)).unwrap();
+        assert!(matches!(
+            db.put_clip(&sample_bundle(1)).unwrap_err(),
+            DbError::DuplicateClip(1)
+        ));
+    }
+
+    #[test]
+    fn missing_clip_errors() {
+        let mut db = VideoDb::in_memory();
+        assert!(matches!(
+            db.load_clip(9).unwrap_err(),
+            DbError::ClipNotFound(9)
+        ));
+        assert!(db.meta(9).is_none());
+    }
+
+    #[test]
+    fn cache_serves_repeat_loads() {
+        let mut db = VideoDb::in_memory();
+        db.put_clip(&sample_bundle(1)).unwrap();
+        let a = db.load_clip(1).unwrap();
+        let b = db.load_clip(1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second load not served from cache");
+        let (hits, misses) = db.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn metadata_queries() {
+        let mut db = VideoDb::in_memory();
+        let mut b1 = sample_bundle(1);
+        b1.meta.location = "tunnel-17".into();
+        b1.meta.camera = "cam-a".into();
+        b1.meta.start_time = 100;
+        let mut b2 = sample_bundle(2);
+        b2.meta.location = "intersection-3".into();
+        b2.meta.camera = "cam-b".into();
+        b2.meta.start_time = 200;
+        db.put_clip(&b1).unwrap();
+        db.put_clip(&b2).unwrap();
+
+        assert_eq!(db.find_by_location("tunnel-17").len(), 1);
+        assert_eq!(db.find_by_location("nowhere").len(), 0);
+        assert_eq!(db.find_by_camera("cam-b")[0].clip_id, 2);
+        assert_eq!(db.find_by_time_range(0, 150).len(), 1);
+        assert_eq!(db.find_by_time_range(0, 300).len(), 2);
+        assert_eq!(db.list_clips().len(), 2);
+    }
+
+    #[test]
+    fn delete_and_compact_reclaims_space() {
+        let mut db = VideoDb::in_memory();
+        db.put_clip(&sample_bundle(1)).unwrap();
+        db.put_clip(&sample_bundle(2)).unwrap();
+        let before = db.log_size();
+        db.delete_clip(1).unwrap();
+        assert!(db.meta(1).is_none());
+        assert!(db.load_clip(1).is_err());
+        db.compact().unwrap();
+        assert!(db.log_size() < before, "compaction did not shrink the log");
+        // Clip 2 survives compaction intact.
+        let b2 = db.load_clip(2).unwrap();
+        assert_eq!(b2.meta.clip_id, 2);
+    }
+
+    #[test]
+    fn delete_missing_clip_errors() {
+        let mut db = VideoDb::in_memory();
+        assert!(db.delete_clip(5).is_err());
+    }
+
+    #[test]
+    fn sessions_round_trip() {
+        let mut db = VideoDb::in_memory();
+        db.put_clip(&sample_bundle(1)).unwrap();
+        let s = SessionRow {
+            session_id: 100,
+            clip_id: 1,
+            query: "accident".into(),
+            learner: "MIL_OneClassSVM".into(),
+            feedback: vec![vec![(0, true)]],
+            accuracies: vec![0.4, 0.6],
+        };
+        db.put_session(&s).unwrap();
+        let got = db.sessions_for_clip(1).unwrap();
+        assert_eq!(got, vec![s]);
+        assert!(db.sessions_for_clip(2).unwrap().is_empty());
+        assert_eq!(db.session_count(), 1);
+    }
+
+    #[test]
+    fn file_db_persists_catalog_and_sessions() {
+        let path = temp_path("persist");
+        {
+            let mut db = VideoDb::open(&path).unwrap();
+            db.put_clip(&sample_bundle(7)).unwrap();
+            db.put_session(&SessionRow {
+                session_id: 1,
+                clip_id: 7,
+                query: "accident".into(),
+                learner: "Weighted_RF".into(),
+                feedback: vec![],
+                accuracies: vec![0.4],
+            })
+            .unwrap();
+        }
+        {
+            let mut db = VideoDb::open(&path).unwrap();
+            assert_eq!(db.clip_count(), 1);
+            assert_eq!(db.meta(7).unwrap().location, "tunnel-17");
+            let bundle = db.load_clip(7).unwrap();
+            assert_eq!(bundle.tracks.len(), 2);
+            assert_eq!(db.sessions_for_clip(7).unwrap().len(), 1);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn deletion_survives_reopen() {
+        let path = temp_path("tombstone");
+        {
+            let mut db = VideoDb::open(&path).unwrap();
+            db.put_clip(&sample_bundle(1)).unwrap();
+            db.put_clip(&sample_bundle(2)).unwrap();
+            db.delete_clip(1).unwrap();
+        }
+        {
+            let db = VideoDb::open(&path).unwrap();
+            assert_eq!(db.clip_count(), 1);
+            assert!(db.meta(1).is_none());
+            assert!(db.meta(2).is_some());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn tiny_frame(v: u8) -> StoredFrame {
+        StoredFrame::new(8, 6, vec![v; 48]).unwrap()
+    }
+
+    #[test]
+    fn video_segments_round_trip() {
+        let mut db = VideoDb::in_memory();
+        db.put_clip(&sample_bundle(1)).unwrap();
+        let frames: Vec<StoredFrame> = (0..10).map(|i| tiny_frame(40 + i * 8)).collect();
+        db.put_video_segment(1, 100, &frames, FrameCodec { quant_step: 1 })
+            .unwrap();
+        assert_eq!(db.video_segment_count(), 1);
+
+        // Full range.
+        let got = db.load_frames(1, 100, 110).unwrap();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].0, 100);
+        assert_eq!(got[0].1, frames[0]);
+        assert_eq!(got[9].1, frames[9]);
+
+        // Partial overlap.
+        let got = db.load_frames(1, 105, 200).unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0].0, 105);
+
+        // Disjoint range and wrong clip.
+        assert!(db.load_frames(1, 0, 50).unwrap().is_empty());
+        assert!(db.load_frames(2, 100, 110).unwrap().is_empty());
+    }
+
+    #[test]
+    fn video_segments_require_existing_clip() {
+        let mut db = VideoDb::in_memory();
+        let frames = vec![tiny_frame(90)];
+        assert!(matches!(
+            db.put_video_segment(9, 0, &frames, FrameCodec::default())
+                .unwrap_err(),
+            DbError::ClipNotFound(9)
+        ));
+    }
+
+    #[test]
+    fn video_segments_span_multiple_records() {
+        let mut db = VideoDb::in_memory();
+        db.put_clip(&sample_bundle(1)).unwrap();
+        let codec = FrameCodec { quant_step: 1 };
+        db.put_video_segment(1, 0, &[tiny_frame(10), tiny_frame(20)], codec)
+            .unwrap();
+        db.put_video_segment(1, 2, &[tiny_frame(30), tiny_frame(40)], codec)
+            .unwrap();
+        let got = db.load_frames(1, 1, 4).unwrap();
+        assert_eq!(
+            got.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(got[0].1.pixels[0], 20);
+        assert_eq!(got[2].1.pixels[0], 40);
+    }
+
+    #[test]
+    fn video_survives_reopen_and_compaction() {
+        let path = temp_path("video");
+        {
+            let mut db = VideoDb::open(&path).unwrap();
+            db.put_clip(&sample_bundle(1)).unwrap();
+            db.put_clip(&sample_bundle(2)).unwrap();
+            db.put_video_segment(1, 0, &[tiny_frame(77)], FrameCodec { quant_step: 1 })
+                .unwrap();
+            db.delete_clip(2).unwrap();
+            db.compact().unwrap();
+        }
+        {
+            let mut db = VideoDb::open(&path).unwrap();
+            assert_eq!(db.video_segment_count(), 1);
+            let got = db.load_frames(1, 0, 1).unwrap();
+            assert_eq!(got[0].1.pixels[0], 77);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn deleting_clip_drops_its_video_on_reopen() {
+        let path = temp_path("video-del");
+        {
+            let mut db = VideoDb::open(&path).unwrap();
+            db.put_clip(&sample_bundle(1)).unwrap();
+            db.put_video_segment(1, 0, &[tiny_frame(9)], FrameCodec::default())
+                .unwrap();
+            db.delete_clip(1).unwrap();
+        }
+        {
+            let db = VideoDb::open(&path).unwrap();
+            assert_eq!(db.video_segment_count(), 0);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compacted_file_db_reopens() {
+        let path = temp_path("compact");
+        {
+            let mut db = VideoDb::open(&path).unwrap();
+            for id in 1..=5 {
+                db.put_clip(&sample_bundle(id)).unwrap();
+            }
+            for id in 1..=4 {
+                db.delete_clip(id).unwrap();
+            }
+            db.compact().unwrap();
+        }
+        {
+            let mut db = VideoDb::open(&path).unwrap();
+            assert_eq!(db.clip_count(), 1);
+            assert_eq!(db.load_clip(5).unwrap().meta.clip_id, 5);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

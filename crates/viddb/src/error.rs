@@ -1,0 +1,94 @@
+//! Database error type.
+
+use std::fmt;
+
+/// Errors produced by the video database.
+#[derive(Debug)]
+pub enum DbError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Decoding ran past the end of a buffer.
+    UnexpectedEof {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A stored checksum did not match the payload.
+    ChecksumMismatch {
+        /// Byte offset of the corrupt record in the log.
+        offset: u64,
+    },
+    /// The file does not start with the expected magic bytes.
+    BadMagic,
+    /// A record carried an unknown type tag.
+    UnknownRecordType(u8),
+    /// The requested clip does not exist.
+    ClipNotFound(u64),
+    /// A clip with this id already exists.
+    DuplicateClip(u64),
+    /// A string field failed UTF-8 validation.
+    InvalidUtf8,
+    /// A length field exceeded sanity bounds (corrupt or hostile data).
+    LengthOutOfBounds(u64),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io(e) => write!(f, "io error: {e}"),
+            DbError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of buffer while decoding {context}")
+            }
+            DbError::ChecksumMismatch { offset } => {
+                write!(f, "checksum mismatch at log offset {offset}")
+            }
+            DbError::BadMagic => write!(f, "not a tsvr video database (bad magic)"),
+            DbError::UnknownRecordType(t) => write!(f, "unknown record type {t}"),
+            DbError::ClipNotFound(id) => write!(f, "clip {id} not found"),
+            DbError::DuplicateClip(id) => write!(f, "clip {id} already exists"),
+            DbError::InvalidUtf8 => write!(f, "invalid utf-8 in string field"),
+            DbError::LengthOutOfBounds(n) => write!(f, "length field {n} out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+
+/// Result alias for database operations.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_details() {
+        assert!(DbError::ClipNotFound(42).to_string().contains("42"));
+        assert!(DbError::ChecksumMismatch { offset: 128 }
+            .to_string()
+            .contains("128"));
+        assert!(DbError::UnknownRecordType(9).to_string().contains('9'));
+        assert!(DbError::UnexpectedEof { context: "meta" }
+            .to_string()
+            .contains("meta"));
+    }
+
+    #[test]
+    fn io_error_round_trips_source() {
+        let e: DbError = std::io::Error::other("boom").into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Video frame storage: lossy-quantized, temporally-delta-coded,
+//! run-length-compressed grayscale frames.
+//!
+//! The retrieval pipeline works on derived records, but the database is
+//! a *video* database (§1) — an analyst reviewing a retrieved Video
+//! Sequence needs the pixels back. Surveillance archival is classically
+//! lossy: this codec quantizes intensities (default 32 levels, which
+//! also swallows sensor noise), codes each frame as a wrapping delta
+//! against the previous frame of its segment, and run-length-encodes
+//! the result. Static scenes — the normal case for a fixed camera —
+//! compress by an order of magnitude.
+
+use crate::codec::{Reader, Writer};
+use crate::error::{DbError, Result};
+
+/// One stored grayscale frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredFrame {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Row-major pixels.
+    pub pixels: Vec<u8>,
+}
+
+impl StoredFrame {
+    /// Creates a frame, checking dimensions.
+    pub fn new(width: u32, height: u32, pixels: Vec<u8>) -> Result<StoredFrame> {
+        if pixels.len() != (width * height) as usize {
+            return Err(DbError::LengthOutOfBounds(pixels.len() as u64));
+        }
+        Ok(StoredFrame {
+            width,
+            height,
+            pixels,
+        })
+    }
+}
+
+/// Frame codec parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameCodec {
+    /// Quantization step in gray levels (1 = lossless-quantization,
+    /// 8 = 32 levels). Larger steps compress better and lose more.
+    pub quant_step: u8,
+}
+
+impl Default for FrameCodec {
+    fn default() -> Self {
+        FrameCodec { quant_step: 8 }
+    }
+}
+
+impl FrameCodec {
+    /// Quantizes a pixel to its level index.
+    #[inline]
+    fn quantize(&self, v: u8) -> u8 {
+        v / self.quant_step.max(1)
+    }
+
+    /// Reconstructs a pixel from its level index (mid-rise).
+    #[inline]
+    fn dequantize(&self, q: u8) -> u8 {
+        let s = self.quant_step.max(1) as u16;
+        (q as u16 * s + s / 2).min(255) as u8
+    }
+
+    /// The reconstruction of `v` after a quantize/dequantize round trip
+    /// (what [`FrameCodec::decode_segment`] will return for it).
+    pub fn reconstruct(&self, v: u8) -> u8 {
+        self.dequantize(self.quantize(v))
+    }
+
+    /// Encodes a segment of frames (all with identical dimensions).
+    /// The first frame is coded directly, the rest as wrapping deltas
+    /// against their predecessor; everything is then RLE-packed.
+    pub fn encode_segment(&self, frames: &[StoredFrame]) -> Result<Vec<u8>> {
+        let Some(first) = frames.first() else {
+            return Err(DbError::UnexpectedEof { context: "frames" });
+        };
+        for f in frames {
+            if f.width != first.width || f.height != first.height {
+                return Err(DbError::LengthOutOfBounds(f.pixels.len() as u64));
+            }
+        }
+        let mut w = Writer::new();
+        w.put_u8(self.quant_step);
+        w.put_u32(first.width);
+        w.put_u32(first.height);
+        w.put_u32(frames.len() as u32);
+
+        let mut prev: Vec<u8> = Vec::new();
+        let mut stream: Vec<u8> = Vec::with_capacity(first.pixels.len());
+        for (i, f) in frames.iter().enumerate() {
+            let q: Vec<u8> = f.pixels.iter().map(|&p| self.quantize(p)).collect();
+            if i == 0 {
+                stream.extend_from_slice(&q);
+            } else {
+                stream.extend(q.iter().zip(&prev).map(|(&a, &b)| a.wrapping_sub(b)));
+            }
+            prev = q;
+        }
+        w.put_bytes(&rle_compress(&stream));
+        Ok(w.into_bytes())
+    }
+
+    /// Decodes a segment produced by [`FrameCodec::encode_segment`].
+    pub fn decode_segment(payload: &[u8]) -> Result<Vec<StoredFrame>> {
+        let mut r = Reader::new(payload);
+        let quant_step = r.get_u8()?;
+        let codec = FrameCodec { quant_step };
+        let width = r.get_u32()?;
+        let height = r.get_u32()?;
+        let count = r.get_len()?;
+        let per_frame = (width * height) as usize;
+        let stream = rle_decompress(r.get_bytes()?);
+        if stream.len() != per_frame * count {
+            return Err(DbError::UnexpectedEof {
+                context: "frame stream",
+            });
+        }
+        let mut out = Vec::with_capacity(count);
+        let mut prev: Vec<u8> = Vec::new();
+        for i in 0..count {
+            let chunk = &stream[i * per_frame..(i + 1) * per_frame];
+            let q: Vec<u8> = if i == 0 {
+                chunk.to_vec()
+            } else {
+                chunk
+                    .iter()
+                    .zip(&prev)
+                    .map(|(&d, &p)| d.wrapping_add(p))
+                    .collect()
+            };
+            let pixels = q.iter().map(|&v| codec.dequantize(v)).collect();
+            prev = q;
+            out.push(StoredFrame {
+                width,
+                height,
+                pixels,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Byte-level run-length encoding: `(count, value)` pairs with count in
+/// 1..=255.
+pub fn rle_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 8);
+    let mut i = 0;
+    while i < data.len() {
+        let v = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == v && run < 255 {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.push(v);
+        i += run;
+    }
+    out
+}
+
+/// Inverse of [`rle_compress`]. Trailing odd bytes are ignored.
+pub fn rle_decompress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for pair in data.chunks_exact(2) {
+        out.extend(std::iter::repeat_n(pair[1], pair[0] as usize));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(width: u32, height: u32, f: impl Fn(u32, u32) -> u8) -> StoredFrame {
+        let mut pixels = Vec::with_capacity((width * height) as usize);
+        for y in 0..height {
+            for x in 0..width {
+                pixels.push(f(x, y));
+            }
+        }
+        StoredFrame {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    #[test]
+    fn rle_round_trip() {
+        let data = b"aaaabbbcddddddddddddddddddddddddddd";
+        let c = rle_compress(data);
+        assert_eq!(rle_decompress(&c), data);
+        assert!(c.len() < data.len());
+        assert!(rle_compress(&[]).is_empty());
+        assert!(rle_decompress(&[]).is_empty());
+    }
+
+    #[test]
+    fn rle_handles_long_runs() {
+        let data = vec![7u8; 1000];
+        let c = rle_compress(&data);
+        assert_eq!(rle_decompress(&c), data);
+        // ceil(1000/255) pairs.
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn rle_worst_case_alternating() {
+        let data: Vec<u8> = (0..100).map(|i| (i % 2) as u8).collect();
+        let c = rle_compress(&data);
+        assert_eq!(rle_decompress(&c), data);
+        assert_eq!(c.len(), 200); // 2 bytes per 1-run
+    }
+
+    #[test]
+    fn segment_round_trip_is_quantized_identity() {
+        let codec = FrameCodec { quant_step: 8 };
+        let frames: Vec<StoredFrame> = (0..5)
+            .map(|i| frame(16, 12, |x, y| ((x * 7 + y * 3 + i * 2) % 256) as u8))
+            .collect();
+        let payload = codec.encode_segment(&frames).unwrap();
+        let decoded = FrameCodec::decode_segment(&payload).unwrap();
+        assert_eq!(decoded.len(), frames.len());
+        for (d, f) in decoded.iter().zip(&frames) {
+            assert_eq!(d.width, 16);
+            assert_eq!(d.height, 12);
+            for (&got, &want) in d.pixels.iter().zip(&f.pixels) {
+                assert_eq!(got, codec.reconstruct(want));
+                // Reconstruction error bounded by the quantization step.
+                assert!((got as i16 - want as i16).unsigned_abs() <= 8);
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_quantization_step_one() {
+        let codec = FrameCodec { quant_step: 1 };
+        let frames = vec![frame(8, 8, |x, y| (x * y % 251) as u8)];
+        let payload = codec.encode_segment(&frames).unwrap();
+        let decoded = FrameCodec::decode_segment(&payload).unwrap();
+        assert_eq!(decoded[0].pixels, frames[0].pixels);
+    }
+
+    #[test]
+    fn static_scene_compresses_well() {
+        let codec = FrameCodec::default();
+        // 30 identical frames of a structured background.
+        let base = frame(64, 48, |x, y| if y < 20 { 45 } else { 90 + (x % 3) as u8 });
+        let frames = vec![base; 30];
+        let raw_size = 64 * 48 * 30;
+        let payload = codec.encode_segment(&frames).unwrap();
+        assert!(
+            payload.len() * 10 < raw_size,
+            "compressed {} of {raw_size}",
+            payload.len()
+        );
+    }
+
+    #[test]
+    fn moving_object_still_compresses() {
+        let codec = FrameCodec::default();
+        let frames: Vec<StoredFrame> = (0..20)
+            .map(|i| {
+                frame(64, 48, move |x, y| {
+                    // Background 90 with a bright 8x6 block sliding right.
+                    let bx = i * 3;
+                    if x >= bx && x < bx + 8 && (20..26).contains(&y) {
+                        180
+                    } else {
+                        90
+                    }
+                })
+            })
+            .collect();
+        let raw_size = 64 * 48 * 20;
+        let payload = codec.encode_segment(&frames).unwrap();
+        assert!(
+            payload.len() * 4 < raw_size,
+            "compressed {} of {raw_size}",
+            payload.len()
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let codec = FrameCodec::default();
+        let frames = vec![frame(8, 8, |_, _| 0), frame(8, 9, |_, _| 0)];
+        assert!(codec.encode_segment(&frames).is_err());
+        assert!(codec.encode_segment(&[]).is_err());
+    }
+
+    #[test]
+    fn corrupt_payload_fails_cleanly() {
+        let codec = FrameCodec::default();
+        let frames = vec![frame(8, 8, |x, _| x as u8)];
+        let mut payload = codec.encode_segment(&frames).unwrap();
+        payload.truncate(payload.len() / 2);
+        assert!(FrameCodec::decode_segment(&payload).is_err());
+    }
+
+    #[test]
+    fn stored_frame_validates_size() {
+        assert!(StoredFrame::new(4, 4, vec![0; 16]).is_ok());
+        assert!(StoredFrame::new(4, 4, vec![0; 15]).is_err());
+    }
+}

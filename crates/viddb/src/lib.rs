@@ -1,0 +1,40 @@
+//! # tsvr-viddb
+//!
+//! The transportation surveillance video *database* layer.
+//!
+//! The paper's setting (§1) is a database: "a large amount of
+//! transportation surveillance videos are collected and stored in the
+//! database … organized with the corresponding metadata such as the time
+//! and place a video is taken", and its future-work section plans
+//! per-camera normalization before "storing them into the database".
+//! This crate supplies that substrate:
+//!
+//! * [`codec`] — a compact little-endian binary codec with CRC-32
+//!   integrity (no serialization crates are available offline);
+//! * [`record`] — durable record types: clip metadata (time / place /
+//!   camera), vehicle tracks, extracted windows with trajectory-sequence
+//!   features, ground-truth incidents, and retrieval-session history;
+//! * [`log`] — an append-only, checksummed record log with torn-write
+//!   recovery, over either a file or an in-memory buffer;
+//! * [`frames`] — lossy-quantized, delta-coded, RLE-compressed video
+//!   frame segments, so retrieved Video Sequences can be played back;
+//! * [`cache`] — an LRU buffer cache for decoded clip bundles;
+//! * [`db`] — [`db::VideoDb`]: the log + in-memory catalog + cache, with
+//!   metadata queries (by location, camera, time range) and session
+//!   persistence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod codec;
+pub mod db;
+pub mod error;
+pub mod frames;
+pub mod log;
+pub mod record;
+
+pub use db::VideoDb;
+pub use error::DbError;
+pub use frames::{FrameCodec, StoredFrame};
+pub use record::{ClipBundle, ClipMeta, IncidentRow, SequenceRow, SessionRow, TrackRow, WindowRow};

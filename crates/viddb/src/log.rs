@@ -1,0 +1,313 @@
+//! Append-only checksummed record log.
+//!
+//! Layout:
+//!
+//! ```text
+//! [8-byte magic "TSVRDB01"]
+//! repeated records:
+//!   [u32 payload_len][u32 crc32(payload)][payload bytes]
+//! ```
+//!
+//! Recovery: on open, the log is scanned record by record; the first
+//! record with a bad length or checksum ends the valid prefix and the
+//! log is truncated there (torn-write recovery, the standard WAL rule).
+
+use crate::codec::{crc32, MAX_LEN};
+use crate::error::{DbError, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// File magic: identifies a tsvr video database, version 01.
+pub const MAGIC: &[u8; 8] = b"TSVRDB01";
+
+/// Storage backend: a real file or an in-memory buffer (for tests and
+/// ephemeral databases).
+#[derive(Debug)]
+enum Backend {
+    Memory(Vec<u8>),
+    File(File),
+}
+
+/// The append-only log.
+#[derive(Debug)]
+pub struct Log {
+    backend: Backend,
+    /// Logical end of the valid data.
+    len: u64,
+}
+
+impl Log {
+    /// Creates an empty in-memory log.
+    pub fn in_memory() -> Log {
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        Log {
+            len: data.len() as u64,
+            backend: Backend::Memory(data),
+        }
+    }
+
+    /// Opens (or creates) a file-backed log, running torn-write
+    /// recovery on existing content.
+    pub fn open(path: &Path) -> Result<Log> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len == 0 {
+            file.write_all(MAGIC)?;
+            file.flush()?;
+            return Ok(Log {
+                backend: Backend::File(file),
+                len: MAGIC.len() as u64,
+            });
+        }
+        let mut magic = [0u8; 8];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut magic).map_err(|_| DbError::BadMagic)?;
+        if &magic != MAGIC {
+            return Err(DbError::BadMagic);
+        }
+        let mut log = Log {
+            backend: Backend::File(file),
+            len: file_len,
+        };
+        let valid = log.scan_valid_prefix()?;
+        if valid < file_len {
+            // Torn tail: truncate it away.
+            if let Backend::File(f) = &mut log.backend {
+                f.set_len(valid)?;
+            }
+            log.len = valid;
+        }
+        Ok(log)
+    }
+
+    /// Total valid bytes (including the magic).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len <= MAGIC.len() as u64
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        match &mut self.backend {
+            Backend::Memory(data) => {
+                let start = offset as usize;
+                let end = start + buf.len();
+                if end > data.len() {
+                    return Err(DbError::UnexpectedEof { context: "log" });
+                }
+                buf.copy_from_slice(&data[start..end]);
+                Ok(())
+            }
+            Backend::File(f) => {
+                f.seek(SeekFrom::Start(offset))?;
+                f.read_exact(buf)
+                    .map_err(|_| DbError::UnexpectedEof { context: "log" })
+            }
+        }
+    }
+
+    /// Appends one record; returns its offset.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
+        let offset = self.len;
+        let mut framed = Vec::with_capacity(payload.len() + 8);
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&crc32(payload).to_le_bytes());
+        framed.extend_from_slice(payload);
+        match &mut self.backend {
+            Backend::Memory(data) => data.extend_from_slice(&framed),
+            Backend::File(f) => {
+                f.seek(SeekFrom::Start(offset))?;
+                f.write_all(&framed)?;
+                f.flush()?;
+            }
+        }
+        self.len += framed.len() as u64;
+        Ok(offset)
+    }
+
+    /// Reads the record at `offset`, verifying its checksum.
+    pub fn read(&mut self, offset: u64) -> Result<Vec<u8>> {
+        let mut header = [0u8; 8];
+        self.read_at(offset, &mut header)?;
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as u64;
+        let stored_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_LEN || offset + 8 + len > self.len {
+            return Err(DbError::ChecksumMismatch { offset });
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.read_at(offset + 8, &mut payload)?;
+        if crc32(&payload) != stored_crc {
+            return Err(DbError::ChecksumMismatch { offset });
+        }
+        Ok(payload)
+    }
+
+    /// Iterates over all records, returning `(offset, payload)` pairs.
+    pub fn scan(&mut self) -> Result<Vec<(u64, Vec<u8>)>> {
+        let mut out = Vec::new();
+        let mut offset = MAGIC.len() as u64;
+        while offset + 8 <= self.len {
+            match self.read(offset) {
+                Ok(payload) => {
+                    let advance = 8 + payload.len() as u64;
+                    out.push((offset, payload));
+                    offset += advance;
+                }
+                Err(_) => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Discards every record (used by compaction before rewriting the
+    /// live set).
+    pub fn reset(&mut self) -> Result<()> {
+        match &mut self.backend {
+            Backend::Memory(data) => data.truncate(MAGIC.len()),
+            Backend::File(f) => {
+                f.set_len(MAGIC.len() as u64)?;
+                f.flush()?;
+            }
+        }
+        self.len = MAGIC.len() as u64;
+        Ok(())
+    }
+
+    /// Length of the valid prefix (used by recovery).
+    fn scan_valid_prefix(&mut self) -> Result<u64> {
+        let mut offset = MAGIC.len() as u64;
+        while offset + 8 <= self.len {
+            match self.read(offset) {
+                Ok(payload) => offset += 8 + payload.len() as u64,
+                Err(_) => break,
+            }
+        }
+        Ok(offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tsvr-log-test-{}-{name}.db", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn memory_append_read_round_trip() {
+        let mut log = Log::in_memory();
+        assert!(log.is_empty());
+        let a = log.append(b"hello").unwrap();
+        let b = log.append(b"world!").unwrap();
+        assert!(!log.is_empty());
+        assert_eq!(log.read(a).unwrap(), b"hello");
+        assert_eq!(log.read(b).unwrap(), b"world!");
+    }
+
+    #[test]
+    fn scan_returns_records_in_order() {
+        let mut log = Log::in_memory();
+        log.append(b"one").unwrap();
+        log.append(b"two").unwrap();
+        log.append(b"three").unwrap();
+        let all = log.scan().unwrap();
+        let payloads: Vec<&[u8]> = all.iter().map(|(_, p)| p.as_slice()).collect();
+        assert_eq!(payloads, vec![b"one".as_slice(), b"two", b"three"]);
+    }
+
+    #[test]
+    fn file_log_persists_across_reopen() {
+        let path = temp_path("persist");
+        {
+            let mut log = Log::open(&path).unwrap();
+            log.append(b"alpha").unwrap();
+            log.append(b"beta").unwrap();
+        }
+        {
+            let mut log = Log::open(&path).unwrap();
+            let all = log.scan().unwrap();
+            assert_eq!(all.len(), 2);
+            assert_eq!(all[1].1, b"beta");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = temp_path("torn");
+        let full_len;
+        {
+            let mut log = Log::open(&path).unwrap();
+            log.append(b"good record").unwrap();
+            full_len = log.len();
+            log.append(b"this one will be torn").unwrap();
+        }
+        // Corrupt the second record's tail.
+        {
+            let f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(full_len + 10).unwrap(); // mid-record cut
+        }
+        {
+            let mut log = Log::open(&path).unwrap();
+            let all = log.scan().unwrap();
+            assert_eq!(all.len(), 1, "torn record not dropped");
+            assert_eq!(all[0].1, b"good record");
+            assert_eq!(log.len(), full_len);
+            // The log accepts fresh appends after recovery.
+            log.append(b"after recovery").unwrap();
+            assert_eq!(log.scan().unwrap().len(), 2);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_payload_detected() {
+        let path = temp_path("corrupt");
+        let offset;
+        {
+            let mut log = Log::open(&path).unwrap();
+            offset = log.append(b"pristine payload").unwrap();
+        }
+        {
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(offset + 8 + 2)).unwrap();
+            f.write_all(b"X").unwrap();
+        }
+        {
+            let mut log = Log::open(&path).unwrap();
+            // Recovery truncates the bad record away entirely.
+            assert!(log.is_empty() || log.scan().unwrap().is_empty());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOTADB!!whatever").unwrap();
+        assert!(matches!(Log::open(&path).unwrap_err(), DbError::BadMagic));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let mut log = Log::in_memory();
+        let off = log.append(b"").unwrap();
+        assert_eq!(log.read(off).unwrap(), b"");
+        assert_eq!(log.scan().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,431 @@
+//! Durable record types and their binary encodings.
+
+use crate::codec::{Reader, Writer};
+use crate::error::Result;
+
+/// Metadata of one stored clip — "the time and place a video is taken"
+/// (paper §1) plus camera identity, which the paper's future work needs
+/// for cross-camera normalization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClipMeta {
+    /// Unique clip id.
+    pub clip_id: u64,
+    /// Human-readable name.
+    pub name: String,
+    /// Capture location (e.g. "tunnel-17" or "intersection-taipei-3").
+    pub location: String,
+    /// Camera identifier.
+    pub camera: String,
+    /// Capture start time, seconds since the epoch.
+    pub start_time: u64,
+    /// Number of frames.
+    pub frame_count: u32,
+    /// Frame width, px.
+    pub width: u32,
+    /// Frame height, px.
+    pub height: u32,
+}
+
+/// One tracked vehicle trajectory (centroids packed as f32 pairs — half
+/// the storage of f64 at far-sub-pixel precision loss).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackRow {
+    /// Tracker id within the clip.
+    pub track_id: u64,
+    /// Frame of the first centroid.
+    pub start_frame: u32,
+    /// Consecutive per-frame centroids.
+    pub centroids: Vec<(f32, f32)>,
+}
+
+/// One trajectory sequence inside a window: per-checkpoint α rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceRow {
+    /// Track id the sequence came from.
+    pub track_id: u64,
+    /// `[1/mdist, vdiff, θ]` per checkpoint.
+    pub alphas: Vec<[f64; 3]>,
+}
+
+/// One extracted video sequence (retrieval window).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRow {
+    /// Dense window index within the clip.
+    pub window_index: u32,
+    /// First covered frame.
+    pub start_frame: u32,
+    /// Last covered frame (inclusive).
+    pub end_frame: u32,
+    /// Contained trajectory sequences.
+    pub sequences: Vec<SequenceRow>,
+}
+
+/// Ground-truth (or analyst-annotated) incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentRow {
+    /// Incident kind name (e.g. "wall_crash").
+    pub kind: String,
+    /// First frame.
+    pub start_frame: u32,
+    /// Last frame (inclusive).
+    pub end_frame: u32,
+    /// Involved vehicle/track ids.
+    pub vehicle_ids: Vec<u64>,
+}
+
+/// A persisted retrieval session: which clip was queried, what feedback
+/// each round collected, and the accuracy trace. Persisting sessions is
+/// what lets the database "customize the search engine for the need of
+/// individual users" across visits (§1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRow {
+    /// Unique session id.
+    pub session_id: u64,
+    /// Clip the session queried.
+    pub clip_id: u64,
+    /// Query event type (e.g. "accident").
+    pub query: String,
+    /// Learner name used.
+    pub learner: String,
+    /// Per-round labeled feedback: `(window_index, relevant)`.
+    pub feedback: Vec<Vec<(u32, bool)>>,
+    /// Accuracy@n per round (initial + feedback rounds).
+    pub accuracies: Vec<f64>,
+}
+
+/// A complete clip's worth of derived data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClipBundle {
+    /// Clip metadata.
+    pub meta: ClipMeta,
+    /// Tracked trajectories.
+    pub tracks: Vec<TrackRow>,
+    /// Extracted retrieval windows.
+    pub windows: Vec<WindowRow>,
+    /// Incident annotations.
+    pub incidents: Vec<IncidentRow>,
+}
+
+// ---- encodings ----------------------------------------------------------
+
+impl ClipMeta {
+    /// Serializes the record.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.clip_id);
+        w.put_str(&self.name);
+        w.put_str(&self.location);
+        w.put_str(&self.camera);
+        w.put_u64(self.start_time);
+        w.put_u32(self.frame_count);
+        w.put_u32(self.width);
+        w.put_u32(self.height);
+    }
+
+    /// Deserializes the record.
+    pub fn decode(r: &mut Reader) -> Result<ClipMeta> {
+        Ok(ClipMeta {
+            clip_id: r.get_u64()?,
+            name: r.get_str()?,
+            location: r.get_str()?,
+            camera: r.get_str()?,
+            start_time: r.get_u64()?,
+            frame_count: r.get_u32()?,
+            width: r.get_u32()?,
+            height: r.get_u32()?,
+        })
+    }
+}
+
+impl TrackRow {
+    /// Serializes the record.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.track_id);
+        w.put_u32(self.start_frame);
+        w.put_u32(self.centroids.len() as u32);
+        for &(x, y) in &self.centroids {
+            w.put_u32(x.to_bits());
+            w.put_u32(y.to_bits());
+        }
+    }
+
+    /// Deserializes the record.
+    pub fn decode(r: &mut Reader) -> Result<TrackRow> {
+        let track_id = r.get_u64()?;
+        let start_frame = r.get_u32()?;
+        let n = r.get_len()?;
+        let mut centroids = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = f32::from_bits(r.get_u32()?);
+            let y = f32::from_bits(r.get_u32()?);
+            centroids.push((x, y));
+        }
+        Ok(TrackRow {
+            track_id,
+            start_frame,
+            centroids,
+        })
+    }
+}
+
+impl SequenceRow {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.track_id);
+        w.put_u32(self.alphas.len() as u32);
+        for a in &self.alphas {
+            for &v in a {
+                w.put_f64(v);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<SequenceRow> {
+        let track_id = r.get_u64()?;
+        let n = r.get_len()?;
+        let mut alphas = Vec::with_capacity(n);
+        for _ in 0..n {
+            alphas.push([r.get_f64()?, r.get_f64()?, r.get_f64()?]);
+        }
+        Ok(SequenceRow { track_id, alphas })
+    }
+}
+
+impl WindowRow {
+    /// Serializes the record.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.window_index);
+        w.put_u32(self.start_frame);
+        w.put_u32(self.end_frame);
+        w.put_u32(self.sequences.len() as u32);
+        for s in &self.sequences {
+            s.encode(w);
+        }
+    }
+
+    /// Deserializes the record.
+    pub fn decode(r: &mut Reader) -> Result<WindowRow> {
+        let window_index = r.get_u32()?;
+        let start_frame = r.get_u32()?;
+        let end_frame = r.get_u32()?;
+        let n = r.get_len()?;
+        let mut sequences = Vec::with_capacity(n);
+        for _ in 0..n {
+            sequences.push(SequenceRow::decode(r)?);
+        }
+        Ok(WindowRow {
+            window_index,
+            start_frame,
+            end_frame,
+            sequences,
+        })
+    }
+}
+
+impl IncidentRow {
+    /// Serializes the record.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.kind);
+        w.put_u32(self.start_frame);
+        w.put_u32(self.end_frame);
+        w.put_u32(self.vehicle_ids.len() as u32);
+        for &id in &self.vehicle_ids {
+            w.put_u64(id);
+        }
+    }
+
+    /// Deserializes the record.
+    pub fn decode(r: &mut Reader) -> Result<IncidentRow> {
+        let kind = r.get_str()?;
+        let start_frame = r.get_u32()?;
+        let end_frame = r.get_u32()?;
+        let n = r.get_len()?;
+        let mut vehicle_ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            vehicle_ids.push(r.get_u64()?);
+        }
+        Ok(IncidentRow {
+            kind,
+            start_frame,
+            end_frame,
+            vehicle_ids,
+        })
+    }
+}
+
+impl SessionRow {
+    /// Serializes the record.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.session_id);
+        w.put_u64(self.clip_id);
+        w.put_str(&self.query);
+        w.put_str(&self.learner);
+        w.put_u32(self.feedback.len() as u32);
+        for round in &self.feedback {
+            w.put_u32(round.len() as u32);
+            for &(win, rel) in round {
+                w.put_u32(win);
+                w.put_bool(rel);
+            }
+        }
+        w.put_u32(self.accuracies.len() as u32);
+        for &a in &self.accuracies {
+            w.put_f64(a);
+        }
+    }
+
+    /// Deserializes the record.
+    pub fn decode(r: &mut Reader) -> Result<SessionRow> {
+        let session_id = r.get_u64()?;
+        let clip_id = r.get_u64()?;
+        let query = r.get_str()?;
+        let learner = r.get_str()?;
+        let rounds = r.get_len()?;
+        let mut feedback = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let n = r.get_len()?;
+            let mut round = Vec::with_capacity(n);
+            for _ in 0..n {
+                round.push((r.get_u32()?, r.get_bool()?));
+            }
+            feedback.push(round);
+        }
+        let n = r.get_len()?;
+        let mut accuracies = Vec::with_capacity(n);
+        for _ in 0..n {
+            accuracies.push(r.get_f64()?);
+        }
+        Ok(SessionRow {
+            session_id,
+            clip_id,
+            query,
+            learner,
+            feedback,
+            accuracies,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    use super::*;
+
+    /// A small but fully populated bundle for round-trip tests.
+    pub fn sample_bundle(clip_id: u64) -> ClipBundle {
+        ClipBundle {
+            meta: ClipMeta {
+                clip_id,
+                name: format!("clip-{clip_id}"),
+                location: "tunnel-17".into(),
+                camera: "cam-03".into(),
+                start_time: 1_167_609_600,
+                frame_count: 400,
+                width: 320,
+                height: 240,
+            },
+            tracks: vec![
+                TrackRow {
+                    track_id: 1,
+                    start_frame: 10,
+                    centroids: vec![(10.0, 104.5), (13.9, 104.4), (18.1, 104.6)],
+                },
+                TrackRow {
+                    track_id: 2,
+                    start_frame: 42,
+                    centroids: vec![(5.0, 136.0)],
+                },
+            ],
+            windows: vec![WindowRow {
+                window_index: 0,
+                start_frame: 0,
+                end_frame: 14,
+                sequences: vec![SequenceRow {
+                    track_id: 1,
+                    alphas: vec![[0.0, 0.0, 0.0], [0.1, 0.8, 0.4], [0.05, 0.2, 0.1]],
+                }],
+            }],
+            incidents: vec![IncidentRow {
+                kind: "wall_crash".into(),
+                start_frame: 120,
+                end_frame: 142,
+                vehicle_ids: vec![1],
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_fixtures::sample_bundle;
+    use super::*;
+
+    fn round_trip<T: PartialEq + std::fmt::Debug>(
+        v: &T,
+        enc: impl Fn(&T, &mut Writer),
+        dec: impl Fn(&mut Reader) -> Result<T>,
+    ) {
+        let mut w = Writer::new();
+        enc(v, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = dec(&mut r).unwrap();
+        assert_eq!(&back, v);
+        assert!(r.is_exhausted(), "trailing bytes after decode");
+    }
+
+    #[test]
+    fn clip_meta_round_trip() {
+        let b = sample_bundle(9);
+        round_trip(&b.meta, ClipMeta::encode, ClipMeta::decode);
+    }
+
+    #[test]
+    fn track_round_trip() {
+        let b = sample_bundle(9);
+        for t in &b.tracks {
+            round_trip(t, TrackRow::encode, TrackRow::decode);
+        }
+        // Empty centroids edge case.
+        let empty = TrackRow {
+            track_id: 3,
+            start_frame: 0,
+            centroids: vec![],
+        };
+        round_trip(&empty, TrackRow::encode, TrackRow::decode);
+    }
+
+    #[test]
+    fn window_round_trip() {
+        let b = sample_bundle(9);
+        round_trip(&b.windows[0], WindowRow::encode, WindowRow::decode);
+    }
+
+    #[test]
+    fn incident_round_trip() {
+        let b = sample_bundle(9);
+        round_trip(&b.incidents[0], IncidentRow::encode, IncidentRow::decode);
+    }
+
+    #[test]
+    fn session_round_trip() {
+        let s = SessionRow {
+            session_id: 77,
+            clip_id: 9,
+            query: "accident".into(),
+            learner: "MIL_OneClassSVM".into(),
+            feedback: vec![vec![(0, true), (3, false)], vec![(5, true)]],
+            accuracies: vec![0.4, 0.5, 0.6],
+        };
+        round_trip(&s, SessionRow::encode, SessionRow::decode);
+    }
+
+    #[test]
+    fn truncated_record_fails_cleanly() {
+        let b = sample_bundle(9);
+        let mut w = Writer::new();
+        b.windows[0].encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in [1usize, 5, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(WindowRow::decode(&mut r).is_err(), "cut at {cut} succeeded");
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the database layer: codec round trips with
+//! arbitrary content, log recovery under arbitrary truncation, and
+//! frame-codec bounds.
+
+use proptest::prelude::*;
+use tsvr_viddb::codec::{crc32, Reader, Writer};
+use tsvr_viddb::frames::{rle_compress, rle_decompress, FrameCodec, StoredFrame};
+use tsvr_viddb::log::Log;
+use tsvr_viddb::record::{ClipMeta, IncidentRow, SessionRow, TrackRow};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scalar_codec_round_trip(
+        a in any::<u8>(), b in any::<u32>(), c in any::<u64>(),
+        d in any::<f64>(), s in ".{0,40}", bytes in prop::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let mut w = Writer::new();
+        w.put_u8(a);
+        w.put_u32(b);
+        w.put_u64(c);
+        w.put_f64(d);
+        w.put_str(&s);
+        w.put_bytes(&bytes);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.get_u8().unwrap(), a);
+        prop_assert_eq!(r.get_u32().unwrap(), b);
+        prop_assert_eq!(r.get_u64().unwrap(), c);
+        let got = r.get_f64().unwrap();
+        prop_assert!(got == d || (got.is_nan() && d.is_nan()));
+        prop_assert_eq!(r.get_str().unwrap(), s);
+        prop_assert_eq!(r.get_bytes().unwrap(), &bytes[..]);
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flips(data in prop::collection::vec(any::<u8>(), 1..200), pos in any::<prop::sample::Index>()) {
+        let c1 = crc32(&data);
+        let mut corrupted = data.clone();
+        let i = pos.index(corrupted.len());
+        corrupted[i] ^= 0x01;
+        prop_assert_ne!(c1, crc32(&corrupted));
+    }
+
+    #[test]
+    fn rle_round_trips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..500)) {
+        prop_assert_eq!(rle_decompress(&rle_compress(&data)), data);
+    }
+
+    #[test]
+    fn track_row_round_trips(
+        track_id in any::<u64>(),
+        start in any::<u32>(),
+        pts in prop::collection::vec((-1e4f32..1e4, -1e4f32..1e4), 0..60),
+    ) {
+        let row = TrackRow { track_id, start_frame: start, centroids: pts };
+        let mut w = Writer::new();
+        row.encode(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(TrackRow::decode(&mut r).unwrap(), row);
+    }
+
+    #[test]
+    fn clip_meta_round_trips(
+        clip_id in any::<u64>(),
+        name in ".{0,30}", location in ".{0,30}", camera in ".{0,20}",
+        t0 in any::<u64>(), frames in any::<u32>(),
+    ) {
+        let meta = ClipMeta {
+            clip_id, name, location, camera,
+            start_time: t0, frame_count: frames, width: 320, height: 240,
+        };
+        let mut w = Writer::new();
+        meta.encode(&mut w);
+        let buf = w.into_bytes();
+        prop_assert_eq!(ClipMeta::decode(&mut Reader::new(&buf)).unwrap(), meta);
+    }
+
+    #[test]
+    fn incident_and_session_rows_round_trip(
+        kind in "[a-z_]{1,16}",
+        s in any::<u32>(), dur in 0u32..500,
+        ids in prop::collection::vec(any::<u64>(), 0..5),
+        accs in prop::collection::vec(0.0f64..1.0, 0..6),
+    ) {
+        let inc = IncidentRow { kind: kind.clone(), start_frame: s, end_frame: s.saturating_add(dur), vehicle_ids: ids };
+        let mut w = Writer::new();
+        inc.encode(&mut w);
+        let buf = w.into_bytes();
+        prop_assert_eq!(IncidentRow::decode(&mut Reader::new(&buf)).unwrap(), inc);
+
+        let ses = SessionRow {
+            session_id: 1, clip_id: 2, query: kind, learner: "x".into(),
+            feedback: vec![vec![(3, true), (4, false)]],
+            accuracies: accs,
+        };
+        let mut w = Writer::new();
+        ses.encode(&mut w);
+        let buf = w.into_bytes();
+        prop_assert_eq!(SessionRow::decode(&mut Reader::new(&buf)).unwrap(), ses);
+    }
+
+    #[test]
+    fn log_round_trips_arbitrary_records(records in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..80), 0..20)) {
+        let mut log = Log::in_memory();
+        let mut offsets = Vec::new();
+        for rec in &records {
+            offsets.push(log.append(rec).unwrap());
+        }
+        for (off, rec) in offsets.iter().zip(&records) {
+            prop_assert_eq!(&log.read(*off).unwrap(), rec);
+        }
+        let scanned = log.scan().unwrap();
+        prop_assert_eq!(scanned.len(), records.len());
+        for ((_, got), want) in scanned.iter().zip(&records) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn frame_codec_error_bounded_by_quant_step(
+        pixels in prop::collection::vec(any::<u8>(), 64),
+        quant in 1u8..32,
+    ) {
+        let frame = StoredFrame::new(8, 8, pixels.clone()).unwrap();
+        let codec = FrameCodec { quant_step: quant };
+        let payload = codec.encode_segment(&[frame]).unwrap();
+        let decoded = FrameCodec::decode_segment(&payload).unwrap();
+        for (&got, &want) in decoded[0].pixels.iter().zip(&pixels) {
+            prop_assert!(
+                (got as i16 - want as i16).unsigned_abs() <= quant as u16,
+                "error beyond quant step: {got} vs {want} (q={quant})"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_codec_multi_frame_round_trip(
+        seed in any::<u32>(),
+        count in 1usize..6,
+    ) {
+        // Slowly varying frames (like real video).
+        let frames: Vec<StoredFrame> = (0..count)
+            .map(|k| {
+                let pixels = (0..48u32)
+                    .map(|i| {
+                        let h = (seed as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i as u64);
+                        (((h >> 32) as u8) / 4).wrapping_add(k as u8 * 3)
+                    })
+                    .collect();
+                StoredFrame::new(8, 6, pixels).unwrap()
+            })
+            .collect();
+        let codec = FrameCodec { quant_step: 1 };
+        let payload = codec.encode_segment(&frames).unwrap();
+        let decoded = FrameCodec::decode_segment(&payload).unwrap();
+        prop_assert_eq!(decoded, frames);
+    }
+}

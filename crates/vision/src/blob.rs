@@ -1,0 +1,224 @@
+//! Connected-component labeling and blob statistics.
+//!
+//! Turns a foreground mask into vehicle candidate blobs: 8-connected
+//! components above a minimum area, each summarized by its Minimal
+//! Bounding Rectangle and centroid — exactly the yellow MBR and red
+//! centroid dot of the paper's Fig. 1.
+
+use crate::frame::{GrayFrame, Mask};
+use tsvr_sim::{Aabb, Vec2};
+
+/// One connected foreground component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blob {
+    /// Pixel count.
+    pub area: usize,
+    /// Minimal bounding rectangle (inclusive pixel coordinates).
+    pub mbr: Aabb,
+    /// Centroid of the component's pixels.
+    pub centroid: Vec2,
+    /// Mean source-image intensity over the component (0 when no source
+    /// frame was supplied).
+    pub mean_intensity: f64,
+}
+
+impl Blob {
+    /// MBR width in pixels.
+    pub fn width(&self) -> f64 {
+        self.mbr.width() + 1.0
+    }
+
+    /// MBR height in pixels.
+    pub fn height(&self) -> f64 {
+        self.mbr.height() + 1.0
+    }
+
+    /// Fraction of the MBR covered by component pixels, in (0, 1].
+    pub fn fill_ratio(&self) -> f64 {
+        self.area as f64 / (self.width() * self.height())
+    }
+}
+
+/// Extracts 8-connected components with at least `min_area` pixels.
+///
+/// `intensity` optionally supplies the original frame so blobs can carry
+/// mean intensities (used by the PCA classifier).
+pub fn extract_blobs(mask: &Mask, min_area: usize, intensity: Option<&GrayFrame>) -> Vec<Blob> {
+    let w = mask.width() as i64;
+    let h = mask.height() as i64;
+    let idx = |x: i64, y: i64| (y * w + x) as usize;
+    let mut visited = vec![false; (w * h) as usize];
+    let mut blobs = Vec::new();
+    let mut stack = Vec::new();
+
+    for y0 in 0..h {
+        for x0 in 0..w {
+            if visited[idx(x0, y0)] || !mask.as_slice()[idx(x0, y0)] {
+                continue;
+            }
+            // Flood fill.
+            let mut area = 0usize;
+            let mut sum = Vec2::ZERO;
+            let mut int_sum = 0.0f64;
+            let (mut min_x, mut min_y, mut max_x, mut max_y) = (x0, y0, x0, y0);
+            visited[idx(x0, y0)] = true;
+            stack.push((x0, y0));
+            while let Some((x, y)) = stack.pop() {
+                area += 1;
+                sum = sum + Vec2::new(x as f64, y as f64);
+                if let Some(f) = intensity {
+                    int_sum += f.get(x as u32, y as u32) as f64;
+                }
+                min_x = min_x.min(x);
+                min_y = min_y.min(y);
+                max_x = max_x.max(x);
+                max_y = max_y.max(y);
+                for dy in -1..=1 {
+                    for dx in -1..=1 {
+                        if dx == 0 && dy == 0 {
+                            continue;
+                        }
+                        let (nx, ny) = (x + dx, y + dy);
+                        if nx >= 0
+                            && ny >= 0
+                            && nx < w
+                            && ny < h
+                            && !visited[idx(nx, ny)]
+                            && mask.as_slice()[idx(nx, ny)]
+                        {
+                            visited[idx(nx, ny)] = true;
+                            stack.push((nx, ny));
+                        }
+                    }
+                }
+            }
+            if area >= min_area {
+                blobs.push(Blob {
+                    area,
+                    mbr: Aabb::from_corners(
+                        Vec2::new(min_x as f64, min_y as f64),
+                        Vec2::new(max_x as f64, max_y as f64),
+                    ),
+                    centroid: sum * (1.0 / area as f64),
+                    mean_intensity: if intensity.is_some() {
+                        int_sum / area as f64
+                    } else {
+                        0.0
+                    },
+                });
+            }
+        }
+    }
+    // Deterministic order: top-left first (already guaranteed by the
+    // scan order, but make the contract explicit).
+    blobs.sort_by(|a, b| {
+        (a.mbr.min.y, a.mbr.min.x)
+            .partial_cmp(&(b.mbr.min.y, b.mbr.min.x))
+            .unwrap()
+    });
+    blobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_with_rects(rects: &[(u32, u32, u32, u32)]) -> Mask {
+        let mut m = Mask::empty(40, 30);
+        for &(x0, y0, x1, y1) in rects {
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    m.set(x, y, true);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn single_rectangle_blob() {
+        let m = mask_with_rects(&[(5, 6, 14, 11)]);
+        let blobs = extract_blobs(&m, 1, None);
+        assert_eq!(blobs.len(), 1);
+        let b = &blobs[0];
+        assert_eq!(b.area, 60);
+        assert_eq!(b.width(), 10.0);
+        assert_eq!(b.height(), 6.0);
+        assert!((b.centroid.x - 9.5).abs() < 1e-9);
+        assert!((b.centroid.y - 8.5).abs() < 1e-9);
+        assert!((b.fill_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separate_rectangles_are_distinct_blobs() {
+        let m = mask_with_rects(&[(2, 2, 6, 5), (20, 10, 28, 15)]);
+        let blobs = extract_blobs(&m, 1, None);
+        assert_eq!(blobs.len(), 2);
+        // Order: top-left first.
+        assert!(blobs[0].mbr.min.y <= blobs[1].mbr.min.y);
+    }
+
+    #[test]
+    fn diagonal_touch_merges_with_8_connectivity() {
+        let mut m = Mask::empty(10, 10);
+        m.set(3, 3, true);
+        m.set(4, 4, true); // diagonal neighbor
+        let blobs = extract_blobs(&m, 1, None);
+        assert_eq!(blobs.len(), 1);
+        assert_eq!(blobs[0].area, 2);
+    }
+
+    #[test]
+    fn min_area_filters_specks() {
+        let mut m = mask_with_rects(&[(5, 5, 12, 10)]);
+        m.set(30, 20, true); // 1-px speck
+        let blobs = extract_blobs(&m, 10, None);
+        assert_eq!(blobs.len(), 1);
+        assert!(blobs[0].area >= 10);
+    }
+
+    #[test]
+    fn intensity_mean_computed_from_frame() {
+        let m = mask_with_rects(&[(0, 0, 1, 1)]);
+        let mut f = GrayFrame::black(40, 30);
+        f.set(0, 0, 100);
+        f.set(1, 0, 200);
+        f.set(0, 1, 100);
+        f.set(1, 1, 200);
+        let blobs = extract_blobs(&m, 1, Some(&f));
+        assert_eq!(blobs[0].mean_intensity, 150.0);
+    }
+
+    #[test]
+    fn empty_mask_no_blobs() {
+        let m = Mask::empty(8, 8);
+        assert!(extract_blobs(&m, 1, None).is_empty());
+    }
+
+    #[test]
+    fn l_shaped_component_is_one_blob() {
+        let mut m = Mask::empty(20, 20);
+        for x in 2..10 {
+            m.set(x, 2, true);
+        }
+        for y in 2..10 {
+            m.set(2, y, true);
+        }
+        let blobs = extract_blobs(&m, 1, None);
+        assert_eq!(blobs.len(), 1);
+        assert_eq!(blobs[0].area, 15);
+        // Fill ratio well below 1 for an L.
+        assert!(blobs[0].fill_ratio() < 0.5);
+    }
+
+    #[test]
+    fn full_frame_component() {
+        let mut m = Mask::empty(6, 6);
+        for i in 0..36 {
+            m.as_mut_slice()[i] = true;
+        }
+        let blobs = extract_blobs(&m, 1, None);
+        assert_eq!(blobs.len(), 1);
+        assert_eq!(blobs[0].area, 36);
+    }
+}

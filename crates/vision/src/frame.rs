@@ -1,0 +1,323 @@
+//! 8-bit grayscale frame buffer.
+
+/// A grayscale image with row-major `u8` pixels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayFrame {
+    width: u32,
+    height: u32,
+    data: Vec<u8>,
+}
+
+impl GrayFrame {
+    /// Creates a frame filled with `value`.
+    pub fn filled(width: u32, height: u32, value: u8) -> Self {
+        GrayFrame {
+            width,
+            height,
+            data: vec![value; (width * height) as usize],
+        }
+    }
+
+    /// Creates a black frame.
+    pub fn black(width: u32, height: u32) -> Self {
+        Self::filled(width, height, 0)
+    }
+
+    /// Frame width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of pixels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the frame has zero pixels.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw pixel slice (row-major).
+    #[inline]
+    pub fn pixels(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw pixel slice.
+    #[inline]
+    pub fn pixels_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Pixel value at `(x, y)`; panics out of bounds in debug builds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> u8 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[(y * self.width + x) as usize]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, v: u8) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[(y * self.width + x) as usize] = v;
+    }
+
+    /// Sets the pixel if `(x, y)` is inside the frame; ignores otherwise.
+    #[inline]
+    pub fn set_clipped(&mut self, x: i64, y: i64, v: u8) {
+        if x >= 0 && y >= 0 && (x as u32) < self.width && (y as u32) < self.height {
+            self.data[(y as u32 * self.width + x as u32) as usize] = v;
+        }
+    }
+
+    /// Absolute per-pixel difference `|self - other|`.
+    ///
+    /// This is the raw material for background subtraction; panics if
+    /// the shapes differ.
+    pub fn abs_diff(&self, other: &GrayFrame) -> GrayFrame {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        GrayFrame {
+            width: self.width,
+            height: self.height,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| a.abs_diff(b))
+                .collect(),
+        }
+    }
+
+    /// Mean pixel intensity (0 for an empty frame).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|&p| p as f64).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Renders the frame as ASCII art (for debugging small frames).
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut s = String::with_capacity((self.width as usize + 1) * self.height as usize);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = self.get(x, y) as usize * (RAMP.len() - 1) / 255;
+                s.push(RAMP[v] as char);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// A binary mask with the same layout as a frame (true = foreground).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mask {
+    width: u32,
+    height: u32,
+    data: Vec<bool>,
+}
+
+impl Mask {
+    /// All-false mask.
+    pub fn empty(width: u32, height: u32) -> Self {
+        Mask {
+            width,
+            height,
+            data: vec![false; (width * height) as usize],
+        }
+    }
+
+    /// Width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Value at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> bool {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[(y * self.width + x) as usize]
+    }
+
+    /// Sets the value at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, v: bool) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[(y * self.width + x) as usize] = v;
+    }
+
+    /// Number of `true` pixels.
+    pub fn count(&self) -> usize {
+        self.data.iter().filter(|&&b| b).count()
+    }
+
+    /// Raw slice (row-major).
+    #[inline]
+    pub fn as_slice(&self) -> &[bool] {
+        &self.data
+    }
+
+    /// Mutable raw slice (row-major).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [bool] {
+        &mut self.data
+    }
+
+    /// Morphological 3x3 majority filter: a pixel survives iff at least
+    /// `min_neighbors` of its 8-neighborhood (plus itself) are set.
+    /// Cleans salt-and-pepper noise out of threshold masks.
+    ///
+    /// Implemented as a separable box count (vertical column sums, then
+    /// a horizontal sliding window) — O(1) work per pixel instead of 9
+    /// neighborhood reads, which matters because this runs twice per
+    /// video frame.
+    pub fn majority_filter(&self, min_neighbors: u32) -> Mask {
+        let w = self.width as usize;
+        let h = self.height as usize;
+        let mut out = Mask::empty(self.width, self.height);
+        if w == 0 || h == 0 {
+            return out;
+        }
+        // Vertical 3-row column sums.
+        let mut col = vec![0u8; w * h];
+        for y in 0..h {
+            let up = y.checked_sub(1);
+            let down = if y + 1 < h { Some(y + 1) } else { None };
+            for x in 0..w {
+                let mut c = self.data[y * w + x] as u8;
+                if let Some(u) = up {
+                    c += self.data[u * w + x] as u8;
+                }
+                if let Some(d) = down {
+                    c += self.data[d * w + x] as u8;
+                }
+                col[y * w + x] = c;
+            }
+        }
+        // Horizontal sliding window over the column sums.
+        let need = min_neighbors as u8;
+        for y in 0..h {
+            let row = &col[y * w..(y + 1) * w];
+            let mut run = row[0] + if w > 1 { row[1] } else { 0 };
+            out.data[y * w] = run >= need;
+            for x in 1..w {
+                if x + 1 < w {
+                    run += row[x + 1];
+                }
+                if x >= 2 {
+                    run -= row[x - 2];
+                }
+                out.data[y * w + x] = run >= need;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_get_set() {
+        let mut f = GrayFrame::black(4, 3);
+        assert_eq!(f.width(), 4);
+        assert_eq!(f.height(), 3);
+        assert_eq!(f.len(), 12);
+        f.set(2, 1, 200);
+        assert_eq!(f.get(2, 1), 200);
+        assert_eq!(f.get(0, 0), 0);
+    }
+
+    #[test]
+    fn set_clipped_ignores_outside() {
+        let mut f = GrayFrame::black(2, 2);
+        f.set_clipped(-1, 0, 9);
+        f.set_clipped(0, 5, 9);
+        f.set_clipped(1, 1, 9);
+        assert_eq!(f.get(1, 1), 9);
+        assert_eq!(f.pixels().iter().filter(|&&p| p == 9).count(), 1);
+    }
+
+    #[test]
+    fn abs_diff_symmetry() {
+        let mut a = GrayFrame::filled(2, 2, 100);
+        let b = GrayFrame::filled(2, 2, 130);
+        a.set(0, 0, 180);
+        let d1 = a.abs_diff(&b);
+        let d2 = b.abs_diff(&a);
+        assert_eq!(d1, d2);
+        assert_eq!(d1.get(0, 0), 50);
+        assert_eq!(d1.get(1, 1), 30);
+    }
+
+    #[test]
+    fn mean_intensity() {
+        let mut f = GrayFrame::filled(2, 1, 10);
+        f.set(1, 0, 30);
+        assert_eq!(f.mean(), 20.0);
+    }
+
+    #[test]
+    fn ascii_rendering_dimensions() {
+        let f = GrayFrame::filled(3, 2, 255);
+        let s = f.to_ascii();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.lines().all(|l| l.chars().count() == 3));
+        assert!(s.contains('@'));
+    }
+
+    #[test]
+    fn mask_count_and_access() {
+        let mut m = Mask::empty(3, 3);
+        assert_eq!(m.count(), 0);
+        m.set(1, 1, true);
+        m.set(2, 0, true);
+        assert_eq!(m.count(), 2);
+        assert!(m.get(1, 1));
+        assert!(!m.get(0, 0));
+    }
+
+    #[test]
+    fn majority_filter_removes_isolated_pixels() {
+        let mut m = Mask::empty(5, 5);
+        m.set(2, 2, true); // isolated
+        let cleaned = m.majority_filter(3);
+        assert_eq!(cleaned.count(), 0);
+    }
+
+    #[test]
+    fn majority_filter_keeps_solid_regions() {
+        let mut m = Mask::empty(5, 5);
+        for y in 1..4 {
+            for x in 1..4 {
+                m.set(x, y, true);
+            }
+        }
+        let cleaned = m.majority_filter(4);
+        // The 3x3 block survives (center has 9 neighbors, corners 4).
+        assert!(cleaned.get(2, 2));
+        assert!(cleaned.count() >= 5, "count = {}", cleaned.count());
+    }
+}

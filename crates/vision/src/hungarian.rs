@@ -1,0 +1,221 @@
+//! Minimum-cost assignment (Hungarian algorithm / Jonker–Volgenant
+//! shortest augmenting paths with potentials, O(n²·m)).
+//!
+//! Used by the tracker to associate detections with predicted track
+//! positions each frame. Gating is expressed by giving infeasible pairs
+//! a very large cost and discarding them after the solve.
+
+/// Solves the rectangular assignment problem.
+///
+/// `cost` is a `rows x cols` matrix given as row slices with
+/// `rows <= cols`. Returns, for each row, the column assigned to it; the
+/// assignment minimizes total cost and every row is matched (with
+/// `rows <= cols` a perfect row matching always exists).
+///
+/// Panics if `rows > cols` or the rows are ragged.
+pub fn assign(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = cost[0].len();
+    assert!(
+        n <= m,
+        "assignment requires rows <= cols, got {n} rows and {m} cols"
+    );
+    assert!(cost.iter().all(|r| r.len() == m), "ragged cost matrix");
+
+    // 1-based arrays per the classic formulation.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1]; // row potentials
+    let mut v = vec![0.0f64; m + 1]; // column potentials
+    let mut p = vec![0usize; m + 1]; // p[j] = row assigned to column j (0 = none)
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut result = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            result[p[j] - 1] = j - 1;
+        }
+    }
+    debug_assert!(result.iter().all(|&c| c != usize::MAX));
+    result
+}
+
+/// Total cost of an assignment.
+pub fn total_cost(cost: &[Vec<f64>], assignment: &[usize]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| cost[r][c])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force optimum over all row→column injections.
+    fn brute_force(cost: &[Vec<f64>]) -> f64 {
+        fn rec(cost: &[Vec<f64>], row: usize, used: &mut Vec<bool>) -> f64 {
+            if row == cost.len() {
+                return 0.0;
+            }
+            let mut best = f64::INFINITY;
+            for c in 0..cost[0].len() {
+                if !used[c] {
+                    used[c] = true;
+                    let v = cost[row][c] + rec(cost, row + 1, used);
+                    best = best.min(v);
+                    used[c] = false;
+                }
+            }
+            best
+        }
+        rec(cost, 0, &mut vec![false; cost[0].len()])
+    }
+
+    #[test]
+    fn identity_case() {
+        let cost = vec![
+            vec![0.0, 9.0, 9.0],
+            vec![9.0, 0.0, 9.0],
+            vec![9.0, 9.0, 0.0],
+        ];
+        assert_eq!(assign(&cost), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn classic_3x3() {
+        // Known instance: optimal = 5 (choose 1,3,1... verify by brute).
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = assign(&cost);
+        assert_eq!(total_cost(&cost, &a), brute_force(&cost));
+        assert_eq!(total_cost(&cost, &a), 5.0);
+    }
+
+    #[test]
+    fn assignment_is_injective() {
+        let cost = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![2.0, 4.0, 6.0, 8.0],
+            vec![3.0, 6.0, 9.0, 12.0],
+        ];
+        let a = assign(&cost);
+        let mut seen = std::collections::HashSet::new();
+        for &c in &a {
+            assert!(seen.insert(c), "column {c} used twice");
+            assert!(c < 4);
+        }
+    }
+
+    #[test]
+    fn rectangular_picks_cheap_columns() {
+        let cost = vec![vec![10.0, 1.0, 10.0, 2.0], vec![1.0, 10.0, 10.0, 10.0]];
+        let a = assign(&cost);
+        assert_eq!(a, vec![1, 0]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_pseudorandom_instances() {
+        // Deterministic pseudo-random costs via a simple LCG.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as f64 / 10.0
+        };
+        for trial in 0..30 {
+            let n = 1 + (trial % 5);
+            let m = n + (trial % 3);
+            let cost: Vec<Vec<f64>> = (0..n).map(|_| (0..m).map(|_| next()).collect()).collect();
+            let a = assign(&cost);
+            let got = total_cost(&cost, &a);
+            let want = brute_force(&cost);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "trial {trial}: got {got}, want {want}, cost {cost:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_row() {
+        let cost = vec![vec![5.0, 2.0, 7.0]];
+        assert_eq!(assign(&cost), vec![1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let cost: Vec<Vec<f64>> = Vec::new();
+        assert!(assign(&cost).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_rows_than_cols_panics() {
+        let cost = vec![vec![1.0], vec![2.0]];
+        let _ = assign(&cost);
+    }
+
+    #[test]
+    fn handles_large_gating_costs() {
+        const BIG: f64 = 1e9;
+        let cost = vec![vec![BIG, 3.0], vec![2.0, BIG]];
+        let a = assign(&cost);
+        assert_eq!(a, vec![1, 0]);
+    }
+}

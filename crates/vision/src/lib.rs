@@ -1,0 +1,50 @@
+//! # tsvr-vision
+//!
+//! Synthetic video generation and the vehicle segmentation / tracking
+//! stack the paper builds on (§3.1, citing \[20\] and \[13\]).
+//!
+//! The authors' substrate identifies vehicles with the SPCPE algorithm
+//! enhanced by background learning and subtraction, tracks them across
+//! frames, and classifies them with PCA. Those components are rebuilt
+//! here against synthetic frames rasterized from `tsvr-sim`
+//! observations, so the downstream learning pipeline consumes *detected
+//! and tracked* centroids — including segmentation jitter, missed
+//! detections and occlusion merges — rather than simulator ground truth.
+//!
+//! Modules:
+//!
+//! * [`frame`] — 8-bit grayscale frame buffer;
+//! * [`render`] — background synthesis + vehicle rasterization + sensor
+//!   noise;
+//! * [`background`] — running-average background learning and
+//!   subtraction;
+//! * [`spcpe`] — simultaneous partition and class parameter estimation
+//!   (two-class variant) used to refine the foreground mask;
+//! * [`blob`] — connected-component labeling, minimal bounding
+//!   rectangles and centroids (paper Fig. 1);
+//! * [`hungarian`] — optimal assignment for detection-to-track
+//!   association;
+//! * [`tracker`] — constant-velocity multi-object tracker;
+//! * [`pca`] — PCA-based vehicle classification \[13\];
+//! * [`pipeline`] — end-to-end `sim frames → tracks` driver;
+//! * [`quality`] — MOTA/MOTP-style evaluation of the tracker against
+//!   simulator ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod background;
+pub mod blob;
+pub mod frame;
+pub mod hungarian;
+pub mod pca;
+pub mod pipeline;
+pub mod quality;
+pub mod render;
+pub mod spcpe;
+pub mod tracker;
+
+pub use blob::Blob;
+pub use frame::GrayFrame;
+pub use pipeline::{PipelineConfig, VisionOutput};
+pub use tracker::{Track, TrackPoint, Tracker};

@@ -1,0 +1,239 @@
+//! PCA-based vehicle classification (paper §3.1, citing \[13\]).
+//!
+//! "The last phase of the framework is to classify vehicle objects into
+//! different classes such as SUVs, pick-up trucks, and cars … based on
+//! Principal Component Analysis." The classifier here trains on tracked
+//! blob shape statistics: features are standardized, projected onto the
+//! top principal components of the training covariance, and classified
+//! by the nearest class centroid in the projected space.
+
+use crate::tracker::BlobStats;
+use tsvr_linalg::eigen::symmetric_eigen;
+use tsvr_linalg::stats::{column_means, column_std_devs, covariance_matrix};
+use tsvr_linalg::{LinalgError, Matrix};
+use tsvr_sim::VehicleClass;
+
+/// Feature vector extracted from a track's blob statistics.
+pub fn features(stats: &BlobStats) -> Vec<f64> {
+    vec![
+        stats.width,
+        stats.height,
+        stats.area,
+        stats.fill,
+        stats.intensity,
+        // Aspect ratio adds discriminative power for elongated pickups.
+        if stats.height > 0.0 {
+            stats.width / stats.height
+        } else {
+            0.0
+        },
+    ]
+}
+
+/// A trained PCA nearest-centroid classifier.
+#[derive(Debug, Clone)]
+pub struct PcaClassifier {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    /// `d x k` projection basis (columns = principal components).
+    basis: Matrix,
+    /// Class centroids in the projected space.
+    centroids: Vec<(VehicleClass, Vec<f64>)>,
+    /// Fraction of variance captured by the retained components.
+    pub explained_variance: f64,
+}
+
+impl PcaClassifier {
+    /// Trains on labeled examples, retaining `k` principal components.
+    pub fn train(
+        samples: &[(BlobStats, VehicleClass)],
+        k: usize,
+    ) -> Result<PcaClassifier, LinalgError> {
+        if samples.is_empty() {
+            return Err(LinalgError::EmptyInput);
+        }
+        let rows: Vec<Vec<f64>> = samples.iter().map(|(s, _)| features(s)).collect();
+        let mean = column_means(&rows)?;
+        let mut std = column_std_devs(&rows)?;
+        for s in &mut std {
+            if *s < 1e-9 {
+                *s = 1.0; // constant feature: leave centered values at 0
+            }
+        }
+        let standardized: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .zip(mean.iter().zip(&std))
+                    .map(|(&x, (&m, &s))| (x - m) / s)
+                    .collect()
+            })
+            .collect();
+        let cov = covariance_matrix(&standardized)?;
+        let eig = symmetric_eigen(&cov)?;
+        let k = k.clamp(1, eig.values.len());
+        let basis = eig.principal_components(k);
+        let total: f64 = eig.values.iter().map(|v| v.max(0.0)).sum();
+        let kept: f64 = eig.values.iter().take(k).map(|v| v.max(0.0)).sum();
+        let explained_variance = if total > 0.0 { kept / total } else { 1.0 };
+
+        // Class centroids in the projected space.
+        let mut by_class: Vec<(VehicleClass, Vec<Vec<f64>>)> = Vec::new();
+        for ((_, class), row) in samples.iter().zip(&standardized) {
+            let proj = project_row(&basis, row);
+            match by_class.iter_mut().find(|(c, _)| c == class) {
+                Some((_, v)) => v.push(proj),
+                None => by_class.push((*class, vec![proj])),
+            }
+        }
+        let centroids = by_class
+            .into_iter()
+            .map(|(c, rows)| {
+                let m = column_means(&rows).expect("non-empty class");
+                (c, m)
+            })
+            .collect();
+
+        Ok(PcaClassifier {
+            mean,
+            std,
+            basis,
+            centroids,
+            explained_variance,
+        })
+    }
+
+    /// Projects blob statistics into the PCA space.
+    pub fn project(&self, stats: &BlobStats) -> Vec<f64> {
+        let row: Vec<f64> = features(stats)
+            .iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(&x, (&m, &s))| (x - m) / s)
+            .collect();
+        project_row(&self.basis, &row)
+    }
+
+    /// Classifies by the nearest class centroid in the projected space.
+    pub fn classify(&self, stats: &BlobStats) -> VehicleClass {
+        let p = self.project(stats);
+        self.centroids
+            .iter()
+            .min_by(|(_, a), (_, b)| {
+                tsvr_linalg::vecops::sq_dist(a, &p)
+                    .partial_cmp(&tsvr_linalg::vecops::sq_dist(b, &p))
+                    .unwrap()
+            })
+            .map(|(c, _)| *c)
+            .expect("trained classifier has centroids")
+    }
+
+    /// Number of retained components.
+    pub fn components(&self) -> usize {
+        self.basis.cols()
+    }
+}
+
+fn project_row(basis: &Matrix, row: &[f64]) -> Vec<f64> {
+    (0..basis.cols())
+        .map(|c| (0..basis.rows()).map(|r| basis[(r, c)] * row[r]).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic stats roughly matching the renderer's class geometry,
+    /// with deterministic jitter.
+    fn sample(class: VehicleClass, i: usize) -> BlobStats {
+        let j = ((i * 37) % 10) as f64 / 10.0 - 0.5; // [-0.5, 0.4]
+        let (w, h, int) = match class {
+            VehicleClass::Car => (22.0, 10.0, 168.0),
+            VehicleClass::Suv => (25.0, 12.0, 188.0),
+            VehicleClass::Pickup => (28.0, 12.0, 148.0),
+        };
+        BlobStats {
+            width: w + j * 2.0,
+            height: h + j,
+            area: (w + j * 2.0) * (h + j) * 0.95,
+            fill: 0.95 + j * 0.02,
+            intensity: int + j * 6.0,
+        }
+    }
+
+    fn training_set() -> Vec<(BlobStats, VehicleClass)> {
+        let mut set = Vec::new();
+        for i in 0..20 {
+            set.push((sample(VehicleClass::Car, i), VehicleClass::Car));
+            set.push((sample(VehicleClass::Suv, i + 3), VehicleClass::Suv));
+            set.push((sample(VehicleClass::Pickup, i + 7), VehicleClass::Pickup));
+        }
+        set
+    }
+
+    #[test]
+    fn classifies_training_distribution() {
+        let clf = PcaClassifier::train(&training_set(), 3).unwrap();
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 100..130 {
+            for class in [VehicleClass::Car, VehicleClass::Suv, VehicleClass::Pickup] {
+                if clf.classify(&sample(class, i)) == class {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        assert!(
+            correct as f64 / total as f64 > 0.9,
+            "accuracy {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn explained_variance_increases_with_k() {
+        let set = training_set();
+        let c1 = PcaClassifier::train(&set, 1).unwrap();
+        let c3 = PcaClassifier::train(&set, 3).unwrap();
+        assert!(c3.explained_variance >= c1.explained_variance - 1e-12);
+        assert!(c1.explained_variance > 0.3);
+        assert_eq!(c1.components(), 1);
+        assert_eq!(c3.components(), 3);
+    }
+
+    #[test]
+    fn k_is_clamped_to_dimension() {
+        let clf = PcaClassifier::train(&training_set(), 100).unwrap();
+        assert_eq!(clf.components(), features(&BlobStats::default()).len());
+        assert!((clf.explained_variance - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_training_set_rejected() {
+        assert!(PcaClassifier::train(&[], 2).is_err());
+    }
+
+    #[test]
+    fn single_class_always_wins() {
+        let set: Vec<_> = (0..10)
+            .map(|i| (sample(VehicleClass::Suv, i), VehicleClass::Suv))
+            .collect();
+        let clf = PcaClassifier::train(&set, 2).unwrap();
+        assert_eq!(
+            clf.classify(&sample(VehicleClass::Car, 3)),
+            VehicleClass::Suv
+        );
+    }
+
+    #[test]
+    fn projection_dimensionality_matches_k() {
+        let clf = PcaClassifier::train(&training_set(), 2).unwrap();
+        assert_eq!(clf.project(&sample(VehicleClass::Car, 1)).len(), 2);
+    }
+
+    #[test]
+    fn features_include_aspect_ratio_guard() {
+        let f = features(&BlobStats::default());
+        assert_eq!(*f.last().unwrap(), 0.0); // height 0 guarded
+    }
+}

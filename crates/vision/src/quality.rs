@@ -1,0 +1,234 @@
+//! Tracking-quality evaluation against simulator ground truth.
+//!
+//! The retrieval experiments depend on the substrate "\[having\] the
+//! ability to track moving vehicle objects within successive video
+//! frames" (paper §3.1). This module quantifies how well the synthetic
+//! pipeline reproduces that ability with the standard multi-object
+//! tracking measures:
+//!
+//! * **coverage** — fraction of ground-truth vehicle-frames matched by
+//!   some track (≈ MOTA's miss complement);
+//! * **precision** — mean distance between matched track points and
+//!   the true centers (MOTP);
+//! * **id switches** — matched frames where a vehicle's track id
+//!   changed relative to its previous matched frame;
+//! * **fragmentation** — number of distinct tracks covering each
+//!   vehicle.
+
+use crate::tracker::Track;
+use std::collections::HashMap;
+use tsvr_sim::world::SimOutput;
+
+/// Aggregate tracking-quality measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackingQuality {
+    /// Ground-truth vehicle-frame observations considered.
+    pub gt_points: usize,
+    /// Of those, how many were matched by a track point.
+    pub matched_points: usize,
+    /// Mean matched distance, px (MOTP). 0 when nothing matched.
+    pub motp: f64,
+    /// Identity switches across all vehicles.
+    pub id_switches: usize,
+    /// Mean number of distinct tracks per covered vehicle
+    /// (1.0 = no fragmentation).
+    pub mean_fragments: f64,
+    /// Tracks that matched no vehicle at all (clutter).
+    pub false_tracks: usize,
+}
+
+impl TrackingQuality {
+    /// Coverage in [0, 1].
+    pub fn coverage(&self) -> f64 {
+        if self.gt_points == 0 {
+            0.0
+        } else {
+            self.matched_points as f64 / self.gt_points as f64
+        }
+    }
+}
+
+/// Evaluates tracks against the simulation, matching per frame by
+/// nearest center within `max_dist` (greedy per track point — adequate
+/// at surveillance densities).
+pub fn evaluate(tracks: &[Track], sim: &SimOutput, max_dist: f64) -> TrackingQuality {
+    // Ground truth points per frame.
+    let mut gt_points = 0usize;
+    for f in &sim.frames {
+        gt_points += f.vehicles.len();
+    }
+
+    // For each track point (non-coasted), match to the nearest vehicle.
+    // vehicle -> frame -> (track id). Also collect per-match distances.
+    let mut matches: HashMap<u64, Vec<(u32, u64)>> = HashMap::new(); // vehicle -> (frame, track)
+    let mut matched_points = 0usize;
+    let mut dist_sum = 0.0f64;
+    let mut track_matched: HashMap<u64, bool> = HashMap::new();
+
+    for t in tracks {
+        track_matched.entry(t.id).or_insert(false);
+        for p in t.points.iter().filter(|p| !p.coasted) {
+            let Some(frame) = sim.frames.get(p.frame as usize) else {
+                continue;
+            };
+            let nearest = frame
+                .vehicles
+                .iter()
+                .map(|v| (v.id, v.center.dist(p.centroid)))
+                .filter(|&(_, d)| d <= max_dist)
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            if let Some((vid, d)) = nearest {
+                matched_points += 1;
+                dist_sum += d;
+                matches.entry(vid).or_default().push((p.frame, t.id));
+                track_matched.insert(t.id, true);
+            }
+        }
+    }
+
+    // Identity switches and fragmentation per vehicle.
+    let mut id_switches = 0usize;
+    let mut fragment_sum = 0usize;
+    let covered = matches.len();
+    for series in matches.values_mut() {
+        series.sort_by_key(|&(f, _)| f);
+        let mut distinct: Vec<u64> = Vec::new();
+        let mut prev: Option<u64> = None;
+        for &(_, tid) in series.iter() {
+            if !distinct.contains(&tid) {
+                distinct.push(tid);
+            }
+            if let Some(p) = prev {
+                if p != tid {
+                    id_switches += 1;
+                }
+            }
+            prev = Some(tid);
+        }
+        fragment_sum += distinct.len();
+    }
+
+    TrackingQuality {
+        gt_points,
+        matched_points,
+        motp: if matched_points > 0 {
+            dist_sum / matched_points as f64
+        } else {
+            0.0
+        },
+        id_switches,
+        mean_fragments: if covered > 0 {
+            fragment_sum as f64 / covered as f64
+        } else {
+            0.0
+        },
+        false_tracks: track_matched.values().filter(|&&m| !m).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{process, PipelineConfig};
+    use tsvr_sim::{Scenario, World};
+
+    #[test]
+    fn pipeline_quality_meets_substrate_bar() {
+        let mut scenario = Scenario::tunnel_small(44);
+        scenario.mean_spawn_interval = 70.0; // enough traffic to measure
+        let sim = World::run(scenario);
+        let out = process(
+            &sim,
+            tsvr_sim::ScenarioKind::Tunnel,
+            &PipelineConfig::default(),
+        );
+        let q = evaluate(&out.tracks, &sim, 15.0);
+        assert!(q.gt_points > 300, "scene too empty: {}", q.gt_points);
+        assert!(
+            q.coverage() > 0.75,
+            "coverage {:.2} below substrate bar",
+            q.coverage()
+        );
+        assert!(q.motp < 8.0, "MOTP {:.2} px too sloppy", q.motp);
+        assert!(
+            q.mean_fragments < 2.5,
+            "tracks too fragmented: {:.2}",
+            q.mean_fragments
+        );
+        // Id switches should be rare relative to matched points.
+        assert!(
+            (q.id_switches as f64) < q.matched_points as f64 * 0.05,
+            "{} id switches over {} matches",
+            q.id_switches,
+            q.matched_points
+        );
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let sim = World::run(Scenario::tunnel_small(45));
+        let q = evaluate(&[], &sim, 15.0);
+        assert_eq!(q.matched_points, 0);
+        assert_eq!(q.coverage(), 0.0);
+        assert_eq!(q.motp, 0.0);
+        assert_eq!(q.false_tracks, 0);
+    }
+
+    #[test]
+    fn perfect_tracks_score_perfectly() {
+        // Build tracks straight from ground truth.
+        let sim = World::run(Scenario::tunnel_small(46));
+        let mut by_vehicle: HashMap<u64, Vec<(u32, tsvr_sim::Vec2)>> = HashMap::new();
+        for f in &sim.frames {
+            for v in &f.vehicles {
+                by_vehicle
+                    .entry(v.id)
+                    .or_default()
+                    .push((f.frame, v.center));
+            }
+        }
+        let tracks: Vec<Track> = by_vehicle
+            .into_iter()
+            .map(|(id, pts)| Track {
+                id,
+                points: pts
+                    .into_iter()
+                    .map(|(frame, c)| crate::tracker::TrackPoint {
+                        frame,
+                        centroid: c,
+                        mbr: tsvr_sim::Aabb::from_corners(c, c),
+                        coasted: false,
+                    })
+                    .collect(),
+                stats: Default::default(),
+            })
+            .collect();
+        let q = evaluate(&tracks, &sim, 15.0);
+        assert_eq!(q.matched_points, q.gt_points);
+        assert!(q.motp < 1e-9);
+        assert_eq!(q.id_switches, 0);
+        assert!((q.mean_fragments - 1.0).abs() < 1e-9);
+        assert_eq!(q.false_tracks, 0);
+    }
+
+    #[test]
+    fn far_tracks_count_as_false() {
+        let sim = World::run(Scenario::tunnel_small(47));
+        let c = tsvr_sim::Vec2::new(5.0, 5.0); // corner, far from lanes
+        let ghost = Track {
+            id: 999,
+            points: (0..30)
+                .map(|i| crate::tracker::TrackPoint {
+                    frame: i,
+                    centroid: c,
+                    mbr: tsvr_sim::Aabb::from_corners(c, c),
+                    coasted: false,
+                })
+                .collect(),
+            stats: Default::default(),
+        };
+        let q = evaluate(&[ghost], &sim, 10.0);
+        assert_eq!(q.false_tracks, 1);
+        assert_eq!(q.matched_points, 0);
+    }
+}

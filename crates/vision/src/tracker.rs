@@ -1,0 +1,472 @@
+//! Constant-velocity multi-object tracking.
+//!
+//! The paper's substrate \[20\] "has the ability to track moving vehicle
+//! objects (segments) within successive video frames" using segment
+//! centroids. This tracker reproduces that capability: per frame it
+//! predicts each live track forward with a smoothed velocity, associates
+//! predictions to detected blobs by minimum-cost assignment with a
+//! distance gate, coasts briefly through missed detections (occlusions,
+//! merges), and emits finished trajectories as centroid series.
+
+use crate::blob::Blob;
+use crate::hungarian;
+use tsvr_sim::{Aabb, Vec2};
+
+/// Tracker tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackerConfig {
+    /// Maximum association distance between a predicted track position
+    /// and a detection, px.
+    pub gate_distance: f64,
+    /// Consecutive missed frames before a track is terminated.
+    pub max_misses: u32,
+    /// Detections needed before a track counts as confirmed.
+    pub confirm_hits: u32,
+    /// Minimum number of points for a finished track to be reported.
+    pub min_track_len: usize,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            gate_distance: 24.0,
+            max_misses: 6,
+            confirm_hits: 3,
+            min_track_len: 6,
+        }
+    }
+}
+
+/// One sample of a finished track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackPoint {
+    /// Frame index.
+    pub frame: u32,
+    /// Tracked centroid (detected, or predicted when `coasted`).
+    pub centroid: Vec2,
+    /// MBR of the associated blob (previous MBR when coasted).
+    pub mbr: Aabb,
+    /// True when this sample was coasted through a missed detection.
+    pub coasted: bool,
+}
+
+/// Running means of blob shape features, used by the PCA classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlobStats {
+    /// Mean MBR width, px.
+    pub width: f64,
+    /// Mean MBR height, px.
+    pub height: f64,
+    /// Mean pixel area.
+    pub area: f64,
+    /// Mean fill ratio (area / MBR area).
+    pub fill: f64,
+    /// Mean intensity.
+    pub intensity: f64,
+}
+
+/// A finished vehicle trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Track {
+    /// Tracker-assigned id (not the simulator id).
+    pub id: u64,
+    /// Centroid series, one point per frame from birth to termination.
+    pub points: Vec<TrackPoint>,
+    /// Mean blob shape features over the detected (non-coasted) points.
+    pub stats: BlobStats,
+}
+
+impl Track {
+    /// First frame of the track.
+    pub fn start_frame(&self) -> u32 {
+        self.points.first().map(|p| p.frame).unwrap_or(0)
+    }
+
+    /// Last frame of the track.
+    pub fn end_frame(&self) -> u32 {
+        self.points.last().map(|p| p.frame).unwrap_or(0)
+    }
+
+    /// Centroid at an absolute frame index, if the track covers it.
+    pub fn centroid_at(&self, frame: u32) -> Option<Vec2> {
+        let start = self.start_frame();
+        if frame < start {
+            return None;
+        }
+        self.points.get((frame - start) as usize).map(|p| {
+            debug_assert_eq!(p.frame, frame);
+            p.centroid
+        })
+    }
+}
+
+#[derive(Debug)]
+struct ActiveTrack {
+    id: u64,
+    points: Vec<TrackPoint>,
+    velocity: Vec2,
+    hits: u32,
+    misses: u32,
+    stat_sums: BlobStats,
+    stat_n: usize,
+}
+
+impl ActiveTrack {
+    fn predict(&self) -> Vec2 {
+        let last = self.points.last().expect("track has points");
+        last.centroid + self.velocity
+    }
+
+    fn into_track(mut self, cfg: &TrackerConfig) -> Option<Track> {
+        // Trim trailing coasted points: they are extrapolation, not
+        // observation.
+        while self.points.last().map(|p| p.coasted).unwrap_or(false) {
+            self.points.pop();
+        }
+        if self.hits < cfg.confirm_hits || self.points.len() < cfg.min_track_len {
+            return None;
+        }
+        let n = self.stat_n.max(1) as f64;
+        Some(Track {
+            id: self.id,
+            points: self.points,
+            stats: BlobStats {
+                width: self.stat_sums.width / n,
+                height: self.stat_sums.height / n,
+                area: self.stat_sums.area / n,
+                fill: self.stat_sums.fill / n,
+                intensity: self.stat_sums.intensity / n,
+            },
+        })
+    }
+}
+
+/// The multi-object tracker. Feed blobs frame by frame with
+/// [`Tracker::step`], then call [`Tracker::finish`].
+pub struct Tracker {
+    cfg: TrackerConfig,
+    next_id: u64,
+    active: Vec<ActiveTrack>,
+    finished: Vec<Track>,
+}
+
+impl Tracker {
+    /// Creates a tracker.
+    pub fn new(cfg: TrackerConfig) -> Tracker {
+        Tracker {
+            cfg,
+            next_id: 1,
+            active: Vec::new(),
+            finished: Vec::new(),
+        }
+    }
+
+    /// Number of currently active (live) tracks.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Processes one frame of detections.
+    pub fn step(&mut self, frame: u32, blobs: &[Blob]) {
+        let n_tracks = self.active.len();
+        let n_blobs = blobs.len();
+        let gate = self.cfg.gate_distance;
+
+        // Assignment: rows = tracks, columns = blobs then one dummy
+        // column per track (a miss costs exactly the gate distance, so
+        // any real match within the gate is preferred).
+        let mut matched_blob: Vec<Option<usize>> = vec![None; n_tracks];
+        let mut blob_taken = vec![false; n_blobs];
+        if n_tracks > 0 {
+            let cost: Vec<Vec<f64>> = self
+                .active
+                .iter()
+                .enumerate()
+                .map(|(t, tr)| {
+                    let pred = tr.predict();
+                    let mut row: Vec<f64> = blobs
+                        .iter()
+                        .map(|b| {
+                            let d = pred.dist(b.centroid);
+                            if d <= gate {
+                                d
+                            } else {
+                                1e9 + d // softly ordered infeasible region
+                            }
+                        })
+                        .collect();
+                    // Dummy (miss) columns.
+                    for dummy in 0..n_tracks {
+                        row.push(if dummy == t { gate } else { 2e9 });
+                    }
+                    row
+                })
+                .collect();
+            let assignment = hungarian::assign(&cost);
+            for (t, &col) in assignment.iter().enumerate() {
+                if col < n_blobs && cost[t][col] < 1e9 {
+                    matched_blob[t] = Some(col);
+                    blob_taken[col] = true;
+                }
+            }
+        }
+
+        // Update matched / coasted tracks.
+        for (t, tr) in self.active.iter_mut().enumerate() {
+            match matched_blob[t] {
+                Some(b) => {
+                    let blob = &blobs[b];
+                    let last = tr.points.last().unwrap().centroid;
+                    let measured_v = blob.centroid - last;
+                    tr.velocity = tr.velocity * 0.6 + measured_v * 0.4;
+                    tr.points.push(TrackPoint {
+                        frame,
+                        centroid: blob.centroid,
+                        mbr: blob.mbr,
+                        coasted: false,
+                    });
+                    tr.hits += 1;
+                    tr.misses = 0;
+                    tr.stat_sums.width += blob.width();
+                    tr.stat_sums.height += blob.height();
+                    tr.stat_sums.area += blob.area as f64;
+                    tr.stat_sums.fill += blob.fill_ratio();
+                    tr.stat_sums.intensity += blob.mean_intensity;
+                    tr.stat_n += 1;
+                }
+                None => {
+                    let pred = tr.predict();
+                    let mbr = tr.points.last().unwrap().mbr;
+                    tr.points.push(TrackPoint {
+                        frame,
+                        centroid: pred,
+                        mbr,
+                        coasted: true,
+                    });
+                    tr.misses += 1;
+                }
+            }
+        }
+
+        // Terminate stale tracks.
+        let cfg = self.cfg;
+        let mut still_active = Vec::with_capacity(self.active.len());
+        for tr in self.active.drain(..) {
+            if tr.misses > cfg.max_misses {
+                if let Some(t) = tr.into_track(&cfg) {
+                    self.finished.push(t);
+                }
+            } else {
+                still_active.push(tr);
+            }
+        }
+        self.active = still_active;
+
+        // Births from unmatched blobs.
+        for (b, blob) in blobs.iter().enumerate() {
+            if blob_taken[b] {
+                continue;
+            }
+            self.active.push(ActiveTrack {
+                id: self.next_id,
+                points: vec![TrackPoint {
+                    frame,
+                    centroid: blob.centroid,
+                    mbr: blob.mbr,
+                    coasted: false,
+                }],
+                velocity: Vec2::ZERO,
+                hits: 1,
+                misses: 0,
+                stat_sums: BlobStats {
+                    width: blob.width(),
+                    height: blob.height(),
+                    area: blob.area as f64,
+                    fill: blob.fill_ratio(),
+                    intensity: blob.mean_intensity,
+                },
+                stat_n: 1,
+            });
+            self.next_id += 1;
+        }
+    }
+
+    /// Terminates all tracks and returns every confirmed trajectory,
+    /// ordered by start frame.
+    pub fn finish(mut self) -> Vec<Track> {
+        let cfg = self.cfg;
+        for tr in self.active.drain(..) {
+            if let Some(t) = tr.into_track(&cfg) {
+                self.finished.push(t);
+            }
+        }
+        self.finished.sort_by_key(|t| (t.start_frame(), t.id));
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_at(x: f64, y: f64) -> Blob {
+        Blob {
+            area: 200,
+            mbr: Aabb::from_corners(Vec2::new(x - 10.0, y - 5.0), Vec2::new(x + 10.0, y + 5.0)),
+            centroid: Vec2::new(x, y),
+            mean_intensity: 170.0,
+        }
+    }
+
+    fn default_tracker() -> Tracker {
+        Tracker::new(TrackerConfig::default())
+    }
+
+    #[test]
+    fn single_moving_object_yields_single_track() {
+        let mut tk = default_tracker();
+        for f in 0..30u32 {
+            tk.step(f, &[blob_at(10.0 + 4.0 * f as f64, 100.0)]);
+        }
+        let tracks = tk.finish();
+        assert_eq!(tracks.len(), 1);
+        let t = &tracks[0];
+        assert_eq!(t.points.len(), 30);
+        assert_eq!(t.start_frame(), 0);
+        assert_eq!(t.end_frame(), 29);
+        assert!(t.points.iter().all(|p| !p.coasted));
+    }
+
+    #[test]
+    fn two_crossing_objects_stay_separate() {
+        let mut tk = default_tracker();
+        for f in 0..40u32 {
+            let a = blob_at(10.0 + 4.0 * f as f64, 80.0);
+            let b = blob_at(170.0 - 4.0 * f as f64, 120.0);
+            tk.step(f, &[a, b]);
+        }
+        let tracks = tk.finish();
+        assert_eq!(tracks.len(), 2);
+        for t in &tracks {
+            assert_eq!(t.points.len(), 40);
+            // Each track's y stays near its own lane.
+            let ys: Vec<f64> = t.points.iter().map(|p| p.centroid.y).collect();
+            let spread = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(spread < 5.0, "track switched lanes: spread {spread}");
+        }
+    }
+
+    #[test]
+    fn coasts_through_short_occlusion() {
+        let mut tk = default_tracker();
+        for f in 0..30u32 {
+            if (12..15).contains(&f) {
+                tk.step(f, &[]); // occluded
+            } else {
+                tk.step(f, &[blob_at(10.0 + 4.0 * f as f64, 100.0)]);
+            }
+        }
+        let tracks = tk.finish();
+        assert_eq!(tracks.len(), 1, "track broke during occlusion");
+        let t = &tracks[0];
+        assert_eq!(t.points.len(), 30);
+        assert_eq!(t.points.iter().filter(|p| p.coasted).count(), 3);
+        // Coasted positions roughly continue the motion.
+        let p13 = t.centroid_at(13).unwrap();
+        assert!((p13.x - (10.0 + 4.0 * 13.0)).abs() < 4.0);
+    }
+
+    #[test]
+    fn long_gap_terminates_track() {
+        let mut tk = default_tracker();
+        for f in 0..10u32 {
+            tk.step(f, &[blob_at(10.0 + 4.0 * f as f64, 100.0)]);
+        }
+        for f in 10..30u32 {
+            tk.step(f, &[]);
+        }
+        for f in 30..45u32 {
+            tk.step(f, &[blob_at(300.0, 100.0)]);
+        }
+        let tracks = tk.finish();
+        assert_eq!(tracks.len(), 2, "gap should split the trajectory");
+        // No trailing coasted points on the first track.
+        assert!(!tracks[0].points.last().unwrap().coasted);
+    }
+
+    #[test]
+    fn short_noise_tracks_are_suppressed() {
+        let mut tk = default_tracker();
+        tk.step(0, &[blob_at(50.0, 50.0)]);
+        tk.step(1, &[blob_at(52.0, 50.0)]);
+        for f in 2..20u32 {
+            tk.step(f, &[]);
+        }
+        let tracks = tk.finish();
+        assert!(tracks.is_empty(), "2-frame flicker became a track");
+    }
+
+    #[test]
+    fn new_object_does_not_steal_existing_track() {
+        let mut tk = default_tracker();
+        for f in 0..10u32 {
+            tk.step(f, &[blob_at(10.0 + 4.0 * f as f64, 100.0)]);
+        }
+        // Second object appears far away.
+        for f in 10..30u32 {
+            tk.step(
+                f,
+                &[
+                    blob_at(10.0 + 4.0 * f as f64, 100.0),
+                    blob_at(5.0 + 3.0 * (f - 10) as f64, 200.0),
+                ],
+            );
+        }
+        let tracks = tk.finish();
+        assert_eq!(tracks.len(), 2);
+        assert_eq!(tracks[0].start_frame(), 0);
+        assert_eq!(tracks[1].start_frame(), 10);
+    }
+
+    #[test]
+    fn stats_accumulate_means() {
+        let mut tk = default_tracker();
+        for f in 0..10u32 {
+            tk.step(f, &[blob_at(10.0 + 4.0 * f as f64, 100.0)]);
+        }
+        let tracks = tk.finish();
+        let s = tracks[0].stats;
+        assert!((s.width - 21.0).abs() < 1e-9);
+        assert!((s.height - 11.0).abs() < 1e-9);
+        assert!((s.area - 200.0).abs() < 1e-9);
+        assert!((s.intensity - 170.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_at_out_of_range_is_none() {
+        let mut tk = default_tracker();
+        for f in 5..20u32 {
+            tk.step(f, &[blob_at(10.0 + 4.0 * f as f64, 100.0)]);
+        }
+        let tracks = tk.finish();
+        let t = &tracks[0];
+        assert!(t.centroid_at(4).is_none());
+        assert!(t.centroid_at(19).is_some());
+        assert!(t.centroid_at(20).is_none());
+    }
+
+    #[test]
+    fn stationary_object_is_tracked() {
+        let mut tk = default_tracker();
+        for f in 0..20u32 {
+            tk.step(f, &[blob_at(100.0, 100.0)]);
+        }
+        let tracks = tk.finish();
+        assert_eq!(tracks.len(), 1);
+        assert!(tracks[0]
+            .points
+            .iter()
+            .all(|p| p.centroid.dist(Vec2::new(100.0, 100.0)) < 1.0));
+    }
+}

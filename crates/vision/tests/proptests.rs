@@ -1,0 +1,136 @@
+//! Property-based tests for the vision stack.
+
+use proptest::prelude::*;
+use tsvr_vision::blob::extract_blobs;
+use tsvr_vision::frame::Mask;
+use tsvr_vision::hungarian;
+
+/// Brute-force optimal assignment cost.
+fn brute_force(cost: &[Vec<f64>]) -> f64 {
+    fn rec(cost: &[Vec<f64>], row: usize, used: &mut Vec<bool>) -> f64 {
+        if row == cost.len() {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for c in 0..cost[0].len() {
+            if !used[c] {
+                used[c] = true;
+                best = best.min(cost[row][c] + rec(cost, row + 1, used));
+                used[c] = false;
+            }
+        }
+        best
+    }
+    rec(cost, 0, &mut vec![false; cost[0].len()])
+}
+
+fn cost_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..100.0, cols), rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hungarian_matches_brute_force(
+        (rows, cols) in (1usize..5).prop_flat_map(|r| (Just(r), r..6)),
+        seed in any::<u32>(),
+    ) {
+        // Build deterministic costs from the seed to keep shrinking sane.
+        let cost: Vec<Vec<f64>> = (0..rows)
+            .map(|i| {
+                (0..cols)
+                    .map(|j| {
+                        let h = (seed as u64)
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add((i * 31 + j * 17) as u64);
+                        ((h >> 33) % 1000) as f64 / 10.0
+                    })
+                    .collect()
+            })
+            .collect();
+        let assignment = hungarian::assign(&cost);
+        let got = hungarian::total_cost(&cost, &assignment);
+        let want = brute_force(&cost);
+        prop_assert!((got - want).abs() < 1e-9, "got {got}, optimal {want}");
+        // Injective.
+        let mut seen = std::collections::HashSet::new();
+        for &c in &assignment {
+            prop_assert!(seen.insert(c));
+        }
+    }
+
+    #[test]
+    fn hungarian_invariant_under_row_constant_shift(
+        cost in cost_matrix(3, 4),
+        shift in 0.0f64..50.0,
+    ) {
+        // Adding a constant to one row must not change the optimal
+        // assignment structure (classic LAP invariance).
+        let a1 = hungarian::assign(&cost);
+        let mut shifted = cost.clone();
+        for v in &mut shifted[1] {
+            *v += shift;
+        }
+        let a2 = hungarian::assign(&shifted);
+        let c1 = hungarian::total_cost(&cost, &a1);
+        let c2 = hungarian::total_cost(&cost, &a2);
+        prop_assert!((c1 - c2).abs() < 1e-9, "assignment cost changed: {c1} vs {c2}");
+    }
+
+    #[test]
+    fn blobs_partition_the_mask(bits in prop::collection::vec(any::<bool>(), 20 * 15)) {
+        let mut mask = Mask::empty(20, 15);
+        mask.as_mut_slice().copy_from_slice(&bits);
+        let blobs = extract_blobs(&mask, 1, None);
+        // Total blob area equals the number of set pixels.
+        let total: usize = blobs.iter().map(|b| b.area).sum();
+        prop_assert_eq!(total, mask.count());
+        for b in &blobs {
+            // Centroid inside the MBR; MBR inside the image.
+            prop_assert!(b.mbr.contains(b.centroid));
+            prop_assert!(b.mbr.min.x >= 0.0 && b.mbr.max.x < 20.0);
+            prop_assert!(b.mbr.min.y >= 0.0 && b.mbr.max.y < 15.0);
+            // Area can't exceed the MBR box.
+            prop_assert!(b.area as f64 <= b.width() * b.height() + 1e-9);
+            prop_assert!(b.fill_ratio() > 0.0 && b.fill_ratio() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn min_area_only_filters(bits in prop::collection::vec(any::<bool>(), 16 * 16), min_area in 1usize..20) {
+        let mut mask = Mask::empty(16, 16);
+        mask.as_mut_slice().copy_from_slice(&bits);
+        let all = extract_blobs(&mask, 1, None);
+        let filtered = extract_blobs(&mask, min_area, None);
+        // Filtering never invents blobs, and keeps exactly those big enough.
+        prop_assert_eq!(
+            filtered.len(),
+            all.iter().filter(|b| b.area >= min_area).count()
+        );
+    }
+
+    #[test]
+    fn majority_filter_matches_neighborhood_definition(bits in prop::collection::vec(any::<bool>(), 12 * 12)) {
+        let mut mask = Mask::empty(12, 12);
+        mask.as_mut_slice().copy_from_slice(&bits);
+        let cleaned = mask.majority_filter(5);
+        // Definition check on every pixel: output set iff >= 5 of the
+        // 3x3 neighborhood (self included) were set in the input. This
+        // both removes isolated noise and fills single-pixel holes.
+        for y in 0..12u32 {
+            for x in 0..12u32 {
+                let mut n = 0;
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        let (nx, ny) = (x as i64 + dx, y as i64 + dy);
+                        if nx >= 0 && ny >= 0 && nx < 12 && ny < 12 && mask.get(nx as u32, ny as u32) {
+                            n += 1;
+                        }
+                    }
+                }
+                prop_assert_eq!(cleaned.get(x, y), n >= 5, "pixel ({}, {})", x, y);
+            }
+        }
+    }
+}

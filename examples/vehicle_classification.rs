@@ -1,0 +1,96 @@
+//! The PCA-based vehicle classification stage of the paper's substrate
+//! (§3.1, citing [13]): classify tracked vehicles into cars, SUVs and
+//! pick-up trucks from their blob statistics.
+//!
+//! Run with: `cargo run --release --example vehicle_classification`
+
+use tsvr::sim::{Scenario, VehicleClass, World};
+use tsvr::vision::pca::PcaClassifier;
+use tsvr::vision::pipeline::{match_ground_truth, process, PipelineConfig};
+
+fn main() {
+    // Training clip and a separate evaluation clip (different seeds).
+    // Denser, longer traffic than the retrieval clips so both sets hold
+    // a useful number of vehicles.
+    let busy = |seed| {
+        let mut s = Scenario::tunnel_small(seed);
+        s.total_frames = 1200;
+        s.mean_spawn_interval = 55.0;
+        s.incidents.clear();
+        s
+    };
+    println!("tracking vehicles in the training clip...");
+    let train_sim = World::run(busy(100));
+    let train_out = process(
+        &train_sim,
+        tsvr::sim::ScenarioKind::Tunnel,
+        &PipelineConfig::default(),
+    );
+    let train_ids = match_ground_truth(&train_out.tracks, &train_sim, 15.0);
+
+    // Label tracks with their ground-truth class via the simulator.
+    let class_of = |sim: &tsvr::sim::world::SimOutput, id: u64| -> Option<VehicleClass> {
+        sim.frames
+            .iter()
+            .flat_map(|f| f.vehicles.iter())
+            .find(|v| v.id == id)
+            .map(|v| v.class)
+    };
+    let mut samples = Vec::new();
+    for (track, matched) in train_out.tracks.iter().zip(&train_ids) {
+        if let Some(class) = matched.and_then(|id| class_of(&train_sim, id)) {
+            samples.push((track.stats, class));
+        }
+    }
+    println!(
+        "training PCA classifier on {} labeled tracks",
+        samples.len()
+    );
+    let clf = PcaClassifier::train(&samples, 3).expect("train");
+    println!(
+        "retained {} components ({:.0}% variance explained)",
+        clf.components(),
+        clf.explained_variance * 100.0
+    );
+
+    println!("\ntracking vehicles in the evaluation clip...");
+    let eval_sim = World::run(busy(200));
+    let eval_out = process(
+        &eval_sim,
+        tsvr::sim::ScenarioKind::Tunnel,
+        &PipelineConfig::default(),
+    );
+    let eval_ids = match_ground_truth(&eval_out.tracks, &eval_sim, 15.0);
+
+    let classes = [VehicleClass::Car, VehicleClass::Suv, VehicleClass::Pickup];
+    let mut confusion = [[0usize; 3]; 3];
+    let mut total = 0;
+    let mut correct = 0;
+    for (track, matched) in eval_out.tracks.iter().zip(&eval_ids) {
+        let Some(truth) = matched.and_then(|id| class_of(&eval_sim, id)) else {
+            continue;
+        };
+        let pred = clf.classify(&track.stats);
+        let ti = classes.iter().position(|&c| c == truth).unwrap();
+        let pi = classes.iter().position(|&c| c == pred).unwrap();
+        confusion[ti][pi] += 1;
+        total += 1;
+        if truth == pred {
+            correct += 1;
+        }
+    }
+
+    println!("\nconfusion matrix (rows = truth, cols = prediction):");
+    println!("{:<10}{:>8}{:>8}{:>8}", "", "car", "suv", "pickup");
+    for (ti, row) in confusion.iter().enumerate() {
+        print!("{:<10}", classes[ti].name());
+        for v in row {
+            print!("{v:>8}");
+        }
+        println!();
+    }
+    println!(
+        "\naccuracy: {correct}/{total} = {:.0}%",
+        100.0 * correct as f64 / total.max(1) as f64
+    );
+}

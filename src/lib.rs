@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the whole tsvr workspace.
+pub use tsvr_core as core;
+pub use tsvr_linalg as linalg;
+pub use tsvr_mil as mil;
+pub use tsvr_sim as sim;
+pub use tsvr_svm as svm;
+pub use tsvr_trajectory as trajectory;
+pub use tsvr_viddb as viddb;
+pub use tsvr_vision as vision;

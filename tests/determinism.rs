@@ -1,0 +1,42 @@
+//! Integration: the entire system is a pure function of the scenario
+//! seed — the property every experiment in EXPERIMENTS.md relies on.
+
+use tsvr::core::{prepare_clip, run_session, EventQuery, LearnerKind, PipelineOptions};
+use tsvr::mil::SessionConfig;
+use tsvr::sim::Scenario;
+
+#[test]
+fn identical_seeds_identical_everything() {
+    let a = prepare_clip(&Scenario::tunnel_small(88), &PipelineOptions::default());
+    let b = prepare_clip(&Scenario::tunnel_small(88), &PipelineOptions::default());
+    assert_eq!(a.sim.incidents, b.sim.incidents);
+    assert_eq!(a.vision.tracks, b.vision.tracks);
+    assert_eq!(a.bags, b.bags);
+
+    let cfg = SessionConfig {
+        top_n: 5,
+        feedback_rounds: 2,
+        ..SessionConfig::default()
+    };
+    let ra = run_session(
+        &a,
+        &EventQuery::accidents(),
+        LearnerKind::paper_ocsvm(),
+        cfg,
+    );
+    let rb = run_session(
+        &b,
+        &EventQuery::accidents(),
+        LearnerKind::paper_ocsvm(),
+        cfg,
+    );
+    assert_eq!(ra.accuracies, rb.accuracies);
+    assert_eq!(ra.rankings, rb.rankings);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = prepare_clip(&Scenario::tunnel_small(88), &PipelineOptions::default());
+    let b = prepare_clip(&Scenario::tunnel_small(89), &PipelineOptions::default());
+    assert_ne!(a.bags, b.bags);
+}
