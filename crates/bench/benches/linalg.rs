@@ -1,8 +1,8 @@
 //! Microbenchmarks for the numerical substrate: the polynomial
 //! trajectory fit (paper §3.2) and the PCA eigen path.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use tsvr_bench::harness::Bencher;
 use tsvr_linalg::decomp::{solve, solve_least_squares};
 use tsvr_linalg::eigen::symmetric_eigen;
 use tsvr_linalg::polyfit;
@@ -17,18 +17,16 @@ fn trajectory_samples(n: usize) -> (Vec<f64>, Vec<f64>) {
     (xs, ys)
 }
 
-fn bench_polyfit(c: &mut Criterion) {
-    let mut g = c.benchmark_group("polyfit");
-    for &n in &[25usize, 100, 500] {
+fn main() {
+    let mut b = Bencher::new("linalg");
+
+    for n in [25usize, 100, 500] {
         let (xs, ys) = trajectory_samples(n);
-        g.bench_function(format!("degree4_n{n}"), |b| {
-            b.iter(|| polyfit::fit(black_box(&xs), black_box(&ys), 4).unwrap())
+        b.bench(&format!("polyfit/degree4_n{n}"), || {
+            polyfit::fit(black_box(&xs), black_box(&ys), 4).unwrap()
         });
     }
-    g.finish();
-}
 
-fn bench_solvers(c: &mut Criterion) {
     let n = 12;
     let mut a = Matrix::zeros(n, n);
     for i in 0..n {
@@ -38,32 +36,22 @@ fn bench_solvers(c: &mut Criterion) {
         a[(i, i)] += n as f64;
     }
     let b_vec: Vec<f64> = (0..n).map(|i| i as f64).collect();
-    c.bench_function("lu_solve_12x12", |b| {
-        b.iter(|| solve(black_box(&a), black_box(&b_vec)).unwrap())
+    b.bench("lu_solve_12x12", || {
+        solve(black_box(&a), black_box(&b_vec)).unwrap()
     });
-    c.bench_function("qr_least_squares_12x12", |b| {
-        b.iter(|| solve_least_squares(black_box(&a), black_box(&b_vec)).unwrap())
+    b.bench("qr_least_squares_12x12", || {
+        solve_least_squares(black_box(&a), black_box(&b_vec)).unwrap()
     });
-}
 
-fn bench_eigen(c: &mut Criterion) {
     // Covariance-sized problems for the PCA classifier (6 features).
     let n = 6;
     let mut m = Matrix::zeros(n, n);
     for i in 0..n {
         for j in 0..n {
-            let v = 1.0 / (1.0 + (i as f64 - j as f64).abs());
-            m[(i, j)] = v;
+            m[(i, j)] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
         }
     }
-    c.bench_function("jacobi_eigen_6x6", |b| {
-        b.iter_batched(
-            || m.clone(),
-            |m| symmetric_eigen(black_box(&m)).unwrap(),
-            BatchSize::SmallInput,
-        )
+    b.bench("jacobi_eigen_6x6", || {
+        symmetric_eigen(black_box(&m)).unwrap()
     });
 }
-
-criterion_group!(benches, bench_polyfit, bench_solvers, bench_eigen);
-criterion_main!(benches);

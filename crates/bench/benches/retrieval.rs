@@ -2,47 +2,42 @@
 //! real scale (a full feedback session over a small clip's bag database,
 //! plus learner training and ranking in isolation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tsvr_bench::harness::Bencher;
 use tsvr_core::{prepare_clip, run_session, EventQuery, LearnerKind, PipelineOptions};
 use tsvr_mil::session::rank_by;
 use tsvr_mil::{heuristic, GroundTruthOracle, Learner, SessionConfig};
 use tsvr_sim::Scenario;
 use tsvr_svm::Kernel;
 
-fn bench_session(c: &mut Criterion) {
+fn main() {
+    let mut b = Bencher::new("retrieval");
     let clip = prepare_clip(&Scenario::tunnel_small(7), &PipelineOptions::default());
     let cfg = SessionConfig {
         top_n: 10,
         feedback_rounds: 4,
         ..SessionConfig::default()
     };
-    c.bench_function("session_ocsvm_small_clip", |b| {
-        b.iter(|| {
-            run_session(
-                black_box(&clip),
-                &EventQuery::accidents(),
-                LearnerKind::paper_ocsvm(),
-                cfg,
-            )
-        })
-    });
-    c.bench_function("session_weighted_rf_small_clip", |b| {
-        b.iter(|| {
-            run_session(
-                black_box(&clip),
-                &EventQuery::accidents(),
-                LearnerKind::paper_weighted_rf(),
-                cfg,
-            )
-        })
-    });
-}
 
-fn bench_components(c: &mut Criterion) {
-    let clip = prepare_clip(&Scenario::tunnel_small(7), &PipelineOptions::default());
-    c.bench_function("heuristic_rank_all_bags", |b| {
-        b.iter(|| rank_by(black_box(&clip.bags), heuristic::bag_score))
+    b.bench("session_ocsvm_small_clip", || {
+        run_session(
+            black_box(&clip),
+            &EventQuery::accidents(),
+            LearnerKind::paper_ocsvm(),
+            cfg,
+        )
+    });
+    b.bench("session_weighted_rf_small_clip", || {
+        run_session(
+            black_box(&clip),
+            &EventQuery::accidents(),
+            LearnerKind::paper_weighted_rf(),
+            cfg,
+        )
+    });
+
+    b.bench("heuristic_rank_all_bags", || {
+        rank_by(black_box(&clip.bags), heuristic::bag_score)
     });
 
     let labels = clip.labels(&EventQuery::accidents());
@@ -53,24 +48,14 @@ fn bench_components(c: &mut Criterion) {
         .take(10)
         .map(|b| (b.id, labels[b.id]))
         .collect();
-    c.bench_function("ocsvm_learn_one_round", |b| {
-        b.iter(|| {
-            let mut l = tsvr_mil::OcSvmMilLearner::new(Kernel::Rbf { gamma: 10.0 });
-            l.learn(black_box(&clip.bags), black_box(&feedback));
-            l
-        })
+    b.bench("ocsvm_learn_one_round", || {
+        let mut l = tsvr_mil::OcSvmMilLearner::new(Kernel::Rbf { gamma: 10.0 });
+        l.learn(black_box(&clip.bags), black_box(&feedback));
+        l
     });
-}
 
-fn bench_prepare(c: &mut Criterion) {
-    let mut g = c.benchmark_group("prepare_clip");
-    g.sample_size(10);
     let scenario = Scenario::tunnel_small(7);
-    g.bench_function("tunnel_400_frames", |b| {
-        b.iter(|| prepare_clip(black_box(&scenario), &PipelineOptions::default()))
+    b.bench("prepare_clip/tunnel_400_frames", || {
+        prepare_clip(black_box(&scenario), &PipelineOptions::default())
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_session, bench_components, bench_prepare);
-criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! retrieval loop actually hits (tens of 9-D training vectors, a few
 //! hundred scored bags per round).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tsvr_bench::harness::Bencher;
 use tsvr_svm::{Kernel, OneClassSvm};
 
 fn synth(n: usize, dim: usize) -> Vec<Vec<f64>> {
@@ -16,51 +16,40 @@ fn synth(n: usize, dim: usize) -> Vec<Vec<f64>> {
         .collect()
 }
 
-fn bench_train(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ocsvm_train");
-    for &n in &[16usize, 64, 256] {
+fn main() {
+    let mut b = Bencher::new("svm");
+
+    for n in [16usize, 64, 256] {
         let data = synth(n, 9);
-        g.bench_function(format!("rbf_n{n}_d9"), |b| {
-            b.iter(|| {
-                OneClassSvm::new(Kernel::Rbf { gamma: 2.0 }, 0.2)
-                    .fit(black_box(&data))
-                    .unwrap()
-            })
+        b.bench(&format!("ocsvm_train/rbf_n{n}_d9"), || {
+            OneClassSvm::new(Kernel::Rbf { gamma: 2.0 }, 0.2)
+                .fit(black_box(&data))
+                .unwrap()
         });
     }
-    g.finish();
-}
 
-fn bench_predict(c: &mut Criterion) {
     let data = synth(64, 9);
     let model = OneClassSvm::new(Kernel::Rbf { gamma: 2.0 }, 0.2)
         .fit(&data)
         .unwrap();
     let probes = synth(500, 9);
-    c.bench_function("ocsvm_decide_500x9", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for p in &probes {
-                acc += model.decision(black_box(p));
-            }
-            acc
-        })
+    b.bench("ocsvm_decide_500x9", || {
+        let mut acc = 0.0;
+        for p in &probes {
+            acc += model.decision(black_box(p));
+        }
+        acc
     });
-}
 
-fn bench_kernels(c: &mut Criterion) {
     let u: Vec<f64> = (0..9).map(|i| i as f64 * 0.1).collect();
     let v: Vec<f64> = (0..9).map(|i| (9 - i) as f64 * 0.1).collect();
-    let mut g = c.benchmark_group("kernel_eval");
     for (name, k) in [
         ("linear", Kernel::Linear),
         ("rbf", Kernel::Rbf { gamma: 2.0 }),
         ("laplacian", Kernel::Laplacian { sigma: 1.0 }),
     ] {
-        g.bench_function(name, |b| b.iter(|| k.eval(black_box(&u), black_box(&v))));
+        b.bench(&format!("kernel_eval/{name}"), || {
+            k.eval(black_box(&u), black_box(&v))
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_train, bench_predict, bench_kernels);
-criterion_main!(benches);

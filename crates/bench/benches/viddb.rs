@@ -1,8 +1,8 @@
 //! Video-database benchmarks: clip ingestion, cold and cached loads,
-//! catalog rebuild on reopen, and compaction.
+//! catalog rebuild on reopen, and metadata queries.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use tsvr_bench::harness::Bencher;
 use tsvr_viddb::{ClipBundle, ClipMeta, IncidentRow, SequenceRow, TrackRow, VideoDb, WindowRow};
 
 /// A realistically sized bundle (~25 tracks x 80 centroids, ~70 windows).
@@ -51,52 +51,41 @@ fn bundle(clip_id: u64) -> ClipBundle {
     }
 }
 
-fn bench_put(c: &mut Criterion) {
-    let b0 = bundle(1);
-    c.bench_function("db_put_clip", |b| {
-        b.iter_batched(
-            VideoDb::in_memory,
-            |mut db| db.put_clip(black_box(&b0)).unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
-}
+fn main() {
+    let mut b = Bencher::new("viddb");
 
-fn bench_load(c: &mut Criterion) {
+    let b0 = bundle(1);
+    b.bench("db_put_clip", || {
+        let mut db = VideoDb::in_memory();
+        db.put_clip(black_box(&b0)).unwrap()
+    });
+
     let mut db = VideoDb::in_memory();
     for id in 1..=20 {
         db.put_clip(&bundle(id)).unwrap();
     }
     // Cached load (cache capacity 8; repeat same id).
-    c.bench_function("db_load_clip_cached", |b| {
-        b.iter(|| db.load_clip(black_box(3)).unwrap())
-    });
+    b.bench("db_load_clip_cached", || db.load_clip(black_box(3)).unwrap());
     // Cold loads: cycle through more clips than the cache holds.
     let mut id = 0u64;
-    c.bench_function("db_load_clip_cold", |b| {
-        b.iter(|| {
-            id = id % 20 + 1;
-            db.load_clip(black_box(id)).unwrap()
-        })
+    b.bench("db_load_clip_cold", || {
+        id = id % 20 + 1;
+        db.load_clip(black_box(id)).unwrap()
     });
-}
 
-fn bench_metadata_queries(c: &mut Criterion) {
     let mut db = VideoDb::in_memory();
     for id in 1..=100 {
-        let mut b = bundle(id);
-        b.meta.location = format!("loc-{}", id % 7);
-        db.put_clip(&b).unwrap();
+        let mut bun = bundle(id);
+        bun.meta.location = format!("loc-{}", id % 7);
+        db.put_clip(&bun).unwrap();
     }
-    c.bench_function("db_find_by_location_100_clips", |b| {
-        b.iter(|| db.find_by_location(black_box("loc-3")).len())
+    b.bench("db_find_by_location_100_clips", || {
+        db.find_by_location(black_box("loc-3")).len()
     });
-    c.bench_function("db_find_by_time_range_100_clips", |b| {
-        b.iter(|| db.find_by_time_range(1_167_609_620, 1_167_609_660).len())
+    b.bench("db_find_by_time_range_100_clips", || {
+        db.find_by_time_range(1_167_609_620, 1_167_609_660).len()
     });
-}
 
-fn bench_reopen(c: &mut Criterion) {
     let mut path = std::env::temp_dir();
     path.push(format!("tsvr-bench-reopen-{}.db", std::process::id()));
     let _ = std::fs::remove_file(&path);
@@ -106,17 +95,8 @@ fn bench_reopen(c: &mut Criterion) {
             db.put_clip(&bundle(id)).unwrap();
         }
     }
-    c.bench_function("db_reopen_10_clips", |b| {
-        b.iter(|| VideoDb::open(black_box(&path)).unwrap().clip_count())
+    b.bench("db_reopen_10_clips", || {
+        VideoDb::open(black_box(&path)).unwrap().clip_count()
     });
     let _ = std::fs::remove_file(&path);
 }
-
-criterion_group!(
-    benches,
-    bench_put,
-    bench_load,
-    bench_metadata_queries,
-    bench_reopen
-);
-criterion_main!(benches);

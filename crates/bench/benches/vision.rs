@@ -2,8 +2,8 @@
 //! refinement, blob extraction and tracking, at the paper's QVGA frame
 //! size.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use tsvr_bench::harness::Bencher;
 use tsvr_sim::{Scenario, ScenarioKind, World};
 use tsvr_vision::background::BackgroundModel;
 use tsvr_vision::blob::extract_blobs;
@@ -19,42 +19,33 @@ fn busy_frame_setup() -> (Renderer, tsvr_sim::world::SimOutput) {
     (renderer, sim)
 }
 
-fn bench_render(c: &mut Criterion) {
-    let (renderer, sim) = busy_frame_setup();
-    let frame = sim.frames.iter().max_by_key(|f| f.vehicles.len()).unwrap();
-    c.bench_function("render_320x240", |b| {
-        b.iter(|| renderer.render(black_box(&frame.vehicles), frame.frame))
-    });
-}
-
-fn bench_subtract_and_segment(c: &mut Criterion) {
+fn main() {
+    let mut b = Bencher::new("vision");
     let (renderer, sim) = busy_frame_setup();
     let obs = sim.frames.iter().max_by_key(|f| f.vehicles.len()).unwrap();
+
+    b.bench("render_320x240", || {
+        renderer.render(black_box(&obs.vehicles), obs.frame)
+    });
+
     let frame = renderer.render(&obs.vehicles, obs.frame);
     let bg = BackgroundModel::from_frame(renderer.background());
-
-    c.bench_function("background_subtract_320x240", |b| {
-        b.iter_batched(
-            || bg.clone(),
-            |mut bg| bg.subtract_and_update(black_box(&frame)),
-            BatchSize::SmallInput,
-        )
+    b.bench("background_subtract_320x240", || {
+        bg.clone().subtract_and_update(black_box(&frame))
     });
 
     let diff = frame.abs_diff(renderer.background());
     let mask = bg.subtract(&frame);
-    c.bench_function("spcpe_refine_320x240", |b| {
-        b.iter(|| spcpe::refine(black_box(&diff), black_box(&mask)))
+    b.bench("spcpe_refine_320x240", || {
+        spcpe::refine(black_box(&diff), black_box(&mask))
     });
-    let refined = spcpe::refine(&diff, &mask).mask;
-    c.bench_function("blob_extract_320x240", |b| {
-        b.iter(|| extract_blobs(black_box(&refined), 60, Some(&frame)))
-    });
-}
 
-fn bench_tracking(c: &mut Criterion) {
-    let (renderer, sim) = busy_frame_setup();
-    // Pre-extract blobs for 60 frames.
+    let refined = spcpe::refine(&diff, &mask).mask;
+    b.bench("blob_extract_320x240", || {
+        extract_blobs(black_box(&refined), 60, Some(&frame))
+    });
+
+    // Pre-extract blobs for 60 frames, then time tracking alone.
     let mut bg = BackgroundModel::from_frame(renderer.background());
     let blob_seq: Vec<_> = sim
         .frames
@@ -66,21 +57,11 @@ fn bench_tracking(c: &mut Criterion) {
             extract_blobs(&mask, 60, Some(&frame))
         })
         .collect();
-    c.bench_function("tracker_60_frames", |b| {
-        b.iter(|| {
-            let mut tk = Tracker::new(TrackerConfig::default());
-            for (i, blobs) in blob_seq.iter().enumerate() {
-                tk.step(i as u32, black_box(blobs));
-            }
-            tk.finish()
-        })
+    b.bench("tracker_60_frames", || {
+        let mut tk = Tracker::new(TrackerConfig::default());
+        for (i, blobs) in blob_seq.iter().enumerate() {
+            tk.step(i as u32, black_box(blobs));
+        }
+        tk.finish()
     });
 }
-
-criterion_group!(
-    benches,
-    bench_render,
-    bench_subtract_and_segment,
-    bench_tracking
-);
-criterion_main!(benches);

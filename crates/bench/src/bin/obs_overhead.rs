@@ -1,0 +1,68 @@
+//! Measures the wall-clock overhead of the tsvr-obs probes on the
+//! retrieval hot path and writes `BENCH_obs_overhead.json`.
+//!
+//! The comparison runs inside one binary: the same OC-SVM retrieval
+//! session is timed with the runtime kill switch on and off
+//! ([`tsvr_obs::set_enabled`]), so both measurements share code, data,
+//! and compiler flags. The acceptance target is < 2% overhead; in a
+//! `--no-default-features` build the probes are compiled out entirely
+//! and both timings coincide.
+
+use tsvr_bench::harness::Bencher;
+use tsvr_bench::{clip1, paper_session, PAPER_SEED};
+use tsvr_core::{run_session, EventQuery, LearnerKind};
+use tsvr_obs::json::Json;
+
+fn main() {
+    // The paper's clip 1 at the paper's protocol: probe cost is a fixed
+    // handful of atomics per round, so it must be measured against a
+    // realistically sized session, not a toy one.
+    eprintln!("preparing clip 1 (tunnel, 2504 frames)...");
+    let clip = clip1(PAPER_SEED);
+    let cfg = paper_session();
+    let workload = || {
+        run_session(
+            &clip,
+            &EventQuery::accidents(),
+            LearnerKind::paper_ocsvm(),
+            cfg,
+        )
+    };
+
+    let mut b = Bencher::new("obs_overhead");
+    tsvr_obs::set_enabled(true);
+    let on = b.bench("session_probes_on", workload).ns_per_iter;
+    tsvr_obs::set_enabled(false);
+    let off = b.bench("session_probes_off", workload).ns_per_iter;
+    tsvr_obs::set_enabled(true);
+
+    let overhead_pct = (on - off) / off * 100.0;
+    let compiled_in = cfg!(feature = "obs");
+    println!(
+        "probes {}: {on:.0} ns/iter on, {off:.0} ns/iter off -> {overhead_pct:+.2}% overhead",
+        if compiled_in { "compiled in" } else { "compiled out" },
+    );
+    let target = 2.0;
+    if overhead_pct < target {
+        println!("PASS: overhead below the {target}% target");
+    } else {
+        println!("FAIL: overhead above the {target}% target");
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("obs_overhead".into())),
+        (
+            "workload".into(),
+            Json::Str("ocsvm session, paper clip 1, top 20, 4 rounds".into()),
+        ),
+        ("probes_compiled_in".into(), Json::Bool(compiled_in)),
+        ("ns_per_iter_enabled".into(), Json::Num(on)),
+        ("ns_per_iter_disabled".into(), Json::Num(off)),
+        ("overhead_pct".into(), Json::Num(overhead_pct)),
+        ("target_pct".into(), Json::Num(target)),
+        ("pass".into(), Json::Bool(overhead_pct < target)),
+    ]);
+    let path = "BENCH_obs_overhead.json";
+    std::fs::write(path, format!("{doc}\n")).expect("write BENCH_obs_overhead.json");
+    println!("wrote {path}");
+}

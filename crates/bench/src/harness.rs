@@ -1,0 +1,95 @@
+//! A minimal timing harness for the `benches/` targets.
+//!
+//! The workspace builds fully offline, so the bench targets are plain
+//! `fn main` binaries (`harness = false`) driving this module instead
+//! of an external benchmark framework. Each benchmark is warmed up,
+//! auto-calibrated to a target batch duration, then timed over several
+//! batches; the median batch is reported as ns/iter.
+//!
+//! Set `TSVR_BENCH_FAST=1` to run every benchmark for a single short
+//! batch — used by CI smoke runs where wall time matters more than
+//! measurement quality.
+
+use std::time::{Duration, Instant};
+
+/// Target wall time per measured batch.
+const BATCH_TARGET: Duration = Duration::from_millis(50);
+/// Measured batches per benchmark (median is reported).
+const BATCHES: usize = 7;
+
+fn fast_mode() -> bool {
+    std::env::var_os("TSVR_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name as printed.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per measured batch.
+    pub iters: u64,
+}
+
+/// A named group of benchmarks, printed like libtest's bench output.
+pub struct Bencher {
+    group: String,
+    results: Vec<Measurement>,
+}
+
+impl Bencher {
+    /// Start a group; `group` prefixes every benchmark name.
+    pub fn new(group: &str) -> Self {
+        Bencher {
+            group: group.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f`, which must consume its computation (return or
+    /// otherwise observe it) so the optimizer keeps the work.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) -> &Measurement {
+        // Warm up and calibrate: find an iteration count whose batch
+        // lands near the target duration.
+        let mut iters: u64 = 1;
+        let calibrated = loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= BATCH_TARGET || iters >= 1 << 30 {
+                break iters;
+            }
+            let scale = BATCH_TARGET.as_secs_f64() / dt.as_secs_f64().max(1e-9);
+            iters = (iters as f64 * scale.clamp(1.5, 100.0)).ceil() as u64;
+        };
+        let batches = if fast_mode() { 1 } else { BATCHES };
+        let iters = if fast_mode() { calibrated.min(3) } else { calibrated };
+        let mut samples: Vec<f64> = (0..batches)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t0.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let full = format!("{}/{}", self.group, name);
+        println!("bench: {full:<44} {:>12.1} ns/iter ({iters} iters)", median);
+        self.results.push(Measurement {
+            name: full,
+            ns_per_iter: median,
+            iters,
+        });
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}

@@ -1,6 +1,9 @@
-//! Shared helpers for the figure-regeneration binaries and Criterion
-//! benches. Each binary in `src/bin/` regenerates one table or figure of
-//! the paper; see DESIGN.md's experiment index.
+//! Shared helpers for the figure-regeneration binaries and the bench
+//! targets. Each binary in `src/bin/` regenerates one table or figure of
+//! the paper; see DESIGN.md's experiment index. The `benches/` targets
+//! run on the in-tree [`harness`].
+
+pub mod harness;
 
 use tsvr_core::{
     prepare_clip, run_session, ClipArtifacts, EventQuery, LearnerKind, PipelineOptions,

@@ -26,7 +26,13 @@ commands:
   search     --db F [--clips 1,2,3] [--event E] [--rounds N] [--top N]
              (cross-camera: one session over several clips; default = all clips)
   export     --db F --clip-id N --from N --to N --out DIR   (writes PGM images)
-  compact    --db F";
+  compact    --db F
+  demo       [--db F] [--seed N] [--rounds N] [--top N]
+             (simulate + retrieve in one process; exercises every subsystem)
+  stats      --metrics FILE   (pretty-print a --metrics-out snapshot)
+
+every command also accepts --metrics-out FILE to dump the process's
+span timings and counters as JSON on exit";
 
 /// Dispatches one invocation.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -34,7 +40,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         return Err(format!("no command given\n{USAGE}"));
     };
     let args = Args::parse(&argv[1..])?;
-    match cmd.as_str() {
+    let result = match cmd.as_str() {
         "simulate" => simulate(&args),
         "list" => list(&args),
         "info" => info(&args),
@@ -44,12 +50,79 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "search" => search(&args),
         "export" => export(&args),
         "compact" => compact(&args),
+        "demo" => demo(&args),
+        "stats" => stats(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    // Dump metrics even when the command failed: a snapshot of a failing
+    // run is exactly when the timings are wanted.
+    if let Some(path) = args.get("metrics-out") {
+        tsvr_obs::write_snapshot(Path::new(path))
+            .map_err(|e| format!("write metrics to {path}: {e}"))?;
     }
+    result
+}
+
+/// Runs the whole system in one process — simulation, vision,
+/// trajectory features, storage, and an OC-SVM retrieval session — so a
+/// single `--metrics-out` snapshot covers every instrumented subsystem.
+fn demo(args: &Args) -> Result<(), String> {
+    let seed = args.num::<u64>("seed", 2007)?;
+    let scenario = Scenario::tunnel_small(seed);
+    eprintln!("demo: simulating {} frames...", scenario.total_frames);
+    let clip = prepare_clip(&scenario, &PipelineOptions::default());
+    let meta = ClipMeta {
+        clip_id: 1,
+        name: format!("demo seed {seed}"),
+        location: "demo-site".into(),
+        camera: "cam-0".into(),
+        start_time: 1_167_609_600,
+        frame_count: scenario.total_frames,
+        width: clip.sim.width,
+        height: clip.sim.height,
+    };
+    let mut db = match args.get("db") {
+        Some(path) => VideoDb::open(Path::new(path)).map_err(|e| format!("open {path}: {e}"))?,
+        None => VideoDb::in_memory(),
+    };
+    db.put_clip(&bundle_from_clip(&clip, meta))
+        .map_err(|e| e.to_string())?;
+    let bundle = db.load_clip(1).map_err(|e| e.to_string())?;
+    let bags = bags_from_bundle(&bundle, &FeatureConfig::default());
+    let event = EventQuery::accidents();
+    let oracle = GroundTruthOracle::new(labels_from_bundle(&bundle, &event));
+    let cfg = SessionConfig {
+        top_n: args.num("top", 10)?,
+        feedback_rounds: args.num("rounds", 4)?,
+        ..SessionConfig::default()
+    };
+    let learner = LearnerKind::paper_ocsvm();
+    let (report, _) = RetrievalSession::new(&bags, learner.build_for(&bags), &oracle, cfg).run();
+    println!(
+        "demo: {} tracks, {} windows, {} relevant; accuracies {:?}",
+        clip.vision.tracks.len(),
+        bags.len(),
+        report.relevant_total,
+        report
+            .accuracies
+            .iter()
+            .map(|a| format!("{:.0}%", a * 100.0))
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}
+
+/// Pretty-prints a metrics snapshot written by `--metrics-out`.
+fn stats(args: &Args) -> Result<(), String> {
+    let path = args.require("metrics")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let snap = tsvr_obs::Snapshot::from_json(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    print!("{}", snap.render_table());
+    Ok(())
 }
 
 fn open_db(args: &Args) -> Result<VideoDb, String> {
@@ -749,5 +822,54 @@ mod tests {
     #[test]
     fn help_prints() {
         run(&["help"]).unwrap();
+    }
+
+    #[test]
+    fn demo_writes_metrics_and_stats_renders_them() {
+        let metrics = temp_db("metrics.json");
+        run(&[
+            "demo",
+            "--seed",
+            "5",
+            "--rounds",
+            "2",
+            "--top",
+            "5",
+            "--metrics-out",
+            &metrics,
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let snap = tsvr_obs::Snapshot::from_json(&text).unwrap();
+        if tsvr_obs::is_enabled() {
+            // One process exercised every instrumented subsystem.
+            for span in [
+                "vision.segment",
+                "trajectory.window.build",
+                "svm.train",
+                "mil.session",
+                "viddb.append",
+                "core.prepare_clip",
+            ] {
+                assert!(
+                    snap.histograms.iter().any(|h| h.name == span),
+                    "span {span} missing from snapshot"
+                );
+            }
+            assert!(snap.counters.iter().any(|c| c.name == "vision.frames"));
+        }
+        run(&["stats", "--metrics", &metrics]).unwrap();
+        assert!(run(&["stats", "--metrics", "/nonexistent/x.json"]).is_err());
+        let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn stats_rejects_malformed_snapshots() {
+        let path = temp_db("badmetrics.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(run(&["stats", "--metrics", &path]).is_err());
+        std::fs::write(&path, "{\"schema\": \"other/9\"}").unwrap();
+        assert!(run(&["stats", "--metrics", &path]).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 }

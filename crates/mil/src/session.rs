@@ -129,6 +129,7 @@ impl<'a, L: Learner, O: Oracle> RetrievalSession<'a, L, O> {
     /// Runs the full protocol and returns the per-round report (and the
     /// trained learner for inspection).
     pub fn run(mut self) -> (SessionReport, L) {
+        let _session_span = tsvr_obs::span!("mil.session");
         let labels: Vec<bool> = (0..self.bags.len()).map(|i| self.oracle.label(i)).collect();
         let n = self.config.top_n;
 
@@ -144,10 +145,13 @@ impl<'a, L: Learner, O: Oracle> RetrievalSession<'a, L, O> {
         } else {
             rank_by(self.bags, heuristic::bag_score)
         };
-        accuracies.push(metrics::accuracy_at(&initial, &labels, n));
+        let initial_accuracy = metrics::accuracy_at(&initial, &labels, n);
+        tsvr_obs::histogram!("mil.accuracy_at_n_pct").record((initial_accuracy * 100.0) as u64);
+        accuracies.push(initial_accuracy);
         rankings.push(initial);
 
         for _ in 0..self.config.feedback_rounds {
+            let _round_span = tsvr_obs::span!("mil.round");
             let current = rankings.last().unwrap();
             let feedback: Vec<(usize, bool)> = current
                 .iter()
@@ -156,7 +160,10 @@ impl<'a, L: Learner, O: Oracle> RetrievalSession<'a, L, O> {
                 .collect();
             self.learner.learn(self.bags, &feedback);
             let ranking = rank_by(self.bags, |b| self.learner.score(b));
-            accuracies.push(metrics::accuracy_at(&ranking, &labels, n));
+            let accuracy = metrics::accuracy_at(&ranking, &labels, n);
+            tsvr_obs::histogram!("mil.accuracy_at_n_pct").record((accuracy * 100.0) as u64);
+            tsvr_obs::counter!("mil.feedback.labels").add(feedback.len() as u64);
+            accuracies.push(accuracy);
             rankings.push(ranking);
         }
 

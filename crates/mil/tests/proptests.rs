@@ -1,55 +1,52 @@
-//! Property-based tests for the MIL framework invariants.
+//! Property-based tests for the MIL framework invariants, driven by the
+//! in-tree seeded harness (`tsvr_sim::check`).
 
-use proptest::prelude::*;
 use tsvr_mil::session::rank_by;
 use tsvr_mil::{heuristic, metrics, Bag, GroundTruthOracle, Instance, Oracle};
+use tsvr_sim::check;
+use tsvr_sim::Pcg32;
 
-/// Strategy: a database of bags with 1..4 instances of 3-D rows.
-fn bag_db() -> impl Strategy<Value = Vec<Bag>> {
-    prop::collection::vec(
-        prop::collection::vec(
-            prop::collection::vec(prop::collection::vec(0.0f64..1.0, 3), 1..4),
-            1..4,
-        ),
-        1..20,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(id, instances)| {
-                Bag::new(
-                    id,
-                    instances
-                        .into_iter()
-                        .enumerate()
-                        .map(|(k, rows)| Instance::new(k as u64, rows))
-                        .collect(),
-                )
-            })
-            .collect()
-    })
+/// A database of bags with 1..4 instances of 3-D rows.
+fn bag_db(rng: &mut Pcg32) -> Vec<Bag> {
+    let n_bags = check::len_in(rng, 1, 20);
+    (0..n_bags)
+        .map(|id| {
+            let n_instances = check::len_in(rng, 1, 4);
+            let instances = (0..n_instances)
+                .map(|k| {
+                    let n_rows = check::len_in(rng, 1, 4);
+                    let rows = (0..n_rows).map(|_| check::vec_f64(rng, 3, 0.0, 1.0)).collect();
+                    Instance::new(k as u64, rows)
+                })
+                .collect();
+            Bag::new(id, instances)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn rank_by_is_a_permutation(bags in bag_db()) {
+#[test]
+fn rank_by_is_a_permutation() {
+    check::cases(128, |case, rng| {
+        let bags = bag_db(rng);
         let ranking = rank_by(&bags, heuristic::bag_score);
         let mut sorted = ranking.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..bags.len()).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..bags.len()).collect::<Vec<_>>(), "case {case}");
         // Scores are non-increasing along the ranking.
         for w in ranking.windows(2) {
-            prop_assert!(
+            assert!(
                 heuristic::bag_score(&bags[w[0]]) >= heuristic::bag_score(&bags[w[1]])
-                    || w[0] < w[1] // equal scores tie-break by id
+                    || w[0] < w[1], // equal scores tie-break by id
+                "case {case}: ranking not sorted by score"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn heuristic_bag_score_equals_best_instance(bags in bag_db()) {
+#[test]
+fn heuristic_bag_score_equals_best_instance() {
+    check::cases(128, |case, rng| {
+        let bags = bag_db(rng);
         for bag in &bags {
             let s = heuristic::bag_score(bag);
             let best = bag
@@ -57,18 +54,26 @@ proptest! {
                 .iter()
                 .map(heuristic::instance_score)
                 .fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!((s - best).abs() < 1e-12);
+            assert!((s - best).abs() < 1e-12, "case {case}: {s} vs best {best}");
             // Adding a quiet instance never changes the score downward.
             let mut bigger = bag.clone();
             bigger
                 .instances
                 .push(Instance::new(99, vec![vec![0.0, 0.0, 0.0]]));
-            prop_assert!(heuristic::bag_score(&bigger) >= s);
+            assert!(
+                heuristic::bag_score(&bigger) >= s,
+                "case {case}: score dropped"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn instance_score_monotone_under_scaling(rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 3), 1..5), k in 1.0f64..3.0) {
+#[test]
+fn instance_score_monotone_under_scaling() {
+    check::cases(128, |case, rng| {
+        let n_rows = check::len_in(rng, 1, 5);
+        let rows: Vec<Vec<f64>> = (0..n_rows).map(|_| check::vec_f64(rng, 3, 0.0, 1.0)).collect();
+        let k = rng.uniform(1.0, 3.0);
         let a = Instance::new(0, rows.clone());
         let scaled = Instance::new(
             0,
@@ -76,48 +81,76 @@ proptest! {
                 .map(|r| r.iter().map(|x| x * k).collect())
                 .collect(),
         );
-        prop_assert!(heuristic::instance_score(&scaled) >= heuristic::instance_score(&a) - 1e-12);
-    }
+        assert!(
+            heuristic::instance_score(&scaled) >= heuristic::instance_score(&a) - 1e-12,
+            "case {case}: scaling decreased score"
+        );
+    });
+}
 
-    #[test]
-    fn accuracy_bounds_and_consistency(
-        labels in prop::collection::vec(any::<bool>(), 1..40),
-        n in 1usize..25,
-    ) {
+#[test]
+fn accuracy_bounds_and_consistency() {
+    check::cases(128, |case, rng| {
+        let n_labels = check::len_in(rng, 1, 40);
+        let labels = check::vec_bool(rng, n_labels, 0.5);
+        let n = check::len_in(rng, 1, 25);
         let ranking: Vec<usize> = (0..labels.len()).collect();
         let acc = metrics::accuracy_at(&ranking, &labels, n);
-        prop_assert!((0.0..=1.0).contains(&acc));
-        prop_assert!(acc <= metrics::accuracy_ceiling(&labels, n) + 1e-12);
+        assert!((0.0..=1.0).contains(&acc), "case {case}: acc {acc}");
+        assert!(
+            acc <= metrics::accuracy_ceiling(&labels, n) + 1e-12,
+            "case {case}: above ceiling"
+        );
         let recall = metrics::recall_at(&ranking, &labels, n);
-        prop_assert!((0.0..=1.0).contains(&recall));
+        assert!((0.0..=1.0).contains(&recall), "case {case}: recall {recall}");
         // Full-length recall is 1 when any relevant exist.
         let full = metrics::recall_at(&ranking, &labels, labels.len());
         if labels.iter().any(|&l| l) {
-            prop_assert!((full - 1.0).abs() < 1e-12);
+            assert!((full - 1.0).abs() < 1e-12, "case {case}: full recall {full}");
         } else {
-            prop_assert_eq!(full, 0.0);
+            assert_eq!(full, 0.0, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn average_precision_is_maximal_for_perfect_ranking(labels in prop::collection::vec(any::<bool>(), 1..30)) {
-        prop_assume!(labels.iter().any(|&l| l));
+#[test]
+fn average_precision_is_maximal_for_perfect_ranking() {
+    check::cases(128, |case, rng| {
+        let n_labels = check::len_in(rng, 1, 30);
+        let labels = check::vec_bool(rng, n_labels, 0.5);
+        if !labels.iter().any(|&l| l) {
+            return; // degenerate draw: AP undefined without positives
+        }
         // Perfect ranking: all relevant first.
         let mut perfect: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
         perfect.extend((0..labels.len()).filter(|&i| !labels[i]));
         let ap_perfect = metrics::average_precision(&perfect, &labels);
-        prop_assert!((ap_perfect - 1.0).abs() < 1e-12);
+        assert!(
+            (ap_perfect - 1.0).abs() < 1e-12,
+            "case {case}: perfect AP {ap_perfect}"
+        );
         // Any other ranking scores no higher.
         let identity: Vec<usize> = (0..labels.len()).collect();
-        prop_assert!(metrics::average_precision(&identity, &labels) <= ap_perfect + 1e-12);
-    }
+        assert!(
+            metrics::average_precision(&identity, &labels) <= ap_perfect + 1e-12,
+            "case {case}: identity beats perfect"
+        );
+    });
+}
 
-    #[test]
-    fn oracle_counts_match_labels(labels in prop::collection::vec(any::<bool>(), 0..50)) {
+#[test]
+fn oracle_counts_match_labels() {
+    check::cases(128, |case, rng| {
+        let n_labels = rng.uniform_usize(50);
+        let labels = check::vec_bool(rng, n_labels, 0.5);
         let o = GroundTruthOracle::new(labels.clone());
-        prop_assert_eq!(o.relevant_count(), labels.iter().filter(|&&l| l).count());
+        assert_eq!(
+            o.relevant_count(),
+            labels.iter().filter(|&&l| l).count(),
+            "case {case}"
+        );
         for (i, &l) in labels.iter().enumerate() {
-            prop_assert_eq!(o.label(i), l);
+            assert_eq!(o.label(i), l, "case {case}: label {i}");
         }
-    }
+    });
 }

@@ -1,0 +1,186 @@
+//! Zero-dependency metrics and tracing for the tsvr retrieval pipeline.
+//!
+//! The crate provides three probe primitives, all living in a global
+//! registry keyed by hierarchical dotted names (`vision.segment`,
+//! `svm.train`, `viddb.append`, ...):
+//!
+//! * [`Counter`] — a monotonically increasing atomic counter, obtained
+//!   with the [`counter!`] macro.
+//! * [`Histogram`] — a log2-bucketed histogram of `u64` samples,
+//!   obtained with the [`histogram!`] macro.
+//! * [`Span`] — an RAII timer on the monotonic clock; [`span!`] starts
+//!   one and its `Drop` records the elapsed nanoseconds into a
+//!   nanosecond-unit histogram under the span's name.
+//!
+//! Probe macros cache the registry lookup per call site, so a hot-path
+//! probe costs one atomic load plus one relaxed `fetch_add`.
+//!
+//! Two switches turn probes off:
+//!
+//! * Compile time: building without the `enabled` cargo feature turns
+//!   every probe into an inlined no-op (zero-sized guards, no clock
+//!   reads). Downstream crates expose this as their `obs` feature.
+//! * Run time: [`set_enabled`] flips a process-global kill switch;
+//!   disabled probes skip the clock read and the atomic update.
+//!
+//! State is exported through [`snapshot`], which yields a [`Snapshot`]
+//! that renders as a human-readable table or a stable JSON document
+//! (the same flat-object convention the repo's `BENCH_*.json` files
+//! use).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod metrics;
+mod snapshot;
+
+#[cfg(feature = "enabled")]
+mod registry;
+
+pub use metrics::{bucket_bounds, bucket_index, Counter, Histogram, Span, BUCKETS};
+pub use snapshot::{BucketSnapshot, CounterSnapshot, HistogramSnapshot, Snapshot};
+
+#[cfg(feature = "enabled")]
+pub use registry::{counter, histogram, histogram_ns, is_enabled, reset, set_enabled, snapshot};
+
+#[cfg(not(feature = "enabled"))]
+mod noop_api {
+    use crate::{Counter, Histogram, Snapshot};
+
+    /// No-op stand-in returned by [`counter!`](crate::counter!) when
+    /// probes are compiled out.
+    #[doc(hidden)]
+    pub static NOOP_COUNTER: Counter = Counter::noop();
+    /// No-op stand-in returned by [`histogram!`](crate::histogram!)
+    /// when probes are compiled out.
+    #[doc(hidden)]
+    pub static NOOP_HISTOGRAM: Histogram = Histogram::noop();
+
+    /// Look up or create the counter `name` (no-op build: shared stub).
+    #[inline(always)]
+    pub fn counter(_name: &'static str) -> &'static Counter {
+        &NOOP_COUNTER
+    }
+
+    /// Look up or create the histogram `name` (no-op build: shared stub).
+    #[inline(always)]
+    pub fn histogram(_name: &'static str) -> &'static Histogram {
+        &NOOP_HISTOGRAM
+    }
+
+    /// Look up or create the nanosecond histogram `name` (no-op build:
+    /// shared stub).
+    #[inline(always)]
+    pub fn histogram_ns(_name: &'static str) -> &'static Histogram {
+        &NOOP_HISTOGRAM
+    }
+
+    /// Runtime kill switch; probes are compiled out, so always `false`.
+    #[inline(always)]
+    pub fn is_enabled() -> bool {
+        false
+    }
+
+    /// Runtime kill switch setter; nothing to switch in a no-op build.
+    #[inline(always)]
+    pub fn set_enabled(_on: bool) {}
+
+    /// Zero all registered metrics; nothing registered in a no-op build.
+    #[inline(always)]
+    pub fn reset() {}
+
+    /// Capture the registry state; always empty in a no-op build.
+    #[inline(always)]
+    pub fn snapshot() -> Snapshot {
+        Snapshot::default()
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+pub use noop_api::*;
+
+/// Write the current [`snapshot`] as JSON to `path`.
+///
+/// In a no-op build this still writes a valid (empty) snapshot so
+/// tooling that expects the file keeps working.
+pub fn write_snapshot(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, snapshot().to_json())
+}
+
+/// Look up (and cache per call site) the counter named `$name`.
+///
+/// Returns `&'static Counter`. `$name` must be a `&'static str`.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __TSVR_OBS_SITE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *__TSVR_OBS_SITE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// Look up (and cache per call site) the counter named `$name`.
+///
+/// Probes are compiled out: expands to a shared no-op counter.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        let _ = $name;
+        &$crate::NOOP_COUNTER
+    }};
+}
+
+/// Look up (and cache per call site) the histogram named `$name`.
+///
+/// Returns `&'static Histogram`. `$name` must be a `&'static str`.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __TSVR_OBS_SITE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *__TSVR_OBS_SITE.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+/// Look up (and cache per call site) the histogram named `$name`.
+///
+/// Probes are compiled out: expands to a shared no-op histogram.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        let _ = $name;
+        &$crate::NOOP_HISTOGRAM
+    }};
+}
+
+/// Start an RAII span timer named `$name`.
+///
+/// Bind the result (`let _span = span!("x.y");`) — dropping it records
+/// the elapsed wall time, in nanoseconds, into the histogram `$name`.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static __TSVR_OBS_SITE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        $crate::Span::start(*__TSVR_OBS_SITE.get_or_init(|| $crate::histogram_ns($name)))
+    }};
+}
+
+/// Start an RAII span timer named `$name`.
+///
+/// Probes are compiled out: expands to a zero-sized guard and never
+/// reads the clock.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        let _ = $name;
+        $crate::Span::noop()
+    }};
+}

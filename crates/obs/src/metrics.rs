@@ -1,0 +1,261 @@
+//! Probe primitives: counters, log2-bucketed histograms, span timers.
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "enabled")]
+use std::time::Instant;
+
+/// Number of histogram buckets. Bucket `k > 0` covers the value range
+/// `[2^(k-1), 2^k - 1]`; bucket 0 holds exactly the value `0`.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a sample value.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive `[lo, hi]` value range covered by bucket `k`.
+pub fn bucket_bounds(k: usize) -> (u64, u64) {
+    match k {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (k - 1), (1 << k) - 1),
+    }
+}
+
+/// A monotonically increasing atomic counter.
+///
+/// Obtain one with the [`counter!`](crate::counter!) macro; all methods
+/// are no-ops when probes are compiled out.
+pub struct Counter {
+    #[cfg(feature = "enabled")]
+    value: AtomicU64,
+}
+
+#[cfg(feature = "enabled")]
+impl Counter {
+    pub(crate) fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `n` to the counter (skipped while the runtime kill switch is off).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::is_enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counter value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+impl Counter {
+    pub(crate) const fn noop() -> Self {
+        Counter {}
+    }
+
+    /// Add `n` to the counter (probes compiled out: does nothing).
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Current counter value (probes compiled out: always 0).
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+impl Counter {
+    /// Increment the counter by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples with exact count, sum,
+/// min, and max.
+///
+/// Obtain one with the [`histogram!`](crate::histogram!) macro (or
+/// implicitly via [`span!`](crate::span!), which records nanoseconds).
+pub struct Histogram {
+    #[cfg(feature = "enabled")]
+    buckets: [AtomicU64; BUCKETS],
+    #[cfg(feature = "enabled")]
+    count: AtomicU64,
+    #[cfg(feature = "enabled")]
+    sum: AtomicU64,
+    #[cfg(feature = "enabled")]
+    min: AtomicU64,
+    #[cfg(feature = "enabled")]
+    max: AtomicU64,
+}
+
+#[cfg(feature = "enabled")]
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample (skipped while the runtime kill switch is off).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::is_enabled() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Sample count in bucket `k`.
+    pub fn bucket(&self, k: usize) -> u64 {
+        self.buckets[k].load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+impl Histogram {
+    pub(crate) const fn noop() -> Self {
+        Histogram {}
+    }
+
+    /// Record one sample (probes compiled out: does nothing).
+    #[inline(always)]
+    pub fn record(&self, _v: u64) {}
+
+    /// Number of recorded samples (probes compiled out: always 0).
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    /// Sum of recorded samples (probes compiled out: always 0).
+    #[inline(always)]
+    pub fn sum(&self) -> u64 {
+        0
+    }
+
+    /// Smallest recorded sample (probes compiled out: always 0).
+    #[inline(always)]
+    pub fn min(&self) -> u64 {
+        0
+    }
+
+    /// Largest recorded sample (probes compiled out: always 0).
+    #[inline(always)]
+    pub fn max(&self) -> u64 {
+        0
+    }
+
+    /// Sample count in bucket `k` (probes compiled out: always 0).
+    #[inline(always)]
+    pub fn bucket(&self, _k: usize) -> u64 {
+        0
+    }
+}
+
+impl Histogram {
+    /// Record a duration as whole nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+}
+
+/// RAII span timer: started by [`span!`](crate::span!), records the
+/// elapsed wall-clock nanoseconds into its histogram on drop.
+#[must_use = "a span records its duration when dropped; bind it with `let _span = ...`"]
+pub struct Span {
+    #[cfg(feature = "enabled")]
+    inner: Option<(&'static Histogram, Instant)>,
+}
+
+#[cfg(feature = "enabled")]
+impl Span {
+    /// Start a span recording into `h` (kill switch off: inert guard).
+    #[doc(hidden)]
+    #[inline]
+    pub fn start(h: &'static Histogram) -> Span {
+        Span {
+            inner: if crate::is_enabled() {
+                Some((h, Instant::now()))
+            } else {
+                None
+            },
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((h, t0)) = self.inner.take() {
+            h.record_duration(t0.elapsed());
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+impl Span {
+    /// Zero-sized inert guard (probes compiled out).
+    #[doc(hidden)]
+    #[inline(always)]
+    pub const fn noop() -> Span {
+        Span {}
+    }
+}

@@ -1,0 +1,135 @@
+//! Process-global metric registry (only compiled with `enabled`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use crate::metrics::{bucket_bounds, Counter, Histogram, BUCKETS};
+use crate::snapshot::{BucketSnapshot, CounterSnapshot, HistogramSnapshot, Snapshot};
+
+/// Runtime kill switch; probes check it before touching the clock or
+/// any atomic. On by default.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Unit attached to a histogram at registration time.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Unit {
+    Count,
+    Nanos,
+}
+
+impl Unit {
+    fn as_str(self) -> &'static str {
+        match self {
+            Unit::Count => "count",
+            Unit::Nanos => "ns",
+        }
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    histograms: Mutex<BTreeMap<&'static str, (Unit, &'static Histogram)>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Flip the runtime kill switch. While off, every probe is inert (no
+/// clock reads, no atomic updates); already-recorded state is kept.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether probes are currently recording.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Look up or create the counter registered under `name`.
+///
+/// Registered metrics live for the rest of the process (their storage
+/// is leaked once, on first use).
+pub fn counter(name: &'static str) -> &'static Counter {
+    lock(&registry().counters)
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Counter::new())))
+}
+
+/// Look up or create the histogram registered under `name` with the
+/// plain `count` unit.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    histogram_with_unit(name, Unit::Count)
+}
+
+/// Look up or create the histogram registered under `name` with the
+/// nanosecond unit (used by span timers).
+pub fn histogram_ns(name: &'static str) -> &'static Histogram {
+    histogram_with_unit(name, Unit::Nanos)
+}
+
+fn histogram_with_unit(name: &'static str, unit: Unit) -> &'static Histogram {
+    lock(&registry().histograms)
+        .entry(name)
+        .or_insert_with(|| (unit, Box::leak(Box::new(Histogram::new()))))
+        .1
+}
+
+/// Zero every registered counter and histogram (the registry keeps its
+/// entries). Mainly for tests and benchmarks.
+pub fn reset() {
+    for c in lock(&registry().counters).values() {
+        c.reset();
+    }
+    for (_, h) in lock(&registry().histograms).values() {
+        h.reset();
+    }
+}
+
+/// Capture a point-in-time copy of every registered metric.
+pub fn snapshot() -> Snapshot {
+    let counters = lock(&registry().counters)
+        .iter()
+        .map(|(&name, c)| CounterSnapshot {
+            name: name.to_string(),
+            value: c.get(),
+        })
+        .collect();
+    let histograms = lock(&registry().histograms)
+        .iter()
+        .map(|(&name, &(unit, h))| {
+            let buckets = (0..BUCKETS)
+                .filter_map(|k| {
+                    let n = h.bucket(k);
+                    (n > 0).then(|| {
+                        let (lo, hi) = bucket_bounds(k);
+                        BucketSnapshot { lo, hi, count: n }
+                    })
+                })
+                .collect();
+            HistogramSnapshot {
+                name: name.to_string(),
+                unit: unit.as_str().to_string(),
+                count: h.count(),
+                sum: h.sum(),
+                min: h.min(),
+                max: h.max(),
+                buckets,
+            }
+        })
+        .collect();
+    Snapshot {
+        counters,
+        histograms,
+    }
+}

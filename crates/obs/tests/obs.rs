@@ -1,0 +1,283 @@
+//! Integration tests for the tsvr-obs probe layer.
+//!
+//! The registry and the runtime kill switch are process-global, so every
+//! test that mutates them runs under one mutex; metric names are unique
+//! per test so assertions never read another test's state.
+
+use tsvr_obs::{bucket_bounds, bucket_index, BucketSnapshot, CounterSnapshot};
+use tsvr_obs::{HistogramSnapshot, Snapshot, BUCKETS};
+
+#[cfg(feature = "enabled")]
+use std::sync::Mutex;
+
+/// Serializes tests that touch the global registry or kill switch.
+#[cfg(feature = "enabled")]
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+#[cfg(feature = "enabled")]
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn bucket_index_boundaries() {
+    // Bucket 0 holds exactly 0; bucket k > 0 covers [2^(k-1), 2^k - 1].
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_index(2), 2);
+    assert_eq!(bucket_index(3), 2);
+    assert_eq!(bucket_index(4), 3);
+    assert_eq!(bucket_index(7), 3);
+    assert_eq!(bucket_index(8), 4);
+    assert_eq!(bucket_index(1023), 10);
+    assert_eq!(bucket_index(1024), 11);
+    assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+}
+
+#[test]
+fn bucket_bounds_partition_u64() {
+    // Bounds are contiguous, cover all of u64, and agree with the index
+    // function at both edges of every bucket.
+    let mut expected_lo = 0u64;
+    for k in 0..BUCKETS {
+        let (lo, hi) = bucket_bounds(k);
+        assert_eq!(lo, expected_lo, "bucket {k} lower bound");
+        assert!(hi >= lo);
+        assert_eq!(bucket_index(lo), k, "lo of bucket {k} maps back");
+        assert_eq!(bucket_index(hi), k, "hi of bucket {k} maps back");
+        expected_lo = hi.wrapping_add(1);
+    }
+    assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+}
+
+/// A snapshot with every field shape exercised (empty histogram, span
+/// histogram, multi-bucket histogram, zero counter).
+fn sample_snapshot() -> Snapshot {
+    Snapshot {
+        counters: vec![
+            CounterSnapshot {
+                name: "svm.kernel.evals".into(),
+                value: 123_456,
+            },
+            CounterSnapshot {
+                name: "vision.frames".into(),
+                value: 0,
+            },
+        ],
+        histograms: vec![
+            HistogramSnapshot {
+                name: "mil.round".into(),
+                unit: "ns".into(),
+                count: 4,
+                sum: 1_000,
+                min: 200,
+                max: 350,
+                buckets: vec![
+                    BucketSnapshot {
+                        lo: 128,
+                        hi: 255,
+                        count: 3,
+                    },
+                    BucketSnapshot {
+                        lo: 256,
+                        hi: 511,
+                        count: 1,
+                    },
+                ],
+            },
+            HistogramSnapshot {
+                name: "vision.blobs_per_frame".into(),
+                unit: "count".into(),
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                buckets: vec![],
+            },
+        ],
+    }
+}
+
+#[test]
+fn snapshot_json_round_trips() {
+    let snap = sample_snapshot();
+    let text = snap.to_json();
+    let back = Snapshot::from_json(&text).expect("round trip parse");
+    assert_eq!(back, snap);
+    // Serialization is deterministic.
+    assert_eq!(back.to_json(), text);
+}
+
+#[test]
+fn snapshot_rejects_foreign_documents() {
+    assert!(Snapshot::from_json("{}").is_err(), "missing schema");
+    assert!(
+        Snapshot::from_json("{\"schema\": \"tsvr-obs/999\"}").is_err(),
+        "wrong schema version"
+    );
+    assert!(Snapshot::from_json("not json at all").is_err());
+    // An empty but well-formed snapshot parses.
+    let empty = Snapshot::default();
+    assert_eq!(Snapshot::from_json(&empty.to_json()).unwrap(), empty);
+}
+
+#[test]
+fn histogram_snapshot_statistics() {
+    let h = &sample_snapshot().histograms[0];
+    assert_eq!(h.mean(), 250.0);
+    // 4 samples: ranks 1-3 in [128,255], rank 4 in [256,511] (capped at max).
+    assert_eq!(h.quantile(0.5), 255);
+    assert_eq!(h.quantile(0.95), 350);
+    let empty = &sample_snapshot().histograms[1];
+    assert_eq!(empty.mean(), 0.0);
+    assert_eq!(empty.quantile(0.5), 0);
+}
+
+#[test]
+fn render_table_mentions_every_metric() {
+    let table = sample_snapshot().render_table();
+    assert!(table.contains("svm.kernel.evals"));
+    assert!(table.contains("123456"));
+    assert!(table.contains("mil.round"));
+    assert!(table.contains("ns"));
+    assert!(Snapshot::default()
+        .render_table()
+        .contains("(no metrics recorded)"));
+}
+
+#[cfg(feature = "enabled")]
+mod enabled {
+    use super::lock;
+    use tsvr_obs::{set_enabled, snapshot};
+
+    #[test]
+    fn macros_register_and_accumulate() {
+        let _g = lock();
+        tsvr_obs::counter!("test.reg.counter").add(5);
+        tsvr_obs::counter!("test.reg.counter").incr();
+        tsvr_obs::histogram!("test.reg.hist").record(3);
+        tsvr_obs::histogram!("test.reg.hist").record(300);
+        {
+            let _span = tsvr_obs::span!("test.reg.span");
+            std::hint::black_box(0u64);
+        }
+        let snap = snapshot();
+        let c = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "test.reg.counter")
+            .expect("counter registered");
+        assert_eq!(c.value, 6);
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.reg.hist")
+            .expect("histogram registered");
+        assert_eq!(h.unit, "count");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 303);
+        assert_eq!(h.min, 3);
+        assert_eq!(h.max, 300);
+        // Samples 3 and 300 land in buckets [2,3] and [256,511].
+        assert!(h.buckets.iter().any(|b| (b.lo, b.hi) == (2, 3)));
+        assert!(h.buckets.iter().any(|b| (b.lo, b.hi) == (256, 511)));
+        let s = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.reg.span")
+            .expect("span histogram registered");
+        assert_eq!(s.unit, "ns");
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn kill_switch_pauses_probes() {
+        let _g = lock();
+        let c = tsvr_obs::counter!("test.kill.counter");
+        let h = tsvr_obs::histogram!("test.kill.hist");
+        c.incr();
+        set_enabled(false);
+        c.add(100);
+        h.record(7);
+        {
+            let _span = tsvr_obs::span!("test.kill.span");
+        }
+        set_enabled(true);
+        c.incr();
+        assert_eq!(c.get(), 2, "adds while disabled must be dropped");
+        assert_eq!(h.count(), 0);
+        let snap = snapshot();
+        let span_count = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.kill.span")
+            .map(|h| h.count)
+            .unwrap_or(0);
+        assert_eq!(span_count, 0, "span started while disabled recorded");
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let _g = lock();
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let before = tsvr_obs::counter!("test.mt.counter").get();
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    let c = tsvr_obs::counter!("test.mt.counter");
+                    let h = tsvr_obs::histogram!("test.mt.hist");
+                    for i in 0..PER_THREAD {
+                        c.incr();
+                        h.record(i % 17);
+                    }
+                });
+            }
+        });
+        let c = tsvr_obs::counter!("test.mt.counter");
+        assert_eq!(c.get() - before, THREADS as u64 * PER_THREAD);
+        let h = tsvr_obs::histogram!("test.mt.hist");
+        assert_eq!(h.count(), THREADS as u64 * PER_THREAD);
+        // Bucket totals are consistent with the sample count.
+        let total: u64 = (0..tsvr_obs::BUCKETS).map(|k| h.bucket(k)).sum();
+        assert_eq!(total, h.count());
+    }
+
+    #[test]
+    fn write_snapshot_emits_parseable_json() {
+        let _g = lock();
+        tsvr_obs::counter!("test.file.counter").incr();
+        let mut path = std::env::temp_dir();
+        path.push(format!("tsvr-obs-test-{}.json", std::process::id()));
+        tsvr_obs::write_snapshot(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let snap = tsvr_obs::Snapshot::from_json(&text).unwrap();
+        assert!(snap.counters.iter().any(|c| c.name == "test.file.counter"));
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod disabled {
+    #[test]
+    fn probes_compile_to_inert_stubs() {
+        assert!(!tsvr_obs::is_enabled());
+        let c = tsvr_obs::counter!("noop.counter");
+        c.add(10);
+        c.incr();
+        assert_eq!(c.get(), 0);
+        let h = tsvr_obs::histogram!("noop.hist");
+        h.record(42);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        {
+            let _span = tsvr_obs::span!("noop.span");
+        }
+        tsvr_obs::set_enabled(true); // still inert
+        assert!(!tsvr_obs::is_enabled());
+        tsvr_obs::reset();
+        let snap = tsvr_obs::snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+}

@@ -14,6 +14,9 @@
 //!
 //! * [`rng`] — a small deterministic PCG32 generator so every experiment
 //!   is reproducible from a seed;
+//! * [`check`] — a seeded property-test harness built on [`rng`], used by
+//!   every crate's `tests/proptests.rs` (the workspace tests offline, so
+//!   no external property-testing framework);
 //! * [`geometry`] — `Vec2` / axis-aligned boxes / angle helpers;
 //! * [`road`] — polyline lanes with arc-length parameterization, plus the
 //!   tunnel and intersection layouts;
@@ -30,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod geometry;
 pub mod idm;
 pub mod incident;

@@ -1,64 +1,92 @@
-//! Property-based tests for the traffic simulation substrate.
+//! Property-based tests for the traffic simulation substrate, driven by
+//! the in-tree seeded harness (`tsvr_sim::check`).
 
-use proptest::prelude::*;
+use tsvr_sim::check;
 use tsvr_sim::idm::{self, IdmParams, Leader};
 use tsvr_sim::{Pcg32, Scenario, Vec2, World};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn rng_uniform_respects_bounds(seed in any::<u64>(), lo in -100.0f64..100.0, span in 0.001f64..100.0) {
-        let mut rng = Pcg32::seeded(seed);
+#[test]
+fn rng_uniform_respects_bounds() {
+    check::cases(64, |case, rng| {
+        let seed = rng.next_u64();
+        let lo = rng.uniform(-100.0, 100.0);
+        let span = rng.uniform(0.001, 100.0);
+        let mut r = Pcg32::seeded(seed);
         for _ in 0..100 {
-            let x = rng.uniform(lo, lo + span);
-            prop_assert!(x >= lo && x < lo + span);
+            let x = r.uniform(lo, lo + span);
+            assert!(x >= lo && x < lo + span, "case {case}: {x} outside bounds");
         }
-    }
+    });
+}
 
-    #[test]
-    fn rng_uniform_u32_in_range(seed in any::<u64>(), bound in 1u32..10_000) {
-        let mut rng = Pcg32::seeded(seed);
+#[test]
+fn rng_uniform_u32_in_range() {
+    check::cases(64, |case, rng| {
+        let seed = rng.next_u64();
+        let bound = 1 + rng.uniform_u32(9_999);
+        let mut r = Pcg32::seeded(seed);
         for _ in 0..100 {
-            prop_assert!(rng.uniform_u32(bound) < bound);
+            assert!(r.uniform_u32(bound) < bound, "case {case}: out of range");
         }
-    }
+    });
+}
 
-    #[test]
-    fn rng_shuffle_is_permutation(seed in any::<u64>(), n in 0usize..50) {
-        let mut rng = Pcg32::seeded(seed);
+#[test]
+fn rng_shuffle_is_permutation() {
+    check::cases(64, |case, rng| {
+        let n = rng.uniform_usize(50);
         let mut xs: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut xs);
         let mut sorted = xs.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
-    }
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "case {case}");
+    });
+}
 
-    #[test]
-    fn idm_speed_stays_bounded(
-        v0 in 0.5f64..8.0,
-        init in 0.0f64..8.0,
-        gap in 1.0f64..500.0,
-        lead_speed in 0.0f64..8.0,
-    ) {
-        let p = IdmParams { desired_speed: v0, ..IdmParams::default() };
+#[test]
+fn idm_speed_stays_bounded() {
+    check::cases(64, |case, rng| {
+        let v0 = rng.uniform(0.5, 8.0);
+        let init = rng.uniform(0.0, 8.0);
+        let gap = rng.uniform(1.0, 500.0);
+        let lead_speed = rng.uniform(0.0, 8.0);
+        let p = IdmParams {
+            desired_speed: v0,
+            ..IdmParams::default()
+        };
         let mut v = init;
         let mut pos = 0.0;
         for _ in 0..500 {
-            let (np, nv) = idm::step(&p, pos, v, Some(Leader { gap, speed: lead_speed }), 1.0);
+            let (np, nv) = idm::step(
+                &p,
+                pos,
+                v,
+                Some(Leader {
+                    gap,
+                    speed: lead_speed,
+                }),
+                1.0,
+            );
             pos = np;
             v = nv;
-            prop_assert!(v >= 0.0, "negative speed {v}");
-            prop_assert!(v <= v0.max(init) + p.max_accel + 1e-9, "overshoot {v}");
+            assert!(v >= 0.0, "case {case}: negative speed {v}");
+            assert!(
+                v <= v0.max(init) + p.max_accel + 1e-9,
+                "case {case}: overshoot {v}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn idm_follower_never_passes_stationary_leader(
-        v0 in 1.0f64..8.0,
-        leader_pos in 100.0f64..800.0,
-    ) {
-        let p = IdmParams { desired_speed: v0, ..IdmParams::default() };
+#[test]
+fn idm_follower_never_passes_stationary_leader() {
+    check::cases(32, |case, rng| {
+        let v0 = rng.uniform(1.0, 8.0);
+        let leader_pos = rng.uniform(100.0, 800.0);
+        let p = IdmParams {
+            desired_speed: v0,
+            ..IdmParams::default()
+        };
         let mut pos = 0.0;
         let mut v = v0;
         for _ in 0..3000 {
@@ -66,56 +94,74 @@ proptest! {
             let (np, nv) = idm::step(&p, pos, v, Some(Leader { gap, speed: 0.0 }), 1.0);
             pos = np;
             v = nv;
-            prop_assert!(pos < leader_pos, "passed the leader at {pos}");
+            assert!(pos < leader_pos, "case {case}: passed the leader at {pos}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn angle_between_is_bounded_and_symmetric(
-        ax in -10.0f64..10.0, ay in -10.0f64..10.0,
-        bx in -10.0f64..10.0, by in -10.0f64..10.0,
-    ) {
-        let a = Vec2::new(ax, ay);
-        let b = Vec2::new(bx, by);
+#[test]
+fn angle_between_is_bounded_and_symmetric() {
+    check::cases(128, |case, rng| {
+        let a = Vec2::new(rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0));
+        let b = Vec2::new(rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0));
         let t1 = a.angle_between(b);
         let t2 = b.angle_between(a);
-        prop_assert!((t1 - t2).abs() < 1e-9);
-        prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&t1));
-    }
+        assert!((t1 - t2).abs() < 1e-9, "case {case}: not symmetric");
+        assert!(
+            (0.0..=std::f64::consts::PI + 1e-12).contains(&t1),
+            "case {case}: angle {t1} out of range"
+        );
+    });
+}
 
-    #[test]
-    fn world_is_deterministic_per_seed(seed in 0u64..500) {
-        let mut s = Scenario::tunnel_small(seed);
+#[test]
+fn world_is_deterministic_per_seed() {
+    check::cases(12, |case, rng| {
+        let mut s = Scenario::tunnel_small(rng.uniform_u32(500) as u64);
         s.total_frames = 120;
         let a = World::run(s.clone());
         let b = World::run(s);
-        prop_assert_eq!(a.frames, b.frames);
-        prop_assert_eq!(a.incidents, b.incidents);
-    }
+        assert_eq!(a.frames, b.frames, "case {case}: frames differ");
+        assert_eq!(a.incidents, b.incidents, "case {case}: incidents differ");
+    });
+}
 
-    #[test]
-    fn observed_vehicles_stay_in_image(seed in 0u64..200) {
-        let mut s = Scenario::tunnel_small(seed);
+#[test]
+fn observed_vehicles_stay_in_image() {
+    check::cases(12, |case, rng| {
+        let mut s = Scenario::tunnel_small(rng.uniform_u32(200) as u64);
         s.total_frames = 150;
         let out = World::run(s);
         for f in &out.frames {
             for v in &f.vehicles {
-                prop_assert!(v.center.x >= 0.0 && v.center.x < out.width as f64);
-                prop_assert!(v.center.y >= 0.0 && v.center.y < out.height as f64);
-                prop_assert!(v.speed >= 0.0 && v.speed < 12.0, "speed {}", v.speed);
+                assert!(
+                    v.center.x >= 0.0 && v.center.x < out.width as f64,
+                    "case {case}: x out of image"
+                );
+                assert!(
+                    v.center.y >= 0.0 && v.center.y < out.height as f64,
+                    "case {case}: y out of image"
+                );
+                assert!(
+                    v.speed >= 0.0 && v.speed < 12.0,
+                    "case {case}: speed {}",
+                    v.speed
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn incident_records_are_well_formed(seed in 0u64..100) {
-        let mut s = Scenario::tunnel_small(seed);
+#[test]
+fn incident_records_are_well_formed() {
+    check::cases(8, |case, rng| {
+        let mut s = Scenario::tunnel_small(rng.uniform_u32(100) as u64);
         s.total_frames = 350;
         let out = World::run(s);
         for r in &out.incidents {
-            prop_assert!(r.end_frame > r.start_frame);
-            prop_assert!(!r.vehicle_ids.is_empty());
-            prop_assert!(r.start_frame < 350 + 100);
+            assert!(r.end_frame > r.start_frame, "case {case}: empty incident");
+            assert!(!r.vehicle_ids.is_empty(), "case {case}: no vehicles");
+            assert!(r.start_frame < 350 + 100, "case {case}: starts past clip");
         }
-    }
+    });
 }

@@ -109,6 +109,7 @@ impl Kernel {
     /// so dense precomputation is the right cache strategy.
     pub fn gram(&self, data: &[Vec<f64>]) -> Vec<f64> {
         let n = data.len();
+        tsvr_obs::counter!("svm.kernel.evals").add((n * (n + 1) / 2) as u64);
         let mut g = vec![0.0; n * n];
         for i in 0..n {
             for j in i..n {

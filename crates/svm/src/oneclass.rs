@@ -82,6 +82,7 @@ impl OneClassSvm {
             }
         }
 
+        let _span = tsvr_obs::span!("svm.train");
         let n = data.len();
         let c = 1.0 / (self.nu * n as f64); // upper bound per α
         let gram = self.kernel.gram(data);
@@ -204,6 +205,8 @@ impl OneClassSvm {
                 coeffs.push(alpha[k]);
             }
         }
+        tsvr_obs::histogram!("svm.train.iterations").record(iterations as u64);
+        tsvr_obs::histogram!("svm.train.support_vectors").record(support.len() as u64);
         Ok(OneClassModel {
             kernel: self.kernel,
             nu: self.nu,
@@ -236,6 +239,7 @@ impl OneClassModel {
     /// The raw decision value `Σ_i α_i K(x_i, x) − ρ`; positive inside
     /// the learned region.
     pub fn decision(&self, x: &[f64]) -> f64 {
+        tsvr_obs::counter!("svm.kernel.evals").add(self.support.len() as u64);
         let mut s = 0.0;
         for (sv, &a) in self.support.iter().zip(&self.coeffs) {
             s += a * self.kernel.eval(sv, x);

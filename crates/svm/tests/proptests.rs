@@ -1,18 +1,21 @@
-//! Property-based tests for the SVM solvers.
+//! Property-based tests for the SVM solvers, driven by the in-tree
+//! seeded harness (`tsvr_sim::check`).
 
-use proptest::prelude::*;
+use tsvr_sim::check;
+use tsvr_sim::Pcg32;
 use tsvr_svm::{Kernel, OneClassSvm, Svc};
 
-/// Strategy: a cluster of points around a center with bounded spread.
-fn points(n: std::ops::Range<usize>, lo: f64, hi: f64) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(prop::collection::vec(lo..hi, 3), n)
+/// A cluster of 3-D points with coordinates uniform in `[lo, hi)`.
+fn points(rng: &mut Pcg32, lo_n: usize, hi_n: usize, lo: f64, hi: f64) -> Vec<Vec<f64>> {
+    let n = check::len_in(rng, lo_n, hi_n);
+    (0..n).map(|_| check::vec_f64(rng, 3, lo, hi)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn oneclass_nu_property(data in points(10..60, -1.0, 1.0), nu in 0.05f64..0.6) {
+#[test]
+fn oneclass_nu_property() {
+    check::cases(40, |case, rng| {
+        let data = points(rng, 10, 60, -1.0, 1.0);
+        let nu = rng.uniform(0.05, 0.6);
         let model = OneClassSvm::new(Kernel::Rbf { gamma: 1.0 }, nu)
             .fit(&data)
             .unwrap();
@@ -22,44 +25,61 @@ proptest! {
         let outliers = data.iter().filter(|x| model.decision(x) < -1e-5).count() as f64;
         // ν-property with finite-sample slack (±2 points): the exact
         // statement is asymptotic.
-        prop_assert!(outliers / n <= nu + 2.0 / n + 1e-9,
-            "outliers {outliers}/{n} exceed nu {nu}");
-        prop_assert!(model.support_count() as f64 / n >= nu - 2.0 / n - 1e-9,
-            "SVs {} below nu {nu}", model.support_count());
-    }
+        assert!(
+            outliers / n <= nu + 2.0 / n + 1e-9,
+            "case {case}: outliers {outliers}/{n} exceed nu {nu}"
+        );
+        assert!(
+            model.support_count() as f64 / n >= nu - 2.0 / n - 1e-9,
+            "case {case}: SVs {} below nu {nu}",
+            model.support_count()
+        );
+    });
+}
 
-    #[test]
-    fn oneclass_alphas_sum_to_one(data in points(5..40, -2.0, 2.0), nu in 0.1f64..0.8) {
+#[test]
+fn oneclass_alphas_sum_to_one() {
+    check::cases(40, |case, rng| {
+        let data = points(rng, 5, 40, -2.0, 2.0);
+        let nu = rng.uniform(0.1, 0.8);
         let model = OneClassSvm::new(Kernel::Rbf { gamma: 0.7 }, nu)
             .fit(&data)
             .unwrap();
         let sum: f64 = model.coeffs.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-7, "sum alpha = {sum}");
+        assert!((sum - 1.0).abs() < 1e-7, "case {case}: sum alpha = {sum}");
         let c = 1.0 / (nu * data.len() as f64);
         for &a in &model.coeffs {
-            prop_assert!(a > 0.0 && a <= c + 1e-9);
+            assert!(a > 0.0 && a <= c + 1e-9, "case {case}: alpha {a} out of box");
         }
-    }
+    });
+}
 
-    #[test]
-    fn oneclass_decision_invariant_to_duplication(data in points(5..20, -1.0, 1.0)) {
+#[test]
+fn oneclass_decision_invariant_to_duplication() {
+    check::cases(40, |case, rng| {
+        let data = points(rng, 5, 20, -1.0, 1.0);
         // Training on the same data twice over yields (approximately)
         // the same decision boundary: the dual is scale-structured.
-        let m1 = OneClassSvm::new(Kernel::Rbf { gamma: 1.0 }, 0.3).fit(&data).unwrap();
+        let m1 = OneClassSvm::new(Kernel::Rbf { gamma: 1.0 }, 0.3)
+            .fit(&data)
+            .unwrap();
         let doubled: Vec<Vec<f64>> = data.iter().chain(data.iter()).cloned().collect();
-        let m2 = OneClassSvm::new(Kernel::Rbf { gamma: 1.0 }, 0.3).fit(&doubled).unwrap();
+        let m2 = OneClassSvm::new(Kernel::Rbf { gamma: 1.0 }, 0.3)
+            .fit(&doubled)
+            .unwrap();
         for probe in data.iter().take(5) {
             let d1 = m1.decision(probe);
             let d2 = m2.decision(probe);
-            prop_assert!((d1 - d2).abs() < 0.05, "{d1} vs {d2}");
+            assert!((d1 - d2).abs() < 0.05, "case {case}: {d1} vs {d2}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn svc_separates_translated_clusters(
-        base in points(6..20, -0.8, 0.8),
-        shift in 3.0f64..6.0,
-    ) {
+#[test]
+fn svc_separates_translated_clusters() {
+    check::cases(40, |case, rng| {
+        let base = points(rng, 6, 20, -0.8, 0.8);
+        let shift = rng.uniform(3.0, 6.0);
         // Positive cluster = base; negative = base translated by shift.
         let mut data = base.clone();
         let mut labels = vec![true; base.len()];
@@ -75,12 +95,18 @@ proptest! {
             .zip(&labels)
             .filter(|(x, &l)| model.predict(x) == l)
             .count();
-        prop_assert!(correct == data.len(),
-            "only {correct}/{} correct on separable data", data.len());
-    }
+        assert!(
+            correct == data.len(),
+            "case {case}: only {correct}/{} correct on separable data",
+            data.len()
+        );
+    });
+}
 
-    #[test]
-    fn svc_dual_constraint_holds(base in points(6..16, -1.0, 1.0)) {
+#[test]
+fn svc_dual_constraint_holds() {
+    check::cases(40, |case, rng| {
+        let base = points(rng, 6, 16, -1.0, 1.0);
         let mut data = base.clone();
         let mut labels = vec![true; base.len()];
         for p in &base {
@@ -88,36 +114,48 @@ proptest! {
             labels.push(false);
         }
         let c = 5.0;
-        let model = Svc::new(Kernel::Rbf { gamma: 0.5 }, c).fit(&data, &labels).unwrap();
+        let model = Svc::new(Kernel::Rbf { gamma: 0.5 }, c)
+            .fit(&data, &labels)
+            .unwrap();
         let sum: f64 = model.coeffs.iter().sum();
-        prop_assert!(sum.abs() < 1e-6, "sum alpha*y = {sum}");
+        assert!(sum.abs() < 1e-6, "case {case}: sum alpha*y = {sum}");
         for &a in &model.coeffs {
-            prop_assert!(a.abs() <= c + 1e-9);
+            assert!(a.abs() <= c + 1e-9, "case {case}: alpha {a} beyond C");
         }
-    }
+    });
+}
 
-    #[test]
-    fn kernels_are_symmetric_and_bounded(
-        u in prop::collection::vec(-5.0f64..5.0, 4),
-        v in prop::collection::vec(-5.0f64..5.0, 4),
-    ) {
+#[test]
+fn kernels_are_symmetric_and_bounded() {
+    check::cases(128, |case, rng| {
+        let u = check::vec_f64(rng, 4, -5.0, 5.0);
+        let v = check::vec_f64(rng, 4, -5.0, 5.0);
         for k in [
             Kernel::Rbf { gamma: 0.3 },
             Kernel::Laplacian { sigma: 2.0 },
             Kernel::Linear,
         ] {
-            prop_assert!((k.eval(&u, &v) - k.eval(&v, &u)).abs() < 1e-12);
+            assert!(
+                (k.eval(&u, &v) - k.eval(&v, &u)).abs() < 1e-12,
+                "case {case}: kernel not symmetric"
+            );
         }
         // RBF/Laplacian in (0, 1], self-similarity exactly 1.
         for k in [Kernel::Rbf { gamma: 0.3 }, Kernel::Laplacian { sigma: 2.0 }] {
             let kv = k.eval(&u, &v);
-            prop_assert!(kv > 0.0 && kv <= 1.0);
-            prop_assert!((k.eval(&u, &u) - 1.0).abs() < 1e-12);
+            assert!(kv > 0.0 && kv <= 1.0, "case {case}: k = {kv}");
+            assert!(
+                (k.eval(&u, &u) - 1.0).abs() < 1e-12,
+                "case {case}: k(u,u) != 1"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn rbf_gram_matrix_is_psd(data in points(2..10, -2.0, 2.0)) {
+#[test]
+fn rbf_gram_matrix_is_psd() {
+    check::cases(64, |case, rng| {
+        let data = points(rng, 2, 10, -2.0, 2.0);
         // Mercer check: x^T G x >= 0 for random x (probe with a few
         // deterministic vectors derived from the data).
         let k = Kernel::Rbf { gamma: 0.8 };
@@ -133,7 +171,7 @@ proptest! {
                     quad += x[i] * x[j] * g[i * n + j];
                 }
             }
-            prop_assert!(quad >= -1e-8, "x^T G x = {quad}");
+            assert!(quad >= -1e-8, "case {case}: x^T G x = {quad}");
         }
-    }
+    });
 }

@@ -39,6 +39,8 @@ impl TrajectoryModel {
         let xs: Vec<f64> = track.points.iter().map(|p| p.centroid.x).collect();
         let ys: Vec<f64> = track.points.iter().map(|p| p.centroid.y).collect();
         let degree = degree.min(ts.len().saturating_sub(1));
+        let _span = tsvr_obs::span!("trajectory.polyfit");
+        tsvr_obs::counter!("trajectory.polyfit.solves").add(2);
         let px = polyfit::fit(&ts, &xs, degree)?;
         let py = polyfit::fit(&ts, &ys, degree)?;
         let sse = px.sse(&ts, &xs) + py.sse(&ts, &ys);

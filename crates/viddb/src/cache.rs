@@ -11,6 +11,29 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
 
+/// A point-in-time view of cache effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to decode from the log.
+    pub misses: u64,
+    /// Entries currently held.
+    pub len: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; `0` when no lookups happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// LRU cache mapping keys to shared values.
 #[derive(Debug)]
 pub struct LruCache<K: Eq + Hash + Clone, V> {
@@ -40,10 +63,12 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             Some((v, t)) => {
                 *t = self.tick;
                 self.hits += 1;
+                tsvr_obs::counter!("viddb.cache.hits").incr();
                 Some(Arc::clone(v))
             }
             None => {
                 self.misses += 1;
+                tsvr_obs::counter!("viddb.cache.misses").incr();
                 None
             }
         }
@@ -85,9 +110,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.is_empty()
     }
 
-    /// `(hits, misses)` counters.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    /// Hit/miss counters and current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            len: self.map.len(),
+        }
     }
 }
 
@@ -101,7 +130,25 @@ mod tests {
         c.put(1, Arc::new("one".into()));
         assert_eq!(c.get(&1).unwrap().as_str(), "one");
         assert!(c.get(&2).is_none());
-        assert_eq!(c.stats(), (1, 1));
+        let stats = c.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn stats_track_hits_misses_and_len() {
+        let mut c: LruCache<u64, u64> = LruCache::new(4);
+        assert_eq!(c.stats(), CacheStats::default());
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.put(1, Arc::new(10));
+        c.put(2, Arc::new(20));
+        c.get(&1); // hit
+        c.get(&1); // hit
+        c.get(&9); // miss
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.len, 2);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

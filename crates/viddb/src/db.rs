@@ -1,6 +1,6 @@
 //! The video database: log + catalog + buffer cache + metadata queries.
 
-use crate::cache::LruCache;
+use crate::cache::{CacheStats, LruCache};
 use crate::codec::{Reader, Writer};
 use crate::error::{DbError, Result};
 use crate::frames::{FrameCodec, StoredFrame};
@@ -120,6 +120,7 @@ impl VideoDb {
 
     /// Stores a clip bundle. Fails on duplicate clip ids.
     pub fn put_clip(&mut self, bundle: &ClipBundle) -> Result<()> {
+        let _span = tsvr_obs::span!("viddb.put_clip");
         let id = bundle.meta.clip_id;
         if self.catalog.contains_key(&id) {
             return Err(DbError::DuplicateClip(id));
@@ -181,6 +182,7 @@ impl VideoDb {
         if let Some(b) = self.cache.get(&clip_id) {
             return Ok(b);
         }
+        let _span = tsvr_obs::span!("viddb.load_clip");
         let &(_, offset) = self
             .catalog
             .get(&clip_id)
@@ -392,8 +394,8 @@ impl VideoDb {
         self.rebuild_catalog()
     }
 
-    /// `(hits, misses)` of the buffer cache.
-    pub fn cache_stats(&self) -> (u64, u64) {
+    /// Hit/miss/occupancy statistics of the buffer cache.
+    pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 }
@@ -447,8 +449,10 @@ mod tests {
         let a = db.load_clip(1).unwrap();
         let b = db.load_clip(1).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "second load not served from cache");
-        let (hits, misses) = db.cache_stats();
-        assert_eq!((hits, misses), (1, 1));
+        let stats = db.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.len, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

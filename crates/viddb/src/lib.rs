@@ -34,6 +34,7 @@ pub mod frames;
 pub mod log;
 pub mod record;
 
+pub use cache::CacheStats;
 pub use db::VideoDb;
 pub use error::DbError;
 pub use frames::{FrameCodec, StoredFrame};

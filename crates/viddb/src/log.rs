@@ -76,6 +76,7 @@ impl Log {
             backend: Backend::File(file),
             len: file_len,
         };
+        let _span = tsvr_obs::span!("viddb.recover");
         let valid = log.scan_valid_prefix()?;
         if valid < file_len {
             // Torn tail: truncate it away.
@@ -118,6 +119,7 @@ impl Log {
 
     /// Appends one record; returns its offset.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
+        let _span = tsvr_obs::span!("viddb.append");
         let offset = self.len;
         let mut framed = Vec::with_capacity(payload.len() + 8);
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -132,6 +134,8 @@ impl Log {
             }
         }
         self.len += framed.len() as u64;
+        tsvr_obs::counter!("viddb.log.records").incr();
+        tsvr_obs::counter!("viddb.log.bytes").add(framed.len() as u64);
         Ok(offset)
     }
 

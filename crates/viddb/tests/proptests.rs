@@ -1,153 +1,253 @@
 //! Property-based tests for the database layer: codec round trips with
 //! arbitrary content, log recovery under arbitrary truncation, and
-//! frame-codec bounds.
+//! frame-codec bounds. Driven by the in-tree seeded harness
+//! (`tsvr_sim::check`).
 
-use proptest::prelude::*;
+use tsvr_sim::check;
+use tsvr_sim::Pcg32;
 use tsvr_viddb::codec::{crc32, Reader, Writer};
 use tsvr_viddb::frames::{rle_compress, rle_decompress, FrameCodec, StoredFrame};
 use tsvr_viddb::log::Log;
 use tsvr_viddb::record::{ClipMeta, IncidentRow, SessionRow, TrackRow};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn bytes(rng: &mut Pcg32, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.uniform_u32(256) as u8).collect()
+}
 
-    #[test]
-    fn scalar_codec_round_trip(
-        a in any::<u8>(), b in any::<u32>(), c in any::<u64>(),
-        d in any::<f64>(), s in ".{0,40}", bytes in prop::collection::vec(any::<u8>(), 0..100),
-    ) {
+/// An arbitrary string mixing ASCII and multibyte characters.
+fn string(rng: &mut Pcg32, max_len: usize) -> String {
+    let n = rng.uniform_usize(max_len + 1);
+    (0..n)
+        .map(|_| match rng.uniform_u32(8) {
+            0 => char::from_u32(0x00C0 + rng.uniform_u32(0x100)).unwrap_or('é'),
+            1 => '雨',
+            _ => (0x20 + rng.uniform_u32(0x5f) as u8) as char,
+        })
+        .collect()
+}
+
+fn lowercase(rng: &mut Pcg32, lo: usize, hi: usize) -> String {
+    let n = check::len_in(rng, lo, hi);
+    (0..n)
+        .map(|_| {
+            if rng.chance(0.1) {
+                '_'
+            } else {
+                (b'a' + rng.uniform_u32(26) as u8) as char
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn scalar_codec_round_trip() {
+    check::cases(96, |case, rng| {
+        let a = rng.uniform_u32(256) as u8;
+        let b = rng.next_u32();
+        let c = rng.next_u64();
+        let d = f64::from_bits(rng.next_u64());
+        let s = string(rng, 40);
+        let blob_len = rng.uniform_usize(100);
+        let blob = bytes(rng, blob_len);
         let mut w = Writer::new();
         w.put_u8(a);
         w.put_u32(b);
         w.put_u64(c);
         w.put_f64(d);
         w.put_str(&s);
-        w.put_bytes(&bytes);
+        w.put_bytes(&blob);
         let buf = w.into_bytes();
         let mut r = Reader::new(&buf);
-        prop_assert_eq!(r.get_u8().unwrap(), a);
-        prop_assert_eq!(r.get_u32().unwrap(), b);
-        prop_assert_eq!(r.get_u64().unwrap(), c);
+        assert_eq!(r.get_u8().unwrap(), a, "case {case}");
+        assert_eq!(r.get_u32().unwrap(), b, "case {case}");
+        assert_eq!(r.get_u64().unwrap(), c, "case {case}");
         let got = r.get_f64().unwrap();
-        prop_assert!(got == d || (got.is_nan() && d.is_nan()));
-        prop_assert_eq!(r.get_str().unwrap(), s);
-        prop_assert_eq!(r.get_bytes().unwrap(), &bytes[..]);
-        prop_assert!(r.is_exhausted());
-    }
+        assert!(got == d || (got.is_nan() && d.is_nan()), "case {case}");
+        assert_eq!(r.get_str().unwrap(), s, "case {case}");
+        assert_eq!(r.get_bytes().unwrap(), &blob[..], "case {case}");
+        assert!(r.is_exhausted(), "case {case}");
+    });
+}
 
-    #[test]
-    fn crc_detects_single_bit_flips(data in prop::collection::vec(any::<u8>(), 1..200), pos in any::<prop::sample::Index>()) {
+#[test]
+fn crc_detects_single_bit_flips() {
+    check::cases(96, |case, rng| {
+        let len = check::len_in(rng, 1, 200);
+        let data = bytes(rng, len);
         let c1 = crc32(&data);
         let mut corrupted = data.clone();
-        let i = pos.index(corrupted.len());
+        let i = rng.uniform_usize(corrupted.len());
         corrupted[i] ^= 0x01;
-        prop_assert_ne!(c1, crc32(&corrupted));
-    }
+        assert_ne!(c1, crc32(&corrupted), "case {case}: flip undetected");
+    });
+}
 
-    #[test]
-    fn rle_round_trips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..500)) {
-        prop_assert_eq!(rle_decompress(&rle_compress(&data)), data);
-    }
+#[test]
+fn rle_round_trips_arbitrary_bytes() {
+    check::cases(96, |case, rng| {
+        // Mix of pure noise and run-heavy data to exercise both paths.
+        let data = if rng.chance(0.5) {
+            let len = rng.uniform_usize(500);
+            bytes(rng, len)
+        } else {
+            let mut out = Vec::new();
+            while out.len() < 400 {
+                let b = rng.uniform_u32(4) as u8;
+                let run = 1 + rng.uniform_usize(40);
+                out.extend(std::iter::repeat_n(b, run));
+            }
+            out
+        };
+        assert_eq!(rle_decompress(&rle_compress(&data)), data, "case {case}");
+    });
+}
 
-    #[test]
-    fn track_row_round_trips(
-        track_id in any::<u64>(),
-        start in any::<u32>(),
-        pts in prop::collection::vec((-1e4f32..1e4, -1e4f32..1e4), 0..60),
-    ) {
-        let row = TrackRow { track_id, start_frame: start, centroids: pts };
+#[test]
+fn track_row_round_trips() {
+    check::cases(96, |case, rng| {
+        let row = TrackRow {
+            track_id: rng.next_u64(),
+            start_frame: rng.next_u32(),
+            centroids: (0..rng.uniform_usize(60))
+                .map(|_| {
+                    (
+                        rng.uniform(-1e4, 1e4) as f32,
+                        rng.uniform(-1e4, 1e4) as f32,
+                    )
+                })
+                .collect(),
+        };
         let mut w = Writer::new();
         row.encode(&mut w);
         let buf = w.into_bytes();
         let mut r = Reader::new(&buf);
-        prop_assert_eq!(TrackRow::decode(&mut r).unwrap(), row);
-    }
+        assert_eq!(TrackRow::decode(&mut r).unwrap(), row, "case {case}");
+    });
+}
 
-    #[test]
-    fn clip_meta_round_trips(
-        clip_id in any::<u64>(),
-        name in ".{0,30}", location in ".{0,30}", camera in ".{0,20}",
-        t0 in any::<u64>(), frames in any::<u32>(),
-    ) {
+#[test]
+fn clip_meta_round_trips() {
+    check::cases(96, |case, rng| {
         let meta = ClipMeta {
-            clip_id, name, location, camera,
-            start_time: t0, frame_count: frames, width: 320, height: 240,
+            clip_id: rng.next_u64(),
+            name: string(rng, 30),
+            location: string(rng, 30),
+            camera: string(rng, 20),
+            start_time: rng.next_u64(),
+            frame_count: rng.next_u32(),
+            width: 320,
+            height: 240,
         };
         let mut w = Writer::new();
         meta.encode(&mut w);
         let buf = w.into_bytes();
-        prop_assert_eq!(ClipMeta::decode(&mut Reader::new(&buf)).unwrap(), meta);
-    }
+        assert_eq!(
+            ClipMeta::decode(&mut Reader::new(&buf)).unwrap(),
+            meta,
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn incident_and_session_rows_round_trip(
-        kind in "[a-z_]{1,16}",
-        s in any::<u32>(), dur in 0u32..500,
-        ids in prop::collection::vec(any::<u64>(), 0..5),
-        accs in prop::collection::vec(0.0f64..1.0, 0..6),
-    ) {
-        let inc = IncidentRow { kind: kind.clone(), start_frame: s, end_frame: s.saturating_add(dur), vehicle_ids: ids };
+#[test]
+fn incident_and_session_rows_round_trip() {
+    check::cases(96, |case, rng| {
+        let kind = lowercase(rng, 1, 16);
+        let s = rng.next_u32();
+        let dur = rng.uniform_u32(500);
+        let ids: Vec<u64> = (0..rng.uniform_usize(5)).map(|_| rng.next_u64()).collect();
+        let n_accs = rng.uniform_usize(6);
+        let accs = check::vec_f64(rng, n_accs, 0.0, 1.0);
+        let inc = IncidentRow {
+            kind: kind.clone(),
+            start_frame: s,
+            end_frame: s.saturating_add(dur),
+            vehicle_ids: ids,
+        };
         let mut w = Writer::new();
         inc.encode(&mut w);
         let buf = w.into_bytes();
-        prop_assert_eq!(IncidentRow::decode(&mut Reader::new(&buf)).unwrap(), inc);
+        assert_eq!(
+            IncidentRow::decode(&mut Reader::new(&buf)).unwrap(),
+            inc,
+            "case {case}"
+        );
 
         let ses = SessionRow {
-            session_id: 1, clip_id: 2, query: kind, learner: "x".into(),
+            session_id: 1,
+            clip_id: 2,
+            query: kind,
+            learner: "x".into(),
             feedback: vec![vec![(3, true), (4, false)]],
             accuracies: accs,
         };
         let mut w = Writer::new();
         ses.encode(&mut w);
         let buf = w.into_bytes();
-        prop_assert_eq!(SessionRow::decode(&mut Reader::new(&buf)).unwrap(), ses);
-    }
+        assert_eq!(
+            SessionRow::decode(&mut Reader::new(&buf)).unwrap(),
+            ses,
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn log_round_trips_arbitrary_records(records in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..80), 0..20)) {
+#[test]
+fn log_round_trips_arbitrary_records() {
+    check::cases(96, |case, rng| {
+        let records: Vec<Vec<u8>> = (0..rng.uniform_usize(20))
+            .map(|_| {
+                let len = rng.uniform_usize(80);
+                bytes(rng, len)
+            })
+            .collect();
         let mut log = Log::in_memory();
         let mut offsets = Vec::new();
         for rec in &records {
             offsets.push(log.append(rec).unwrap());
         }
         for (off, rec) in offsets.iter().zip(&records) {
-            prop_assert_eq!(&log.read(*off).unwrap(), rec);
+            assert_eq!(&log.read(*off).unwrap(), rec, "case {case}");
         }
         let scanned = log.scan().unwrap();
-        prop_assert_eq!(scanned.len(), records.len());
+        assert_eq!(scanned.len(), records.len(), "case {case}");
         for ((_, got), want) in scanned.iter().zip(&records) {
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn frame_codec_error_bounded_by_quant_step(
-        pixels in prop::collection::vec(any::<u8>(), 64),
-        quant in 1u8..32,
-    ) {
+#[test]
+fn frame_codec_error_bounded_by_quant_step() {
+    check::cases(96, |case, rng| {
+        let pixels = bytes(rng, 64);
+        let quant = 1 + rng.uniform_u32(31) as u8;
         let frame = StoredFrame::new(8, 8, pixels.clone()).unwrap();
         let codec = FrameCodec { quant_step: quant };
         let payload = codec.encode_segment(&[frame]).unwrap();
         let decoded = FrameCodec::decode_segment(&payload).unwrap();
         for (&got, &want) in decoded[0].pixels.iter().zip(&pixels) {
-            prop_assert!(
+            assert!(
                 (got as i16 - want as i16).unsigned_abs() <= quant as u16,
-                "error beyond quant step: {got} vs {want} (q={quant})"
+                "case {case}: error beyond quant step: {got} vs {want} (q={quant})"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn frame_codec_multi_frame_round_trip(
-        seed in any::<u32>(),
-        count in 1usize..6,
-    ) {
+#[test]
+fn frame_codec_multi_frame_round_trip() {
+    check::cases(96, |case, rng| {
+        let seed = rng.next_u32();
+        let count = check::len_in(rng, 1, 6);
         // Slowly varying frames (like real video).
         let frames: Vec<StoredFrame> = (0..count)
             .map(|k| {
                 let pixels = (0..48u32)
                     .map(|i| {
-                        let h = (seed as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i as u64);
+                        let h = (seed as u64)
+                            .wrapping_mul(0x9E3779B97F4A7C15)
+                            .wrapping_add(i as u64);
                         (((h >> 32) as u8) / 4).wrapping_add(k as u8 * 3)
                     })
                     .collect();
@@ -157,6 +257,6 @@ proptest! {
         let codec = FrameCodec { quant_step: 1 };
         let payload = codec.encode_segment(&frames).unwrap();
         let decoded = FrameCodec::decode_segment(&payload).unwrap();
-        prop_assert_eq!(decoded, frames);
-    }
+        assert_eq!(decoded, frames, "case {case}");
+    });
 }

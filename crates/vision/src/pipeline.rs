@@ -79,15 +79,20 @@ pub fn process(sim: &SimOutput, kind: ScenarioKind, cfg: &PipelineConfig) -> Vis
 
     for obs in &sim.frames {
         let frame = renderer.render(&obs.vehicles, obs.frame);
-        let bg_est = bg.background();
-        let mask0 = bg.subtract_and_update(&frame);
-        let mask = if cfg.use_spcpe {
-            let diff = frame.abs_diff(&bg_est);
-            spcpe::refine(&diff, &mask0).mask.majority_filter(4)
-        } else {
-            mask0
+        let blobs = {
+            let _span = tsvr_obs::span!("vision.segment");
+            let bg_est = bg.background();
+            let mask0 = bg.subtract_and_update(&frame);
+            let mask = if cfg.use_spcpe {
+                let diff = frame.abs_diff(&bg_est);
+                spcpe::refine(&diff, &mask0).mask.majority_filter(4)
+            } else {
+                mask0
+            };
+            extract_blobs(&mask, cfg.min_blob_area, Some(&frame))
         };
-        let blobs = extract_blobs(&mask, cfg.min_blob_area, Some(&frame));
+        tsvr_obs::counter!("vision.frames").incr();
+        tsvr_obs::histogram!("vision.blobs_per_frame").record(blobs.len() as u64);
         detections_per_frame.push(blobs.len());
         tracker.step(obs.frame, &blobs);
     }

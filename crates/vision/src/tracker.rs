@@ -178,6 +178,7 @@ impl Tracker {
         let mut matched_blob: Vec<Option<usize>> = vec![None; n_tracks];
         let mut blob_taken = vec![false; n_blobs];
         if n_tracks > 0 {
+            let _span = tsvr_obs::span!("vision.track.assign");
             let cost: Vec<Vec<f64>> = self
                 .active
                 .iter()

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI for the tsvr workspace: release build, tests, lints, and a
+# probes-compiled-out build. No network access is required — the
+# workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --workspace --no-default-features (obs probes off)"
+cargo build --workspace --no-default-features
+
+echo "==> ci.sh: all green"
