@@ -1,0 +1,114 @@
+//! Measures the `tsvr-par` runtime's effect on the pipeline hot loops
+//! and writes `BENCH_parallel.json`.
+//!
+//! The same two workloads — clip preparation (render/segment/track +
+//! feature extraction) and a full OC-SVM retrieval session (Gram +
+//! batch bag scoring) — are timed with the worker pool pinned to one
+//! thread and to `max(4, available_parallelism)` threads. Both runs
+//! share code, data, and compiler flags; by the runtime's determinism
+//! invariant they also produce bit-identical results, so the timings
+//! compare exactly the same computation.
+//!
+//! The acceptance target (≥2× on the prepare path) assumes at least
+//! four hardware threads; on hosts with fewer the measured speedup is
+//! reported as-is and the JSON carries `available_parallelism` so a
+//! reader can tell an algorithmic regression from a starved host.
+//!
+//! `TSVR_BENCH_FAST=1` switches to the small tunnel clip and the
+//! harness's single-batch smoke mode (used by `scripts/ci.sh`).
+
+use tsvr_bench::harness::Bencher;
+use tsvr_bench::{paper_session, PAPER_SEED};
+use tsvr_core::{prepare_clip, run_session, EventQuery, LearnerKind, PipelineOptions};
+use tsvr_obs::json::Json;
+use tsvr_sim::Scenario;
+
+fn main() {
+    let fast = std::env::var_os("TSVR_BENCH_FAST").is_some_and(|v| v != "0");
+    let (scenario, clip_name) = if fast {
+        (Scenario::tunnel_small(PAPER_SEED), "tunnel_small")
+    } else {
+        (Scenario::tunnel_paper(PAPER_SEED), "tunnel_paper (2504 frames)")
+    };
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let many = available.max(4);
+    eprintln!("host parallelism: {available}; comparing 1 thread vs {many} threads on {clip_name}");
+
+    let opts = PipelineOptions::default();
+    let mut b = Bencher::new("parallel");
+
+    // Hot paths (a)+(b): per-frame segmentation and the pass-2
+    // neighbor-distance loop, both inside prepare_clip.
+    tsvr_par::set_threads(1);
+    let prep_1 = b
+        .bench("prepare_clip/threads_1", || prepare_clip(&scenario, &opts))
+        .ns_per_iter;
+    tsvr_par::set_threads(many);
+    let prep_n = b
+        .bench("prepare_clip/threads_n", || prepare_clip(&scenario, &opts))
+        .ns_per_iter;
+
+    // Hot paths (c)+(d): Gram construction and batch bag scoring,
+    // inside the retrieval session over a prepared clip.
+    let clip = prepare_clip(&scenario, &opts);
+    let cfg = paper_session();
+    let session = || {
+        run_session(
+            &clip,
+            &EventQuery::accidents(),
+            LearnerKind::paper_ocsvm(),
+            cfg,
+        )
+    };
+    tsvr_par::set_threads(1);
+    let sess_1 = b.bench("session/threads_1", session).ns_per_iter;
+    tsvr_par::set_threads(many);
+    let sess_n = b.bench("session/threads_n", session).ns_per_iter;
+    tsvr_par::set_threads(0); // restore env/auto selection
+
+    let prep_speedup = prep_1 / prep_n;
+    let sess_speedup = sess_1 / sess_n;
+    let target = 2.0;
+    let pass = prep_speedup >= target;
+    println!(
+        "prepare_clip: {prep_speedup:.2}x with {many} threads; session: {sess_speedup:.2}x"
+    );
+    let note = if available < 4 {
+        format!(
+            "host exposes only {available} hardware thread(s); the {target}x target \
+             assumes >= 4 — speedup reported as measured"
+        )
+    } else if pass {
+        format!("PASS: prepare_clip speedup {prep_speedup:.2}x >= {target}x")
+    } else {
+        format!("FAIL: prepare_clip speedup {prep_speedup:.2}x < {target}x")
+    };
+    println!("{note}");
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("parallel".into())),
+        (
+            "workload".into(),
+            Json::Str(format!(
+                "prepare_clip + ocsvm session on {clip_name}, accidents query"
+            )),
+        ),
+        ("fast_mode".into(), Json::Bool(fast)),
+        ("available_parallelism".into(), Json::Num(available as f64)),
+        ("threads_compared".into(), Json::Num(many as f64)),
+        ("prepare_ns_threads_1".into(), Json::Num(prep_1)),
+        ("prepare_ns_threads_n".into(), Json::Num(prep_n)),
+        ("prepare_speedup".into(), Json::Num(prep_speedup)),
+        ("session_ns_threads_1".into(), Json::Num(sess_1)),
+        ("session_ns_threads_n".into(), Json::Num(sess_n)),
+        ("session_speedup".into(), Json::Num(sess_speedup)),
+        ("target_speedup".into(), Json::Num(target)),
+        ("pass".into(), Json::Bool(pass)),
+        ("note".into(), Json::Str(note)),
+    ]);
+    let path = "BENCH_parallel.json";
+    std::fs::write(path, format!("{doc}\n")).expect("write BENCH_parallel.json");
+    println!("wrote {path}");
+}

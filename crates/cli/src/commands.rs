@@ -32,7 +32,10 @@ commands:
   stats      --metrics FILE   (pretty-print a --metrics-out snapshot)
 
 every command also accepts --metrics-out FILE to dump the process's
-span timings and counters as JSON on exit";
+span timings and counters as JSON on exit, and --threads N to size the
+worker pool for the parallel pipeline stages (the TSVR_THREADS
+environment variable does the same; results are identical at any
+thread count)";
 
 /// Dispatches one invocation.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -40,6 +43,13 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         return Err(format!("no command given\n{USAGE}"));
     };
     let args = Args::parse(&argv[1..])?;
+    if args.get("threads").is_some() {
+        let n = args.num::<usize>("threads", 0)?;
+        if n == 0 {
+            return Err("--threads must be >= 1".into());
+        }
+        tsvr_par::set_threads(n);
+    }
     let result = match cmd.as_str() {
         "simulate" => simulate(&args),
         "list" => list(&args),

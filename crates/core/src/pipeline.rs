@@ -63,28 +63,26 @@ pub fn prepare_clip(scenario: &Scenario, opts: &PipelineOptions) -> ClipArtifact
 }
 
 /// Converts a dataset into MIL bags with fixed-range-normalized rows
-/// (see [`tsvr_trajectory::checkpoint::Alpha::normalized`]).
+/// (see [`tsvr_trajectory::checkpoint::Alpha::normalized`]). Windows
+/// are independent, so the conversion fans out per window on the
+/// [`tsvr_par`] runtime (order-preserving: `bags[i]` is window `i`).
 pub fn bags_from_dataset(dataset: &Dataset) -> Vec<Bag> {
     let cfg = dataset.config.features;
-    dataset
-        .windows
-        .iter()
-        .map(|w| {
-            let instances = w
-                .sequences
-                .iter()
-                .map(|ts| {
-                    let rows: Vec<Vec<f64>> = ts
-                        .alphas
-                        .iter()
-                        .map(|a| a.normalized(&cfg).to_vec())
-                        .collect();
-                    Instance::new(ts.track_id, rows)
-                })
-                .collect();
-            Bag::new(w.index, instances)
-        })
-        .collect()
+    tsvr_par::par_map(&dataset.windows, |_, w| {
+        let instances = w
+            .sequences
+            .iter()
+            .map(|ts| {
+                let rows: Vec<Vec<f64>> = ts
+                    .alphas
+                    .iter()
+                    .map(|a| a.normalized(&cfg).to_vec())
+                    .collect();
+                Instance::new(ts.track_id, rows)
+            })
+            .collect();
+        Bag::new(w.index, instances)
+    })
 }
 
 /// RBF width from the database-level median heuristic:
@@ -106,15 +104,20 @@ pub fn median_heuristic_gamma(bags: &[Bag]) -> f64 {
     // Deterministic stride subsampling.
     let stride = vecs.len().div_ceil(400);
     let sample: Vec<&Vec<f64>> = vecs.iter().step_by(stride).collect();
-    let mut dists = Vec::with_capacity(sample.len() * (sample.len() - 1) / 2);
-    for (i, a) in sample.iter().enumerate() {
-        for b in sample.iter().skip(i + 1) {
-            let d = tsvr_linalg::vecops::sq_dist(a, b);
-            if d > 1e-12 {
-                dists.push(d);
-            }
-        }
-    }
+    // One task per anchor row of the upper-triangle distance scan; rows
+    // are flattened back in anchor order, so `dists` holds exactly the
+    // sequence the sequential double loop pushed.
+    let mut dists: Vec<f64> = tsvr_par::par_map_index(sample.len(), |i| {
+        let a = sample[i];
+        sample[i + 1..]
+            .iter()
+            .map(|b| tsvr_linalg::vecops::sq_dist(a, b))
+            .filter(|&d| d > 1e-12)
+            .collect::<Vec<f64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     if dists.is_empty() {
         return FALLBACK;
     }

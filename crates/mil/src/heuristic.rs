@@ -10,8 +10,16 @@
 use crate::bag::{Bag, Instance};
 
 /// Squared-sum score of one sampling point.
+///
+/// Non-finite features (NaN from a degenerate upstream computation, ∞
+/// from an unvalidated `1/mdist`) are skipped rather than propagated:
+/// one corrupt feature must not poison the whole ranking, and a point
+/// score is always finite.
 pub fn point_score(row: &[f64]) -> f64 {
-    row.iter().map(|x| x * x).sum()
+    row.iter()
+        .filter(|x| x.is_finite())
+        .map(|x| x * x)
+        .sum()
 }
 
 /// Score of a trajectory sequence: its best sampling point.
@@ -32,12 +40,21 @@ pub fn bag_score(bag: &Bag) -> f64 {
         .fold(f64::NEG_INFINITY, f64::max)
 }
 
+/// Scores every bag; the batch equivalent of [`bag_score`], fanned out
+/// over the [`tsvr_par`] runtime (order-preserving, so the result is
+/// bit-identical to the sequential map).
+pub fn bag_scores(bags: &[Bag]) -> Vec<f64> {
+    tsvr_par::par_map(bags, |_, b| bag_score(b))
+}
+
 /// Index of the highest-scoring instance in a bag, if any.
+///
+/// Comparison uses [`f64::total_cmp`]: even if a score were non-finite
+/// the ordering stays total, where `partial_cmp(...).unwrap()` would
+/// panic the whole retrieval loop on a single NaN.
 pub fn best_instance(bag: &Bag) -> Option<usize> {
     (0..bag.instances.len()).max_by(|&a, &b| {
-        instance_score(&bag.instances[a])
-            .partial_cmp(&instance_score(&bag.instances[b]))
-            .unwrap()
+        instance_score(&bag.instances[a]).total_cmp(&instance_score(&bag.instances[b]))
     })
 }
 
@@ -90,5 +107,39 @@ mod tests {
         let b = Bag::new(0, vec![]);
         assert_eq!(bag_score(&b), f64::NEG_INFINITY);
         assert_eq!(best_instance(&b), None);
+    }
+
+    #[test]
+    fn nan_and_infinite_features_do_not_panic_or_poison() {
+        // Regression: a single NaN α-feature used to panic best_instance
+        // via partial_cmp(...).unwrap().
+        let poisoned = Instance::new(
+            7,
+            vec![
+                vec![f64::NAN, 0.2, 0.1],
+                vec![f64::INFINITY, f64::NEG_INFINITY, f64::NAN],
+            ],
+        );
+        let s = instance_score(&poisoned);
+        assert!(s.is_finite(), "poisoned instance score {s}");
+        assert!((point_score(&[f64::NAN, 0.2, 0.1]) - 0.05).abs() < 1e-12);
+        assert_eq!(point_score(&[f64::INFINITY, f64::NEG_INFINITY, f64::NAN]), 0.0);
+
+        let b = Bag::new(0, vec![poisoned, hot(), quiet()]);
+        assert!(bag_score(&b).is_finite());
+        // The hot instance still wins over the corrupt one.
+        assert_eq!(best_instance(&b), Some(1));
+    }
+
+    #[test]
+    fn bag_scores_matches_bag_score() {
+        let bags = vec![
+            Bag::new(0, vec![quiet(), hot()]),
+            Bag::new(1, vec![quiet()]),
+            Bag::new(2, vec![]),
+        ];
+        let batch = bag_scores(&bags);
+        let seq: Vec<f64> = bags.iter().map(bag_score).collect();
+        assert_eq!(batch, seq);
     }
 }

@@ -197,6 +197,35 @@ impl Learner for OcSvmMilLearner {
         }
     }
 
+    fn score_all(&self, bags: &[Bag]) -> Vec<f64> {
+        match &self.model {
+            Some(m) => {
+                // Flatten every instance of the database into one batch
+                // so the kernel expansions fan out across worker
+                // threads; the per-bag MIL max then folds in instance
+                // order, keeping the result bit-identical to `score`.
+                let xs: Vec<Vec<f64>> = bags
+                    .iter()
+                    .flat_map(|b| b.instances.iter().map(|i| i.concat()))
+                    .collect();
+                let decisions = m.decision_batch(&xs);
+                let mut off = 0;
+                bags.iter()
+                    .map(|b| {
+                        let n = b.instances.len();
+                        let s = decisions[off..off + n]
+                            .iter()
+                            .copied()
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        off += n;
+                        s
+                    })
+                    .collect()
+            }
+            None => heuristic::bag_scores(bags),
+        }
+    }
+
     fn name(&self) -> &'static str {
         "MIL_OneClassSVM"
     }
@@ -345,6 +374,42 @@ mod tests {
         );
         let hot_only = bag(51, hot_rows(0.8));
         assert!((l.score(&mixed) - l.score(&hot_only)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_all_is_bit_identical_to_score() {
+        let db = vec![
+            bag(100, hot_rows(0.83)),
+            bag(101, quiet_rows(0.0)),
+            Bag::new(
+                102,
+                vec![
+                    Instance::new(1, quiet_rows(0.01)),
+                    Instance::new(2, hot_rows(0.7)),
+                ],
+            ),
+            Bag::new(103, vec![]), // empty bag: -inf on both paths
+        ];
+        // Untrained learner (heuristic path).
+        let mut l = OcSvmMilLearner::new(rbf());
+        let batch = l.score_all(&db);
+        let single: Vec<f64> = db.iter().map(|b| l.score(b)).collect();
+        assert_eq!(batch.len(), single.len());
+        for (a, b) in batch.iter().zip(&single) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Trained learner (kernel-expansion path).
+        let train: Vec<Bag> = (0..6)
+            .map(|i| bag(i, hot_rows(0.8 + 0.02 * i as f64)))
+            .collect();
+        let fb: Vec<(usize, bool)> = (0..6).map(|i| (i, true)).collect();
+        l.learn(&train, &fb);
+        assert!(l.model().is_some());
+        let batch = l.score_all(&db);
+        let single: Vec<f64> = db.iter().map(|b| l.score(b)).collect();
+        for (a, b) in batch.iter().zip(&single) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

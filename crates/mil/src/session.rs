@@ -24,6 +24,15 @@ pub trait Learner {
     /// Scores a bag; higher means more relevant.
     fn score(&self, bag: &Bag) -> f64;
 
+    /// Scores every bag of a database; `result[i]` corresponds to
+    /// `bags[i]`. The default is the sequential map; learners whose
+    /// scoring is expensive (kernel expansions) override this to batch
+    /// the work, with the contract that every returned value is
+    /// bit-identical to the matching [`Learner::score`] call.
+    fn score_all(&self, bags: &[Bag]) -> Vec<f64> {
+        bags.iter().map(|b| self.score(b)).collect()
+    }
+
     /// Display name for reports.
     fn name(&self) -> &'static str;
 }
@@ -34,6 +43,9 @@ impl Learner for Box<dyn Learner> {
     }
     fn score(&self, bag: &Bag) -> f64 {
         (**self).score(bag)
+    }
+    fn score_all(&self, bags: &[Bag]) -> Vec<f64> {
+        (**self).score_all(bags)
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -141,9 +153,9 @@ impl<'a, L: Learner, O: Oracle> RetrievalSession<'a, L, O> {
         // same since the same retrieval algorithm is used") — unless the
         // learner arrives pre-seeded (query by example).
         let initial = if self.config.initial_from_learner {
-            rank_by(self.bags, |b| self.learner.score(b))
+            rank_scores(self.bags, &self.learner.score_all(self.bags))
         } else {
-            rank_by(self.bags, heuristic::bag_score)
+            rank_scores(self.bags, &heuristic::bag_scores(self.bags))
         };
         let initial_accuracy = metrics::accuracy_at(&initial, &labels, n);
         tsvr_obs::histogram!("mil.accuracy_at_n_pct").record((initial_accuracy * 100.0) as u64);
@@ -159,7 +171,7 @@ impl<'a, L: Learner, O: Oracle> RetrievalSession<'a, L, O> {
                 .map(|&b| (b, self.oracle.label(b)))
                 .collect();
             self.learner.learn(self.bags, &feedback);
-            let ranking = rank_by(self.bags, |b| self.learner.score(b));
+            let ranking = rank_scores(self.bags, &self.learner.score_all(self.bags));
             let accuracy = metrics::accuracy_at(&ranking, &labels, n);
             tsvr_obs::histogram!("mil.accuracy_at_n_pct").record((accuracy * 100.0) as u64);
             tsvr_obs::counter!("mil.feedback.labels").add(feedback.len() as u64);
@@ -181,13 +193,23 @@ impl<'a, L: Learner, O: Oracle> RetrievalSession<'a, L, O> {
 
 /// Ranks bag ids by descending score; ties and NaNs resolve by bag id so
 /// rankings are deterministic.
-pub fn rank_by(bags: &[Bag], mut score: impl FnMut(&Bag) -> f64) -> Vec<usize> {
-    let mut scored: Vec<(usize, f64)> = bags.iter().map(|b| (b.id, score(b))).collect();
-    scored.sort_by(|a, b| {
-        let sa = if a.1.is_nan() { f64::NEG_INFINITY } else { a.1 };
-        let sb = if b.1.is_nan() { f64::NEG_INFINITY } else { b.1 };
-        sb.partial_cmp(&sa).unwrap().then(a.0.cmp(&b.0))
-    });
+pub fn rank_by(bags: &[Bag], score: impl FnMut(&Bag) -> f64) -> Vec<usize> {
+    let scores: Vec<f64> = bags.iter().map(score).collect();
+    rank_scores(bags, &scores)
+}
+
+/// Ranks bag ids by precomputed scores (`scores[i]` belongs to
+/// `bags[i]`), descending. The comparator is total: NaN sorts with
+/// `-inf` (never panics on a corrupt score) and exact ties resolve by
+/// bag id, so rankings are deterministic.
+pub fn rank_scores(bags: &[Bag], scores: &[f64]) -> Vec<usize> {
+    assert_eq!(bags.len(), scores.len(), "one score per bag");
+    let mut scored: Vec<(usize, f64)> = bags
+        .iter()
+        .zip(scores)
+        .map(|(b, &s)| (b.id, if s.is_nan() { f64::NEG_INFINITY } else { s }))
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     scored.into_iter().map(|(id, _)| id).collect()
 }
 

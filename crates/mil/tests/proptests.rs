@@ -1,7 +1,7 @@
 //! Property-based tests for the MIL framework invariants, driven by the
 //! in-tree seeded harness (`tsvr_sim::check`).
 
-use tsvr_mil::session::rank_by;
+use tsvr_mil::session::{rank_by, rank_scores};
 use tsvr_mil::{heuristic, metrics, Bag, GroundTruthOracle, Instance, Oracle};
 use tsvr_sim::check;
 use tsvr_sim::Pcg32;
@@ -85,6 +85,85 @@ fn instance_score_monotone_under_scaling() {
             heuristic::instance_score(&scaled) >= heuristic::instance_score(&a) - 1e-12,
             "case {case}: scaling decreased score"
         );
+    });
+}
+
+/// Bags whose rows are randomly poisoned with NaN/±∞ — the shape of
+/// upstream feature corruption (unvalidated `1/mdist`, degenerate
+/// angles).
+fn poisoned_bag_db(rng: &mut Pcg32) -> Vec<Bag> {
+    let n_bags = check::len_in(rng, 1, 16);
+    (0..n_bags)
+        .map(|id| {
+            let n_instances = check::len_in(rng, 1, 4);
+            let instances = (0..n_instances)
+                .map(|k| {
+                    let n_rows = check::len_in(rng, 1, 4);
+                    let rows = (0..n_rows)
+                        .map(|_| {
+                            let mut row = check::vec_f64(rng, 3, -2.0, 2.0);
+                            for x in row.iter_mut() {
+                                if rng.chance(0.2) {
+                                    *x = match rng.uniform_usize(3) {
+                                        0 => f64::NAN,
+                                        1 => f64::INFINITY,
+                                        _ => f64::NEG_INFINITY,
+                                    };
+                                }
+                            }
+                            row
+                        })
+                        .collect();
+                    Instance::new(k as u64, rows)
+                })
+                .collect();
+            Bag::new(id, instances)
+        })
+        .collect()
+}
+
+#[test]
+fn adversarial_features_keep_scores_finite_and_ranking_total() {
+    check::cases(128, |case, rng| {
+        let bags = poisoned_bag_db(rng);
+        for bag in &bags {
+            // Regression (NaN-safe ranking): scoring skips non-finite
+            // features instead of propagating them, and best_instance
+            // uses a total comparator instead of panicking.
+            let s = heuristic::bag_score(bag);
+            assert!(s.is_finite(), "case {case}: bag score {s}");
+            assert!(
+                heuristic::best_instance(bag).is_some(),
+                "case {case}: no best instance in non-empty bag"
+            );
+        }
+        // The batch scorer is bit-identical to the per-bag scorer.
+        let batch = heuristic::bag_scores(&bags);
+        for (b, bag) in batch.iter().zip(&bags) {
+            assert_eq!(
+                b.to_bits(),
+                heuristic::bag_score(bag).to_bits(),
+                "case {case}: batch/single mismatch"
+            );
+        }
+        // The ranking is a permutation even on poisoned scores.
+        let ranking = rank_by(&bags, heuristic::bag_score);
+        let mut sorted = ranking.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..bags.len()).collect::<Vec<_>>(), "case {case}");
+        // rank_scores stays total when fed raw NaN/±∞ scores directly.
+        let raw: Vec<f64> = (0..bags.len())
+            .map(|_| match rng.uniform_usize(5) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => rng.uniform(-1.0, 1.0),
+            })
+            .collect();
+        let ranking = rank_scores(&bags, &raw);
+        let mut sorted = ranking.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..bags.len()).collect::<Vec<_>>(), "case {case}");
     });
 }
 

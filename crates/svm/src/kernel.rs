@@ -105,15 +105,23 @@ impl Kernel {
     }
 
     /// Precomputes the full Gram matrix of a dataset (row-major,
-    /// `n x n`). The retrieval training sets are tiny (tens of vectors),
-    /// so dense precomputation is the right cache strategy.
+    /// `n x n`). Upper-triangle rows are evaluated in parallel on the
+    /// [`tsvr_par`] runtime (row `i` is an independent task, so the
+    /// ragged row lengths load-balance across workers) and mirrored
+    /// sequentially; every entry is the same `eval(i, j)` the sequential
+    /// double loop computes, so the matrix is bit-identical regardless
+    /// of the thread count.
     pub fn gram(&self, data: &[Vec<f64>]) -> Vec<f64> {
         let n = data.len();
         tsvr_obs::counter!("svm.kernel.evals").add((n * (n + 1) / 2) as u64);
+        // Row i holds K(i, j) for j in i..n.
+        let rows: Vec<Vec<f64>> = tsvr_par::par_map_index(n, |i| {
+            (i..n).map(|j| self.eval(&data[i], &data[j])).collect()
+        });
         let mut g = vec![0.0; n * n];
-        for i in 0..n {
-            for j in i..n {
-                let k = self.eval(&data[i], &data[j]);
+        for (i, row) in rows.iter().enumerate() {
+            for (off, &k) in row.iter().enumerate() {
+                let j = i + off;
                 g[i * n + j] = k;
                 g[j * n + i] = k;
             }

@@ -240,6 +240,24 @@ impl OneClassModel {
     /// the learned region.
     pub fn decision(&self, x: &[f64]) -> f64 {
         tsvr_obs::counter!("svm.kernel.evals").add(self.support.len() as u64);
+        self.decision_raw(x)
+    }
+
+    /// Batch [`decision`](Self::decision) over many vectors, fanned out
+    /// on the [`tsvr_par`] runtime. Each vector's value is computed by
+    /// the same per-vector kernel loop, and results come back in input
+    /// order, so the output is bit-identical to the sequential map —
+    /// this is the scoring path the retrieval session uses to re-rank
+    /// the whole database after each feedback round.
+    pub fn decision_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        tsvr_obs::counter!("svm.kernel.evals")
+            .add((self.support.len() * xs.len()) as u64);
+        tsvr_par::par_map(xs, |_, x| self.decision_raw(x))
+    }
+
+    /// The kernel expansion without the obs probe (shared by
+    /// [`decision`](Self::decision) and the batch path).
+    fn decision_raw(&self, x: &[f64]) -> f64 {
         let mut s = 0.0;
         for (sv, &a) in self.support.iter().zip(&self.coeffs) {
             s += a * self.kernel.eval(sv, x);
@@ -435,5 +453,22 @@ mod tests {
         let m = default_model(&data, 0.3);
         assert!(m.is_inlier(&[1.0, 1.0]));
         assert!(!m.is_inlier(&[4.0, 4.0]));
+    }
+
+    #[test]
+    fn decision_batch_is_bit_identical_to_single_calls() {
+        let data = cluster(&[0.0, 0.0], 50, 1.5, 13);
+        let m = default_model(&data, 0.2);
+        let probes = cluster(&[1.0, -1.0], 200, 4.0, 17);
+        let single: Vec<f64> = probes.iter().map(|x| m.decision(x)).collect();
+        for threads in [1, 4] {
+            tsvr_par::set_threads(threads);
+            let batch = m.decision_batch(&probes);
+            tsvr_par::set_threads(0);
+            assert_eq!(batch.len(), single.len());
+            for (a, b) in single.iter().zip(&batch) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
+            }
+        }
     }
 }

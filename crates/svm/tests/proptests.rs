@@ -76,6 +76,48 @@ fn oneclass_decision_invariant_to_duplication() {
 }
 
 #[test]
+fn oneclass_fit_survives_duplicate_identical_vectors() {
+    check::cases(64, |case, rng| {
+        // Exact duplicates make every kernel row identical, so the SMO
+        // step's denominator `q_ii + q_jj − 2 q_ij` collapses to zero —
+        // the clamped degenerate path must still converge to a finite
+        // model instead of producing NaN steps.
+        let x = check::vec_f64(rng, 3, -1.0, 1.0);
+        let n = check::len_in(rng, 2, 30);
+        let mut data = vec![x.clone(); n];
+        if rng.chance(0.5) {
+            // Sometimes a second duplicated cluster.
+            let y = check::vec_f64(rng, 3, -1.0, 1.0);
+            for _ in 0..check::len_in(rng, 1, 6) {
+                data.push(y.clone());
+            }
+        }
+        let nu = rng.uniform(0.05, 0.8);
+        let model = OneClassSvm::new(Kernel::Rbf { gamma: 1.0 }, nu)
+            .fit(&data)
+            .unwrap();
+        assert!(model.rho.is_finite(), "case {case}: rho {}", model.rho);
+        for &a in &model.coeffs {
+            assert!(a.is_finite(), "case {case}: alpha {a}");
+        }
+        let d = model.decision(&x);
+        assert!(d.is_finite(), "case {case}: decision {d}");
+        // The ν-property still holds: at most ~ν·N strict outliers
+        // (finite-sample slack as in `oneclass_nu_property`).
+        let n_total = data.len() as f64;
+        let outliers = data.iter().filter(|p| model.decision(p) < -1e-5).count() as f64;
+        assert!(
+            outliers / n_total <= nu + 2.0 / n_total + 1e-9,
+            "case {case}: outliers {outliers}/{n_total} exceed nu {nu}"
+        );
+        // Batch scoring agrees bitwise with single calls.
+        for (b, p) in model.decision_batch(&data).iter().zip(&data) {
+            assert_eq!(b.to_bits(), model.decision(p).to_bits(), "case {case}");
+        }
+    });
+}
+
+#[test]
 fn svc_separates_translated_clusters() {
     check::cases(40, |case, rng| {
         let base = points(rng, 6, 20, -0.8, 0.8);

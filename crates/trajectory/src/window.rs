@@ -114,7 +114,9 @@ impl Dataset {
     /// let track = Track { id: 1, points, stats: Default::default() };
     ///
     /// let ds = Dataset::build(&[track], WindowConfig::default());
-    /// assert_eq!(ds.window_count(), 6);      // 90 frames / 15 per window
+    /// // Frames 0..=89 cover checkpoints 0..=17 (C = 18 on the grid),
+    /// // so floor((C - window_size)/stride) + 1 = floor(15/3) + 1 = 6.
+    /// assert_eq!(ds.window_count(), 6);
     /// assert_eq!(ds.feature_dim(), 9);       // 3 checkpoints x [1/mdist, vdiff, theta]
     /// ```
     pub fn build(tracks: &[Track], config: WindowConfig) -> Dataset {
@@ -126,6 +128,14 @@ impl Dataset {
     }
 
     /// Builds the dataset from precomputed checkpoint series.
+    ///
+    /// With `C` covered checkpoints on the global grid (the maximum
+    /// `end_checkpoint` over the series), window starts run `0, stride,
+    /// 2·stride, …` and every start `s` with `s + window_size ≤ C`
+    /// yields a candidate window — `floor((C − window_size)/stride) + 1`
+    /// of them when `C ≥ window_size`, zero otherwise. Candidates
+    /// containing no fully-covering trajectory sequence are dropped, so
+    /// [`Dataset::window_count`] can be lower than the formula.
     pub fn from_series(series: &[CheckpointSeries], config: WindowConfig) -> Dataset {
         let rate = config.features.sampling_rate;
         let w = config.window_size;

@@ -6,7 +6,8 @@
 //! event features, MIL retrieval) consumes the [`Track`]s produced here.
 
 use crate::background::BackgroundModel;
-use crate::blob::extract_blobs;
+use crate::blob::{extract_blobs, Blob};
+use crate::frame::{GrayFrame, Mask};
 use crate::render::Renderer;
 use crate::spcpe;
 use crate::tracker::{Tracker, TrackerConfig};
@@ -77,24 +78,52 @@ pub fn process(sim: &SimOutput, kind: ScenarioKind, cfg: &PipelineConfig) -> Vis
     let mut tracker = Tracker::new(cfg.tracker);
     let mut detections_per_frame = Vec::with_capacity(sim.frames.len());
 
-    for obs in &sim.frames {
-        let frame = renderer.render(&obs.vehicles, obs.frame);
-        let blobs = {
+    // Frames are processed in bounded chunks so the pure per-frame
+    // stages (rendering, SPCPE refinement, blob extraction) can fan out
+    // on the [`tsvr_par`] runtime, while the two order-sensitive stages
+    // — the running background update and the tracker — consume frames
+    // in exact clip order. Every stage computes the same values as the
+    // plain sequential loop did, so the output is bit-identical
+    // regardless of the thread count; the chunk bound keeps at most a
+    // few dozen decoded frames in flight.
+    let chunk_len = tsvr_par::current_threads().max(1) * 4;
+    for obs_chunk in sim.frames.chunks(chunk_len) {
+        // Parallel, pure: synthesize the chunk's frames.
+        let frames: Vec<GrayFrame> =
+            tsvr_par::par_map(obs_chunk, |_, obs| renderer.render(&obs.vehicles, obs.frame));
+
+        // Sequential, stateful: background estimate + model update in
+        // clip order (each update feeds the next frame's estimate).
+        let masks: Vec<(Option<GrayFrame>, Mask)> = frames
+            .iter()
+            .map(|frame| {
+                let bg_est = cfg.use_spcpe.then(|| bg.background());
+                (bg_est, bg.subtract_and_update(frame))
+            })
+            .collect();
+
+        // Parallel, pure: SPCPE refinement and blob extraction.
+        let chunk_blobs: Vec<Vec<Blob>> = tsvr_par::par_map_index(frames.len(), |i| {
             let _span = tsvr_obs::span!("vision.segment");
-            let bg_est = bg.background();
-            let mask0 = bg.subtract_and_update(&frame);
-            let mask = if cfg.use_spcpe {
-                let diff = frame.abs_diff(&bg_est);
-                spcpe::refine(&diff, &mask0).mask.majority_filter(4)
-            } else {
-                mask0
+            let frame = &frames[i];
+            let (bg_est, mask0) = &masks[i];
+            let mask = match bg_est {
+                Some(bg_est) => {
+                    let diff = frame.abs_diff(bg_est);
+                    spcpe::refine(&diff, mask0).mask.majority_filter(4)
+                }
+                None => mask0.clone(),
             };
-            extract_blobs(&mask, cfg.min_blob_area, Some(&frame))
-        };
-        tsvr_obs::counter!("vision.frames").incr();
-        tsvr_obs::histogram!("vision.blobs_per_frame").record(blobs.len() as u64);
-        detections_per_frame.push(blobs.len());
-        tracker.step(obs.frame, &blobs);
+            extract_blobs(&mask, cfg.min_blob_area, Some(frame))
+        });
+
+        // Sequential, stateful: feed the tracker in clip order.
+        for (obs, blobs) in obs_chunk.iter().zip(&chunk_blobs) {
+            tsvr_obs::counter!("vision.frames").incr();
+            tsvr_obs::histogram!("vision.blobs_per_frame").record(blobs.len() as u64);
+            detections_per_frame.push(blobs.len());
+            tracker.step(obs.frame, blobs);
+        }
     }
 
     VisionOutput {

@@ -11,6 +11,17 @@ cargo build --release --workspace
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> TSVR_THREADS=1 cargo test -q --workspace (forced-sequential runtime)"
+TSVR_THREADS=1 cargo test -q --workspace
+
+# The smoke run exercises the bench end-to-end but writes its JSON in a
+# scratch directory so it cannot clobber a committed paper-scale
+# BENCH_parallel.json.
+echo "==> parallel bench smoke run (TSVR_BENCH_FAST=1)"
+repo="$PWD"
+(cd "$(mktemp -d)" && TSVR_BENCH_FAST=1 cargo run --release -q \
+    --manifest-path "$repo/Cargo.toml" -p tsvr-bench --bin parallel)
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -2,6 +2,7 @@
 pub use tsvr_core as core;
 pub use tsvr_linalg as linalg;
 pub use tsvr_mil as mil;
+pub use tsvr_par as par;
 pub use tsvr_sim as sim;
 pub use tsvr_svm as svm;
 pub use tsvr_trajectory as trajectory;
