@@ -26,7 +26,9 @@ commands:
   search     --db F [--clips 1,2,3] [--event E] [--rounds N] [--top N]
              (cross-camera: one session over several clips; default = all clips)
   export     --db F --clip-id N --from N --to N --out DIR   (writes PGM images)
-  compact    --db F
+  verify     --db F   (integrity pass: decode-checks every record,
+             quarantines corrupt clips, reports damage)
+  compact    --db F   (rewrites live intact records; drops corrupt ones)
   demo       [--db F] [--seed N] [--rounds N] [--top N]
              (simulate + retrieve in one process; exercises every subsystem)
   stats      --metrics FILE   (pretty-print a --metrics-out snapshot)
@@ -59,6 +61,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "resume" => resume(&args),
         "search" => search(&args),
         "export" => export(&args),
+        "verify" => verify(&args),
         "compact" => compact(&args),
         "demo" => demo(&args),
         "stats" => stats(&args),
@@ -193,6 +196,8 @@ fn simulate(args: &Args) -> Result<(), String> {
             db.log_size()
         );
     }
+    // Durability point: everything the command reported is on disk.
+    db.sync().map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -338,6 +343,7 @@ fn query(args: &Args) -> Result<(), String> {
         accuracies: report.accuracies.clone(),
     })
     .map_err(|e| e.to_string())?;
+    db.sync().map_err(|e| e.to_string())?;
     println!("  (stored as session {session_id})");
     Ok(())
 }
@@ -468,6 +474,7 @@ fn interactive_query(
         accuracies,
     })
     .map_err(|e| e.to_string())?;
+    db.sync().map_err(|e| e.to_string())?;
     println!(
         "
 stored as session {session_id}"
@@ -600,6 +607,51 @@ fn compact(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Full-database integrity pass: decode-checks every stored record and
+/// reports (without destroying) whatever damage it finds. Pair with
+/// `compact` to drop the damage for good.
+fn verify(args: &Args) -> Result<(), String> {
+    let mut db = open_db(args)?;
+    let report = db.verify().map_err(|e| e.to_string())?;
+    println!(
+        "verified {} records: {} clips intact, {} quarantined, {} sessions dropped, {} video segments dropped",
+        report.records_checked,
+        report.clips_intact,
+        report.clips_quarantined,
+        report.sessions_dropped,
+        report.segments_dropped,
+    );
+    let faults = db.fault_report();
+    if faults.truncated_tail_bytes > 0 {
+        println!(
+            "  open-time recovery truncated a {}-byte torn tail",
+            faults.truncated_tail_bytes
+        );
+    }
+    if faults.recovered_header {
+        println!("  open-time recovery re-initialised a torn file header");
+    }
+    for region in &faults.corrupt_regions {
+        println!(
+            "  corrupt region: offset {} len {} (skipped at open)",
+            region.offset, region.len
+        );
+    }
+    for q in db.quarantined() {
+        println!(
+            "  quarantined clip {}: {} (re-ingest to repair, or compact to drop)",
+            q.clip_id, q.reason
+        );
+    }
+    if report.is_clean() && faults.is_clean() {
+        println!("  database is clean");
+    } else {
+        // Damage found, but the database still serves what survived.
+        println!("  run `compact` to rewrite the log without the damage");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,7 +757,10 @@ mod tests {
         let bytes = std::fs::read(first.path()).unwrap();
         assert!(bytes.starts_with(b"P5\n320 240\n255\n"));
 
+        run(&["verify", "--db", &db]).unwrap();
         run(&["compact", "--db", &db]).unwrap();
+        // A post-compaction verify must still find a clean database.
+        run(&["verify", "--db", &db]).unwrap();
         let _ = std::fs::remove_dir_all(&out);
         let _ = std::fs::remove_file(&db);
     }
@@ -765,6 +820,32 @@ mod tests {
             &temp_db("noframes")
         ])
         .is_err());
+        let _ = std::fs::remove_file(&db);
+    }
+
+    #[test]
+    fn verify_reports_damage_without_failing() {
+        let db = temp_db("verify-damaged");
+        run(&[
+            "simulate",
+            "--db",
+            &db,
+            "--scenario",
+            "tunnel-small",
+            "--clip-id",
+            "1",
+        ])
+        .unwrap();
+        // Flip one stored byte past the magic and the first frame
+        // header; verify must report the damage, not error out, and a
+        // compact afterwards must leave a clean database behind.
+        let mut bytes = std::fs::read(&db).unwrap();
+        let target = bytes.len() / 2;
+        bytes[target] ^= 0x08;
+        std::fs::write(&db, &bytes).unwrap();
+        run(&["verify", "--db", &db]).unwrap();
+        run(&["compact", "--db", &db]).unwrap();
+        run(&["verify", "--db", &db]).unwrap();
         let _ = std::fs::remove_file(&db);
     }
 

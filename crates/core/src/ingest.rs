@@ -109,6 +109,8 @@ pub fn bags_from_bundle(bundle: &ClipBundle, cfg: &FeatureConfig) -> Vec<Bag> {
 /// pipeline does not keep them in memory) and stored as compressed
 /// segments of `segment_len` frames. Returns the number of segments
 /// written. The clip bundle must already be stored under `clip_id`.
+/// The log is synced before returning, so archived video survives a
+/// crash that follows the call.
 pub fn archive_clip_video(
     db: &mut VideoDb,
     clip_id: u64,
@@ -140,6 +142,9 @@ pub fn archive_clip_video(
         db.put_video_segment(clip_id, segment_start, &buffer, codec)?;
         segments += 1;
     }
+    // Archival is a durability point: a clip whose video the caller was
+    // told is archived must survive a crash immediately afterwards.
+    db.sync()?;
     Ok(segments)
 }
 

@@ -187,6 +187,81 @@ mod tests {
     }
 
     #[test]
+    fn eviction_order_under_interleaved_get_put() {
+        let mut c: LruCache<u64, u64> = LruCache::new(3);
+        c.put(1, Arc::new(10));
+        c.put(2, Arc::new(20));
+        c.put(3, Arc::new(30));
+        // Recency now (oldest → newest): 1, 2, 3. Touch 2 then 1.
+        assert!(c.get(&2).is_some());
+        assert!(c.get(&1).is_some());
+        // Oldest is now 3 → evicted by the next insert.
+        c.put(4, Arc::new(40));
+        assert!(c.get(&3).is_none(), "3 should be the LRU victim");
+        // Oldest is now 2 (4 and 1 are fresher) → evicted next.
+        c.put(5, Arc::new(50));
+        assert!(c.get(&2).is_none(), "2 should be the LRU victim");
+        // Survivors: 1, 4, 5.
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&4).is_some());
+        assert!(c.get(&5).is_some());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn stats_accounting_across_eviction() {
+        let mut c: LruCache<u64, u64> = LruCache::new(2);
+        c.put(1, Arc::new(10));
+        c.put(2, Arc::new(20));
+        c.put(3, Arc::new(30)); // evicts 1
+        let s = c.stats();
+        assert_eq!(s.len, 2, "len must not exceed capacity after eviction");
+        assert_eq!((s.hits, s.misses), (0, 0), "puts are not lookups");
+        // A lookup of the evicted key is a miss, of a resident key a hit.
+        assert!(c.get(&1).is_none());
+        assert!(c.get(&3).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.len, 2);
+    }
+
+    #[test]
+    fn hit_rate_edge_cases() {
+        // Zero lookups: rate is 0, not NaN.
+        let c: LruCache<u64, u64> = LruCache::new(2);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        // All hits.
+        let mut c: LruCache<u64, u64> = LruCache::new(2);
+        c.put(1, Arc::new(10));
+        c.get(&1);
+        c.get(&1);
+        assert_eq!(c.stats().hit_rate(), 1.0);
+        // All misses.
+        let mut c: LruCache<u64, u64> = LruCache::new(2);
+        c.get(&1);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn post_clear_counters_persist_and_lookups_miss() {
+        let mut c: LruCache<u64, u64> = LruCache::new(2);
+        c.put(1, Arc::new(10));
+        c.get(&1); // hit
+        c.get(&9); // miss
+        c.clear();
+        let s = c.stats();
+        assert_eq!(s.len, 0, "clear drops entries");
+        assert_eq!(
+            (s.hits, s.misses),
+            (1, 1),
+            "clear keeps lifetime hit/miss counters"
+        );
+        // A previously-resident key now misses.
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
     fn zero_capacity_clamped_to_one() {
         let mut c: LruCache<u64, u64> = LruCache::new(0);
         c.put(1, Arc::new(10));

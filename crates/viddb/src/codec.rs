@@ -155,6 +155,21 @@ impl<'a> Reader<'a> {
         }
         Ok(n as usize)
     }
+
+    /// Reads a collection length prefix and additionally bounds it by
+    /// the bytes actually remaining: a count of `n` elements of at
+    /// least `min_elem_bytes` each cannot exceed
+    /// `remaining / min_elem_bytes`. This stops a bit-flipped length
+    /// field from driving a huge `Vec::with_capacity` allocation (an
+    /// abort, not a catchable error) before element decoding would
+    /// naturally hit EOF.
+    pub fn get_len_bounded(&mut self, min_elem_bytes: usize) -> Result<usize> {
+        let n = self.get_len()?;
+        if n > self.remaining() / min_elem_bytes.max(1) {
+            return Err(DbError::LengthOutOfBounds(n as u64));
+        }
+        Ok(n)
+    }
 }
 
 /// CRC-32 (IEEE) lookup table, built at first use.
@@ -262,6 +277,29 @@ mod tests {
             r.get_bytes().unwrap_err(),
             DbError::LengthOutOfBounds(_)
         ));
+    }
+
+    #[test]
+    fn bounded_length_rejects_counts_that_cannot_fit() {
+        // Count of 1000 elements ≥ 8 bytes each, but only 12 bytes follow.
+        let mut w = Writer::new();
+        w.put_u32(1000);
+        w.put_u64(0);
+        w.put_u32(0);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.get_len_bounded(8).unwrap_err(),
+            DbError::LengthOutOfBounds(1000)
+        ));
+        // A count that fits passes.
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_len_bounded(8).unwrap(), 1);
+        assert_eq!(r.get_u64().unwrap(), 42);
     }
 
     #[test]

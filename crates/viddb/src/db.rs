@@ -4,8 +4,9 @@ use crate::cache::{CacheStats, LruCache};
 use crate::codec::{Reader, Writer};
 use crate::error::{DbError, Result};
 use crate::frames::{FrameCodec, StoredFrame};
-use crate::log::Log;
+use crate::log::{CorruptRegion, Log};
 use crate::record::{ClipBundle, ClipMeta, SessionRow};
+use crate::storage::Storage;
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -18,6 +19,69 @@ const TAG_VIDEO: u8 = 4;
 
 /// Default number of decoded clip bundles kept in the buffer cache.
 pub const DEFAULT_CACHE_CAPACITY: usize = 8;
+
+/// One quarantined clip: its stored record failed integrity checks at
+/// query time, so the database serves every *other* clip and reports
+/// this one here instead of failing the query path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// The quarantined clip.
+    pub clip_id: u64,
+    /// Log offset of the corrupt record.
+    pub offset: u64,
+    /// Human-readable description of what failed.
+    pub reason: String,
+}
+
+/// Result of a full-database integrity pass ([`VideoDb::verify`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Records examined (clips + sessions + video segments).
+    pub records_checked: usize,
+    /// Clips that decoded cleanly.
+    pub clips_intact: usize,
+    /// Clips quarantined by this pass (or already quarantined).
+    pub clips_quarantined: usize,
+    /// Session records dropped as corrupt.
+    pub sessions_dropped: usize,
+    /// Video segment records dropped as corrupt.
+    pub segments_dropped: usize,
+    /// Corrupt byte ranges the open-time scan skipped.
+    pub corrupt_regions: usize,
+}
+
+impl VerifyReport {
+    /// Whether the pass found no damage anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.clips_quarantined == 0
+            && self.sessions_dropped == 0
+            && self.segments_dropped == 0
+            && self.corrupt_regions == 0
+    }
+}
+
+/// Everything the database currently knows about stored-data damage.
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    /// Clips quarantined at query time.
+    pub quarantined_clips: Vec<QuarantineEntry>,
+    /// Corrupt byte ranges skipped by open-time recovery.
+    pub corrupt_regions: Vec<CorruptRegion>,
+    /// Bytes of torn tail truncated at open.
+    pub truncated_tail_bytes: u64,
+    /// Whether a torn file header was re-initialised at open.
+    pub recovered_header: bool,
+}
+
+impl FaultReport {
+    /// Whether no damage has been observed.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined_clips.is_empty()
+            && self.corrupt_regions.is_empty()
+            && self.truncated_tail_bytes == 0
+            && !self.recovered_header
+    }
+}
 
 /// The transportation surveillance video database.
 ///
@@ -33,6 +97,8 @@ pub struct VideoDb {
     /// Video segments: (clip_id, start_frame, frame_count, offset).
     video_segments: Vec<(u64, u32, u32, u64)>,
     cache: LruCache<u64, ClipBundle>,
+    /// Clips whose stored record failed integrity checks at query time.
+    quarantined: BTreeMap<u64, QuarantineEntry>,
 }
 
 impl VideoDb {
@@ -62,24 +128,31 @@ impl VideoDb {
     /// assert_eq!(db.load_clip(1).unwrap().meta.name, "demo");
     /// ```
     pub fn in_memory() -> VideoDb {
-        VideoDb {
-            log: Log::in_memory(),
-            catalog: BTreeMap::new(),
-            sessions: Vec::new(),
-            video_segments: Vec::new(),
-            cache: LruCache::new(DEFAULT_CACHE_CAPACITY),
-        }
+        VideoDb::from_log(Log::in_memory()).expect("in-memory open cannot fail")
     }
 
     /// Opens (or creates) a file-backed database, rebuilding the
     /// catalog from the log.
     pub fn open(path: &Path) -> Result<VideoDb> {
+        VideoDb::from_log(Log::open(path)?)
+    }
+
+    /// Opens a database over any [`Storage`] backend (e.g. the
+    /// fault-injecting test backend, or a recovered crash image wrapped
+    /// in `MemStorage`).
+    pub fn with_storage(storage: Box<dyn Storage>) -> Result<VideoDb> {
+        VideoDb::from_log(Log::with_storage(storage)?)
+    }
+
+    /// Builds a database over an already-opened log.
+    pub fn from_log(log: Log) -> Result<VideoDb> {
         let mut db = VideoDb {
-            log: Log::open(path)?,
+            log,
             catalog: BTreeMap::new(),
             sessions: Vec::new(),
             video_segments: Vec::new(),
             cache: LruCache::new(DEFAULT_CACHE_CAPACITY),
+            quarantined: BTreeMap::new(),
         };
         db.rebuild_catalog()?;
         Ok(db)
@@ -88,32 +161,47 @@ impl VideoDb {
     fn rebuild_catalog(&mut self) -> Result<()> {
         let records = self.log.scan()?;
         for (offset, payload) in records {
-            let mut r = Reader::new(&payload);
-            match r.get_u8()? {
-                TAG_CLIP => {
-                    let meta = ClipMeta::decode(&mut r)?;
-                    // Later records win (e.g. after compaction replay).
-                    self.catalog.insert(meta.clip_id, (meta, offset));
+            // A record that passes the log CRC but fails structural
+            // decode is still corruption — skip it rather than failing
+            // the whole open, matching the quarantine philosophy.
+            if let Err(e) = self.index_record(offset, &payload) {
+                if e.is_corruption() {
+                    tsvr_obs::counter!("viddb.fault.detected").incr();
+                    continue;
                 }
-                TAG_SESSION => {
-                    let session_id = r.get_u64()?;
-                    let clip_id = r.get_u64()?;
-                    self.sessions.push((session_id, clip_id, offset));
-                }
-                TAG_TOMBSTONE => {
-                    let clip_id = r.get_u64()?;
-                    self.catalog.remove(&clip_id);
-                    self.video_segments.retain(|&(cid, _, _, _)| cid != clip_id);
-                }
-                TAG_VIDEO => {
-                    let clip_id = r.get_u64()?;
-                    let start_frame = r.get_u32()?;
-                    let frame_count = r.get_u32()?;
-                    self.video_segments
-                        .push((clip_id, start_frame, frame_count, offset));
-                }
-                t => return Err(DbError::UnknownRecordType(t)),
+                return Err(e);
             }
+        }
+        Ok(())
+    }
+
+    /// Indexes one scanned record into the in-memory catalog.
+    fn index_record(&mut self, offset: u64, payload: &[u8]) -> Result<()> {
+        let mut r = Reader::new(payload);
+        match r.get_u8()? {
+            TAG_CLIP => {
+                let meta = ClipMeta::decode(&mut r)?;
+                // Later records win (e.g. after compaction replay).
+                self.catalog.insert(meta.clip_id, (meta, offset));
+            }
+            TAG_SESSION => {
+                let session_id = r.get_u64()?;
+                let clip_id = r.get_u64()?;
+                self.sessions.push((session_id, clip_id, offset));
+            }
+            TAG_TOMBSTONE => {
+                let clip_id = r.get_u64()?;
+                self.catalog.remove(&clip_id);
+                self.video_segments.retain(|&(cid, _, _, _)| cid != clip_id);
+            }
+            TAG_VIDEO => {
+                let clip_id = r.get_u64()?;
+                let start_frame = r.get_u32()?;
+                let frame_count = r.get_u32()?;
+                self.video_segments
+                    .push((clip_id, start_frame, frame_count, offset));
+            }
+            t => return Err(DbError::UnknownRecordType(t)),
         }
         Ok(())
     }
@@ -144,6 +232,9 @@ impl VideoDb {
         }
         let offset = self.log.append(&w.into_bytes())?;
         self.catalog.insert(id, (bundle.meta.clone(), offset));
+        // Re-ingesting a quarantined clip repairs it: the fresh record
+        // supersedes the corrupt one.
+        self.quarantined.remove(&id);
         Ok(())
     }
 
@@ -154,17 +245,17 @@ impl VideoDb {
             return Err(DbError::UnknownRecordType(tag));
         }
         let meta = ClipMeta::decode(&mut r)?;
-        let n = r.get_len()?;
+        let n = r.get_len_bounded(16)?; // u64 + u32 + u32 header per track
         let mut tracks = Vec::with_capacity(n);
         for _ in 0..n {
             tracks.push(crate::record::TrackRow::decode(&mut r)?);
         }
-        let n = r.get_len()?;
+        let n = r.get_len_bounded(16)?; // 4 × u32 header per window
         let mut windows = Vec::with_capacity(n);
         for _ in 0..n {
             windows.push(crate::record::WindowRow::decode(&mut r)?);
         }
-        let n = r.get_len()?;
+        let n = r.get_len_bounded(16)?; // str len + 3 × u32 per incident
         let mut incidents = Vec::with_capacity(n);
         for _ in 0..n {
             incidents.push(crate::record::IncidentRow::decode(&mut r)?);
@@ -178,7 +269,15 @@ impl VideoDb {
     }
 
     /// Loads a full clip bundle (through the buffer cache).
+    ///
+    /// If the stored record turns out to be corrupt, the clip is
+    /// quarantined — removed from the catalog and reported via
+    /// [`VideoDb::quarantined`] — and [`DbError::ClipQuarantined`] is
+    /// returned. Every other clip stays retrievable.
     pub fn load_clip(&mut self, clip_id: u64) -> Result<Arc<ClipBundle>> {
+        if self.quarantined.contains_key(&clip_id) {
+            return Err(DbError::ClipQuarantined(clip_id));
+        }
         if let Some(b) = self.cache.get(&clip_id) {
             return Ok(b);
         }
@@ -187,16 +286,45 @@ impl VideoDb {
             .catalog
             .get(&clip_id)
             .ok_or(DbError::ClipNotFound(clip_id))?;
-        let payload = self.log.read(offset)?;
-        let bundle = Arc::new(Self::decode_bundle(&payload)?);
+        let bundle = match self
+            .log
+            .read(offset)
+            .and_then(|payload| Self::decode_bundle(&payload))
+        {
+            Ok(b) => Arc::new(b),
+            Err(e) if e.is_corruption() => {
+                self.quarantine_clip(clip_id, offset, &e);
+                return Err(DbError::ClipQuarantined(clip_id));
+            }
+            Err(e) => return Err(e),
+        };
         self.cache.put(clip_id, Arc::clone(&bundle));
         Ok(bundle)
+    }
+
+    /// Moves a clip with a corrupt stored record out of the catalog and
+    /// into the quarantine report.
+    fn quarantine_clip(&mut self, clip_id: u64, offset: u64, cause: &DbError) {
+        tsvr_obs::counter!("viddb.fault.detected").incr();
+        tsvr_obs::counter!("viddb.fault.quarantined").incr();
+        self.catalog.remove(&clip_id);
+        self.cache.invalidate(&clip_id);
+        self.quarantined.insert(
+            clip_id,
+            QuarantineEntry {
+                clip_id,
+                offset,
+                reason: cause.to_string(),
+            },
+        );
     }
 
     /// Deletes a clip (tombstone append; space is reclaimed by
     /// [`VideoDb::compact`]).
     pub fn delete_clip(&mut self, clip_id: u64) -> Result<()> {
-        if !self.catalog.contains_key(&clip_id) {
+        // Deleting a quarantined clip is allowed: the tombstone makes
+        // sure the corrupt record can never resurface.
+        if !self.catalog.contains_key(&clip_id) && !self.quarantined.contains_key(&clip_id) {
             return Err(DbError::ClipNotFound(clip_id));
         }
         let mut w = Writer::new();
@@ -204,8 +332,15 @@ impl VideoDb {
         w.put_u64(clip_id);
         self.log.append(&w.into_bytes())?;
         self.catalog.remove(&clip_id);
+        self.quarantined.remove(&clip_id);
         self.cache.invalidate(&clip_id);
         Ok(())
+    }
+
+    /// Durability point: flushes and syncs the log. Mutations are only
+    /// guaranteed to survive a crash after `sync` returns `Ok`.
+    pub fn sync(&mut self) -> Result<()> {
+        self.log.sync()
     }
 
     /// Metadata of one clip.
@@ -261,7 +396,9 @@ impl VideoDb {
         Ok(())
     }
 
-    /// Loads every session recorded against a clip.
+    /// Loads every session recorded against a clip. Corrupt session
+    /// records are dropped (and counted via `viddb.fault.*`) rather
+    /// than failing the query; real I/O errors still propagate.
     pub fn sessions_for_clip(&mut self, clip_id: u64) -> Result<Vec<SessionRow>> {
         let offsets: Vec<u64> = self
             .sessions
@@ -271,13 +408,21 @@ impl VideoDb {
             .collect();
         let mut out = Vec::with_capacity(offsets.len());
         for off in offsets {
-            let payload = self.log.read(off)?;
-            let mut r = Reader::new(&payload);
-            let tag = r.get_u8()?;
-            if tag != TAG_SESSION {
-                return Err(DbError::UnknownRecordType(tag));
+            match self.log.read(off).and_then(|payload| {
+                let mut r = Reader::new(&payload);
+                let tag = r.get_u8()?;
+                if tag != TAG_SESSION {
+                    return Err(DbError::UnknownRecordType(tag));
+                }
+                SessionRow::decode(&mut r)
+            }) {
+                Ok(row) => out.push(row),
+                Err(e) if e.is_corruption() => {
+                    tsvr_obs::counter!("viddb.fault.detected").incr();
+                    self.sessions.retain(|&(_, _, o)| o != off);
+                }
+                Err(e) => return Err(e),
             }
-            out.push(SessionRow::decode(&mut r)?);
         }
         Ok(out)
     }
@@ -330,21 +475,34 @@ impl VideoDb {
             .collect();
         let mut out = Vec::new();
         for (start, _, off) in segments {
-            let record = self.log.read(off)?;
-            let mut r = Reader::new(&record);
-            let tag = r.get_u8()?;
-            if tag != TAG_VIDEO {
-                return Err(DbError::UnknownRecordType(tag));
-            }
-            let _clip = r.get_u64()?;
-            let _start = r.get_u32()?;
-            let _count = r.get_u32()?;
-            let frames = FrameCodec::decode_segment(r.get_bytes()?)?;
-            for (i, f) in frames.into_iter().enumerate() {
-                let abs = start + i as u32;
-                if abs >= from && abs < to {
-                    out.push((abs, f));
+            let decoded = self.log.read(off).and_then(|record| {
+                let mut r = Reader::new(&record);
+                let tag = r.get_u8()?;
+                if tag != TAG_VIDEO {
+                    return Err(DbError::UnknownRecordType(tag));
                 }
+                let _clip = r.get_u64()?;
+                let _start = r.get_u32()?;
+                let _count = r.get_u32()?;
+                FrameCodec::decode_segment(r.get_bytes()?)
+            });
+            match decoded {
+                Ok(frames) => {
+                    for (i, f) in frames.into_iter().enumerate() {
+                        let abs = start + i as u32;
+                        if abs >= from && abs < to {
+                            out.push((abs, f));
+                        }
+                    }
+                }
+                // A corrupt segment drops out of the result (those
+                // frames are simply absent) instead of failing the
+                // whole playback query.
+                Err(e) if e.is_corruption() => {
+                    tsvr_obs::counter!("viddb.fault.detected").incr();
+                    self.video_segments.retain(|&(_, _, _, o)| o != off);
+                }
+                Err(e) => return Err(e),
             }
         }
         out.sort_by_key(|&(abs, _)| abs);
@@ -361,18 +519,41 @@ impl VideoDb {
         self.log.len()
     }
 
-    /// Rewrites the log keeping only live records, reclaiming space
-    /// from deleted clips.
+    /// Rewrites the log keeping only live, *intact* records — reclaims
+    /// space from deleted clips and drops corrupt records for good
+    /// (quarantined clips whose bytes are damaged are not carried
+    /// over; re-ingest them to repair). The rewritten log is synced.
     pub fn compact(&mut self) -> Result<()> {
-        // Collect live payloads before resetting.
+        let _span = tsvr_obs::span!("viddb.compact");
+        // Collect live payloads before resetting, dropping any record
+        // that no longer passes integrity checks.
         let mut live: Vec<Vec<u8>> = Vec::new();
-        let clip_offsets: Vec<u64> = self.catalog.values().map(|&(_, off)| off).collect();
-        for off in clip_offsets {
-            live.push(self.log.read(off)?);
+        let clip_offsets: Vec<(u64, u64)> = self
+            .catalog
+            .iter()
+            .map(|(&id, &(_, off))| (id, off))
+            .collect();
+        for (id, off) in clip_offsets {
+            match self
+                .log
+                .read(off)
+                .and_then(|p| Self::decode_bundle(&p).map(|_| p))
+            {
+                Ok(payload) => live.push(payload),
+                Err(e) if e.is_corruption() => self.quarantine_clip(id, off, &e),
+                Err(e) => return Err(e),
+            }
         }
         let session_offsets: Vec<u64> = self.sessions.iter().map(|&(_, _, off)| off).collect();
         for off in session_offsets {
-            live.push(self.log.read(off)?);
+            match self.log.read(off) {
+                Ok(payload) => live.push(payload),
+                Err(e) if e.is_corruption() => {
+                    tsvr_obs::counter!("viddb.fault.detected").incr();
+                    self.sessions.retain(|&(_, _, o)| o != off);
+                }
+                Err(e) => return Err(e),
+            }
         }
         let video_offsets: Vec<u64> = self
             .video_segments
@@ -380,7 +561,14 @@ impl VideoDb {
             .map(|&(_, _, _, off)| off)
             .collect();
         for off in video_offsets {
-            live.push(self.log.read(off)?);
+            match self.log.read(off) {
+                Ok(payload) => live.push(payload),
+                Err(e) if e.is_corruption() => {
+                    tsvr_obs::counter!("viddb.fault.detected").incr();
+                    self.video_segments.retain(|&(_, _, _, o)| o != off);
+                }
+                Err(e) => return Err(e),
+            }
         }
         self.log.reset()?;
         self.catalog.clear();
@@ -390,8 +578,109 @@ impl VideoDb {
         for payload in live {
             self.log.append(&payload)?;
         }
-        // Rebuild offsets.
-        self.rebuild_catalog()
+        // Rebuild offsets and make the rewrite durable.
+        self.rebuild_catalog()?;
+        self.log.sync()
+    }
+
+    /// Full-database integrity pass: decode-checks every clip, session,
+    /// and video segment record, quarantining/dropping what fails. The
+    /// database keeps serving everything that passed.
+    pub fn verify(&mut self) -> Result<VerifyReport> {
+        let _span = tsvr_obs::span!("viddb.verify");
+        let mut report = VerifyReport {
+            corrupt_regions: self.log.recovery_report().regions.len(),
+            clips_quarantined: self.quarantined.len(),
+            ..VerifyReport::default()
+        };
+        let clip_offsets: Vec<(u64, u64)> = self
+            .catalog
+            .iter()
+            .map(|(&id, &(_, off))| (id, off))
+            .collect();
+        for (id, off) in clip_offsets {
+            report.records_checked += 1;
+            match self
+                .log
+                .read(off)
+                .and_then(|p| Self::decode_bundle(&p).map(|_| ()))
+            {
+                Ok(()) => report.clips_intact += 1,
+                Err(e) if e.is_corruption() => {
+                    self.quarantine_clip(id, off, &e);
+                    report.clips_quarantined += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let session_offsets: Vec<u64> = self.sessions.iter().map(|&(_, _, off)| off).collect();
+        for off in session_offsets {
+            report.records_checked += 1;
+            let ok = self.log.read(off).and_then(|p| {
+                let mut r = Reader::new(&p);
+                let tag = r.get_u8()?;
+                if tag != TAG_SESSION {
+                    return Err(DbError::UnknownRecordType(tag));
+                }
+                SessionRow::decode(&mut r).map(|_| ())
+            });
+            match ok {
+                Ok(()) => {}
+                Err(e) if e.is_corruption() => {
+                    tsvr_obs::counter!("viddb.fault.detected").incr();
+                    self.sessions.retain(|&(_, _, o)| o != off);
+                    report.sessions_dropped += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let video_offsets: Vec<u64> = self
+            .video_segments
+            .iter()
+            .map(|&(_, _, _, off)| off)
+            .collect();
+        for off in video_offsets {
+            report.records_checked += 1;
+            let ok = self.log.read(off).and_then(|p| {
+                let mut r = Reader::new(&p);
+                let tag = r.get_u8()?;
+                if tag != TAG_VIDEO {
+                    return Err(DbError::UnknownRecordType(tag));
+                }
+                let _ = r.get_u64()?;
+                let _ = r.get_u32()?;
+                let _ = r.get_u32()?;
+                FrameCodec::decode_segment(r.get_bytes()?).map(|_| ())
+            });
+            match ok {
+                Ok(()) => {}
+                Err(e) if e.is_corruption() => {
+                    tsvr_obs::counter!("viddb.fault.detected").incr();
+                    self.video_segments.retain(|&(_, _, _, o)| o != off);
+                    report.segments_dropped += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Clips currently quarantined (corrupt stored records), ordered by
+    /// clip id.
+    pub fn quarantined(&self) -> Vec<&QuarantineEntry> {
+        self.quarantined.values().collect()
+    }
+
+    /// Everything currently known about stored-data damage: quarantined
+    /// clips plus what open-time recovery found.
+    pub fn fault_report(&self) -> FaultReport {
+        let recovery = self.log.recovery_report();
+        FaultReport {
+            quarantined_clips: self.quarantined.values().cloned().collect(),
+            corrupt_regions: recovery.regions.clone(),
+            truncated_tail_bytes: recovery.truncated_tail,
+            recovered_header: recovery.recovered_header,
+        }
     }
 
     /// Hit/miss/occupancy statistics of the buffer cache.

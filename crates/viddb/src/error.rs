@@ -29,6 +29,12 @@ pub enum DbError {
     InvalidUtf8,
     /// A length field exceeded sanity bounds (corrupt or hostile data).
     LengthOutOfBounds(u64),
+    /// The clip's stored record failed integrity checks and has been
+    /// quarantined; re-ingesting the clip repairs it.
+    ClipQuarantined(u64),
+    /// A failed append could not be rolled back; the log refuses
+    /// further writes (reads still work) until reopened.
+    LogPoisoned,
 }
 
 impl fmt::Display for DbError {
@@ -47,7 +53,30 @@ impl fmt::Display for DbError {
             DbError::DuplicateClip(id) => write!(f, "clip {id} already exists"),
             DbError::InvalidUtf8 => write!(f, "invalid utf-8 in string field"),
             DbError::LengthOutOfBounds(n) => write!(f, "length field {n} out of bounds"),
+            DbError::ClipQuarantined(id) => {
+                write!(f, "clip {id} is quarantined (corrupt record; re-ingest to repair)")
+            }
+            DbError::LogPoisoned => {
+                write!(f, "log poisoned by an unrecoverable append failure; reopen to recover")
+            }
         }
+    }
+}
+
+impl DbError {
+    /// Whether this error indicates corrupt stored data (as opposed to
+    /// an environmental failure or a caller mistake). Corruption errors
+    /// trigger quarantine; others propagate.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            DbError::UnexpectedEof { .. }
+                | DbError::ChecksumMismatch { .. }
+                | DbError::UnknownRecordType(_)
+                | DbError::InvalidUtf8
+                | DbError::LengthOutOfBounds(_)
+                | DbError::BadMagic
+        )
     }
 }
 
@@ -83,6 +112,20 @@ mod tests {
         assert!(DbError::UnexpectedEof { context: "meta" }
             .to_string()
             .contains("meta"));
+    }
+
+    #[test]
+    fn corruption_classification_is_stable() {
+        assert!(DbError::ChecksumMismatch { offset: 0 }.is_corruption());
+        assert!(DbError::UnexpectedEof { context: "x" }.is_corruption());
+        assert!(DbError::LengthOutOfBounds(1).is_corruption());
+        assert!(DbError::InvalidUtf8.is_corruption());
+        assert!(DbError::UnknownRecordType(200).is_corruption());
+        assert!(DbError::BadMagic.is_corruption());
+        assert!(!DbError::Io(std::io::Error::other("x")).is_corruption());
+        assert!(!DbError::ClipNotFound(1).is_corruption());
+        assert!(!DbError::ClipQuarantined(1).is_corruption());
+        assert!(!DbError::LogPoisoned.is_corruption());
     }
 
     #[test]

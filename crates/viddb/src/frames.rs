@@ -10,7 +10,7 @@
 //! the result. Static scenes — the normal case for a fixed camera —
 //! compress by an order of magnitude.
 
-use crate::codec::{Reader, Writer};
+use crate::codec::{Reader, Writer, MAX_LEN};
 use crate::error::{DbError, Result};
 
 /// One stored grayscale frame.
@@ -27,7 +27,9 @@ pub struct StoredFrame {
 impl StoredFrame {
     /// Creates a frame, checking dimensions.
     pub fn new(width: u32, height: u32, pixels: Vec<u8>) -> Result<StoredFrame> {
-        if pixels.len() != (width * height) as usize {
+        // Widen before multiplying: u32 dimensions from corrupt data
+        // would overflow (and panic in debug) in u32 arithmetic.
+        if pixels.len() as u64 != width as u64 * height as u64 {
             return Err(DbError::LengthOutOfBounds(pixels.len() as u64));
         }
         Ok(StoredFrame {
@@ -113,9 +115,17 @@ impl FrameCodec {
         let width = r.get_u32()?;
         let height = r.get_u32()?;
         let count = r.get_len()?;
-        let per_frame = (width * height) as usize;
+        // Widen before multiplying: corrupt dimensions would overflow
+        // u32 (a debug-build panic) and a huge product must be rejected
+        // before it sizes any allocation.
+        let per_frame_u64 = width as u64 * height as u64;
+        let total_u64 = per_frame_u64.saturating_mul(count as u64);
+        if per_frame_u64 > MAX_LEN || total_u64 > MAX_LEN {
+            return Err(DbError::LengthOutOfBounds(total_u64));
+        }
+        let per_frame = per_frame_u64 as usize;
         let stream = rle_decompress(r.get_bytes()?);
-        if stream.len() != per_frame * count {
+        if stream.len() as u64 != total_u64 {
             return Err(DbError::UnexpectedEof {
                 context: "frame stream",
             });
@@ -307,5 +317,22 @@ mod tests {
     fn stored_frame_validates_size() {
         assert!(StoredFrame::new(4, 4, vec![0; 16]).is_ok());
         assert!(StoredFrame::new(4, 4, vec![0; 15]).is_err());
+        // Dimensions whose product overflows u32 must error, not panic.
+        assert!(StoredFrame::new(u32::MAX, u32::MAX, vec![0; 4]).is_err());
+    }
+
+    #[test]
+    fn corrupt_dimensions_rejected_without_panic() {
+        // Hand-craft a payload with overflowing width × height.
+        let mut w = Writer::new();
+        w.put_u8(1); // quant
+        w.put_u32(u32::MAX); // width
+        w.put_u32(u32::MAX); // height
+        w.put_u32(1); // count
+        w.put_bytes(&[1, 0]); // tiny rle stream
+        assert!(matches!(
+            FrameCodec::decode_segment(&w.into_bytes()).unwrap_err(),
+            DbError::LengthOutOfBounds(_)
+        ));
     }
 }

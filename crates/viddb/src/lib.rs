@@ -14,8 +14,11 @@
 //! * [`record`] — durable record types: clip metadata (time / place /
 //!   camera), vehicle tracks, extracted windows with trajectory-sequence
 //!   features, ground-truth incidents, and retrieval-session history;
+//! * [`storage`] — pluggable byte-storage backends: memory, file, and
+//!   a seeded fault injector for crash-consistency testing;
 //! * [`log`] — an append-only, checksummed record log with torn-write
-//!   recovery, over either a file or an in-memory buffer;
+//!   recovery, mid-log corruption quarantine, bounded retry, and an
+//!   explicit `sync` durability point, over any [`storage`] backend;
 //! * [`frames`] — lossy-quantized, delta-coded, RLE-compressed video
 //!   frame segments, so retrieved Video Sequences can be played back;
 //! * [`cache`] — an LRU buffer cache for decoded clip bundles;
@@ -33,9 +36,12 @@ pub mod error;
 pub mod frames;
 pub mod log;
 pub mod record;
+pub mod storage;
 
 pub use cache::CacheStats;
-pub use db::VideoDb;
+pub use db::{FaultReport, QuarantineEntry, VerifyReport, VideoDb};
 pub use error::DbError;
 pub use frames::{FrameCodec, StoredFrame};
+pub use log::{CorruptRegion, RecoveryReport};
 pub use record::{ClipBundle, ClipMeta, IncidentRow, SequenceRow, SessionRow, TrackRow, WindowRow};
+pub use storage::{FaultHandle, FaultKind, FaultyStorage, FileStorage, MemStorage, OpKind, Storage};

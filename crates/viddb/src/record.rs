@@ -152,7 +152,7 @@ impl TrackRow {
     pub fn decode(r: &mut Reader) -> Result<TrackRow> {
         let track_id = r.get_u64()?;
         let start_frame = r.get_u32()?;
-        let n = r.get_len()?;
+        let n = r.get_len_bounded(8)?; // (f32, f32) per centroid
         let mut centroids = Vec::with_capacity(n);
         for _ in 0..n {
             let x = f32::from_bits(r.get_u32()?);
@@ -180,7 +180,7 @@ impl SequenceRow {
 
     fn decode(r: &mut Reader) -> Result<SequenceRow> {
         let track_id = r.get_u64()?;
-        let n = r.get_len()?;
+        let n = r.get_len_bounded(24)?; // 3 × f64 per alpha row
         let mut alphas = Vec::with_capacity(n);
         for _ in 0..n {
             alphas.push([r.get_f64()?, r.get_f64()?, r.get_f64()?]);
@@ -206,7 +206,7 @@ impl WindowRow {
         let window_index = r.get_u32()?;
         let start_frame = r.get_u32()?;
         let end_frame = r.get_u32()?;
-        let n = r.get_len()?;
+        let n = r.get_len_bounded(12)?; // u64 id + u32 count per sequence
         let mut sequences = Vec::with_capacity(n);
         for _ in 0..n {
             sequences.push(SequenceRow::decode(r)?);
@@ -237,7 +237,7 @@ impl IncidentRow {
         let kind = r.get_str()?;
         let start_frame = r.get_u32()?;
         let end_frame = r.get_u32()?;
-        let n = r.get_len()?;
+        let n = r.get_len_bounded(8)?; // u64 per vehicle id
         let mut vehicle_ids = Vec::with_capacity(n);
         for _ in 0..n {
             vehicle_ids.push(r.get_u64()?);
@@ -278,17 +278,17 @@ impl SessionRow {
         let clip_id = r.get_u64()?;
         let query = r.get_str()?;
         let learner = r.get_str()?;
-        let rounds = r.get_len()?;
+        let rounds = r.get_len_bounded(4)?; // u32 count per round
         let mut feedback = Vec::with_capacity(rounds);
         for _ in 0..rounds {
-            let n = r.get_len()?;
+            let n = r.get_len_bounded(5)?; // u32 + bool per item
             let mut round = Vec::with_capacity(n);
             for _ in 0..n {
                 round.push((r.get_u32()?, r.get_bool()?));
             }
             feedback.push(round);
         }
-        let n = r.get_len()?;
+        let n = r.get_len_bounded(8)?; // f64 per accuracy
         let mut accuracies = Vec::with_capacity(n);
         for _ in 0..n {
             accuracies.push(r.get_f64()?);

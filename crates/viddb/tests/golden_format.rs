@@ -1,0 +1,108 @@
+//! Golden-format fixture test: a handwritten `TSVRDB01` log committed
+//! under `tests/fixtures/` is decoded field-for-field. This pins the
+//! on-disk format — a future codec or log edit that silently breaks
+//! reading of existing databases fails here, not in production.
+//!
+//! The fixture holds four records: one clip bundle (metadata, one
+//! track, one window with a trajectory sequence, one incident), one
+//! retrieval session, one tombstone for an unrelated clip id, and one
+//! two-frame video segment.
+
+use tsvr_viddb::{FrameCodec, MemStorage, VideoDb};
+
+const GOLDEN: &[u8] = include_bytes!("fixtures/golden_tsvrdb01.db");
+
+fn open_golden() -> VideoDb {
+    VideoDb::with_storage(Box::new(MemStorage::from_bytes(GOLDEN.to_vec())))
+        .expect("golden fixture must open cleanly")
+}
+
+#[test]
+fn golden_log_opens_clean() {
+    let db = open_golden();
+    let report = db.fault_report();
+    assert!(report.is_clean(), "golden fixture reported damage: {report:?}");
+    assert_eq!(db.clip_count(), 1);
+    assert_eq!(db.session_count(), 1);
+    assert_eq!(db.video_segment_count(), 1);
+}
+
+#[test]
+fn golden_clip_decodes_field_for_field() {
+    let mut db = open_golden();
+    let bundle = db.load_clip(7).expect("clip 7 must load");
+
+    // Metadata.
+    assert_eq!(bundle.meta.clip_id, 7);
+    assert_eq!(bundle.meta.name, "golden");
+    assert_eq!(bundle.meta.location, "tunnel-9");
+    assert_eq!(bundle.meta.camera, "cam-2");
+    assert_eq!(bundle.meta.start_time, 1_167_609_600);
+    assert_eq!(bundle.meta.frame_count, 120);
+    assert_eq!(bundle.meta.width, 320);
+    assert_eq!(bundle.meta.height, 240);
+
+    // Track.
+    assert_eq!(bundle.tracks.len(), 1);
+    let track = &bundle.tracks[0];
+    assert_eq!(track.track_id, 3);
+    assert_eq!(track.start_frame, 5);
+    assert_eq!(track.centroids, vec![(1.5, 2.25), (3.0, 4.5)]);
+
+    // Window with one trajectory sequence.
+    assert_eq!(bundle.windows.len(), 1);
+    let win = &bundle.windows[0];
+    assert_eq!(win.window_index, 0);
+    assert_eq!(win.start_frame, 0);
+    assert_eq!(win.end_frame, 14);
+    assert_eq!(win.sequences.len(), 1);
+    assert_eq!(win.sequences[0].track_id, 3);
+    assert_eq!(win.sequences[0].alphas, vec![[0.5, 1.0, 0.25]]);
+
+    // Incident.
+    assert_eq!(bundle.incidents.len(), 1);
+    let inc = &bundle.incidents[0];
+    assert_eq!(inc.kind, "u_turn");
+    assert_eq!(inc.start_frame, 30);
+    assert_eq!(inc.end_frame, 60);
+    assert_eq!(inc.vehicle_ids, vec![3]);
+
+    // Metadata queries see the same fields.
+    assert_eq!(db.find_by_location("tunnel-9").len(), 1);
+    assert_eq!(db.find_by_camera("cam-2")[0].clip_id, 7);
+}
+
+#[test]
+fn golden_session_decodes_field_for_field() {
+    let mut db = open_golden();
+    let sessions = db.sessions_for_clip(7).unwrap();
+    assert_eq!(sessions.len(), 1);
+    let s = &sessions[0];
+    assert_eq!(s.session_id, 1);
+    assert_eq!(s.clip_id, 7);
+    assert_eq!(s.query, "accident");
+    assert_eq!(s.learner, "MIL_OneClassSVM");
+    assert_eq!(s.feedback, vec![vec![(0, true), (2, false)]]);
+    assert_eq!(s.accuracies, vec![0.5, 0.75]);
+}
+
+#[test]
+fn golden_tombstone_hides_clip_99() {
+    let db = open_golden();
+    assert!(db.meta(99).is_none(), "tombstoned clip must stay deleted");
+}
+
+#[test]
+fn golden_video_segment_decodes_pixel_for_pixel() {
+    let mut db = open_golden();
+    let frames = db.load_frames(7, 0, 2).unwrap();
+    assert_eq!(frames.len(), 2);
+    // quant_step 1 dequantizes q to q (mid-rise adds step/2 = 0).
+    let codec = FrameCodec { quant_step: 1 };
+    assert_eq!(frames[0].0, 0);
+    assert_eq!(frames[0].1.width, 4);
+    assert_eq!(frames[0].1.height, 3);
+    assert_eq!(frames[0].1.pixels, vec![codec.reconstruct(10); 12]);
+    assert_eq!(frames[1].0, 1);
+    assert_eq!(frames[1].1.pixels, vec![codec.reconstruct(12); 12]);
+}

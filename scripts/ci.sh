@@ -14,6 +14,12 @@ cargo test -q --workspace
 echo "==> TSVR_THREADS=1 cargo test -q --workspace (forced-sequential runtime)"
 TSVR_THREADS=1 cargo test -q --workspace
 
+# The crash-consistency sweep runs with the full workspace tests above;
+# this rerun pins the fast-mode path (used for quick local iteration)
+# so a regression in the env-var gate cannot slip through. Budget: <30s.
+echo "==> crash-consistency suite (TSVR_CRASH_FAST=1)"
+TSVR_CRASH_FAST=1 cargo test -q --test crash_consistency
+
 # The smoke run exercises the bench end-to-end but writes its JSON in a
 # scratch directory so it cannot clobber a committed paper-scale
 # BENCH_parallel.json.
