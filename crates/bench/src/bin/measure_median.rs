@@ -15,7 +15,7 @@ fn main() {
                 d.push(tsvr_linalg::vecops::sq_dist(&vecs[i], &vecs[j]));
             }
         }
-        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        d.sort_by(|a, b| a.total_cmp(b));
         let q = |p: f64| d[(p * (d.len() - 1) as f64) as usize];
         println!(
             "{name}: n={} median={:.4} p25={:.4} p75={:.4} p90={:.4} gamma(ln2/median)={:.2}",

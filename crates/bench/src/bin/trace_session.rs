@@ -53,7 +53,8 @@ fn main() {
                     .model()
                     .map(|m| m.decision(&y.concat()))
                     .unwrap_or(0.0);
-                mx.partial_cmp(&my).unwrap()
+                tsvr_mil::heuristic::nan_to_lowest(mx)
+                    .total_cmp(&tsvr_mil::heuristic::nan_to_lowest(my))
             })
             .map(|i| {
                 i.concat()

@@ -3,12 +3,13 @@
 use crate::args::{ArgError, Args};
 use std::path::{Path, PathBuf};
 use tsvr_core::{
-    archive_clip_video, bags_from_bundle, bundle_from_clip, labels_from_bundle, prepare_clip,
-    EventQuery, LearnerKind, PipelineOptions,
+    archive_clip_video, bags_from_bundle, bags_from_dataset, bundle_from_clip, labels_from_bundle,
+    prepare_clip, EventQuery, LearnerKind, PipelineOptions,
 };
 use tsvr_mil::{GroundTruthOracle, Normalization, Oracle, RetrievalSession, SessionConfig};
 use tsvr_sim::Scenario;
 use tsvr_trajectory::checkpoint::FeatureConfig;
+use tsvr_trajectory::{Dataset, WindowConfig};
 use tsvr_viddb::{ClipMeta, FrameCodec, SessionRow, VideoDb};
 
 const USAGE: &str = "usage: tsvr <command> [--flag value ...]
@@ -20,11 +21,16 @@ commands:
   info       --db F --clip-id N
   query      --db F --clip-id N [--event accident|u_turn|speeding]
              [--learner ocsvm|wrf|misvm|dd|emdd] [--rounds N] [--top N]
+             [--use-index] [--rebuild-index]
              [--interactive]   (you label each page item y/n instead of the oracle)
   sessions   --db F --clip-id N
   resume     --db F --clip-id N --session N [--rounds N] [--top N]
   search     --db F [--clips 1,2,3] [--event E] [--rounds N] [--top N]
+             [--use-index] [--rebuild-index]
              (cross-camera: one session over several clips; default = all clips)
+  index build  --db F [--clips 1,2,3]   (persist feature indexes so later
+             queries skip extraction; default = every clip)
+  index verify --db F [--clips 1,2,3]   (report fresh/stale/missing indexes)
   export     --db F --clip-id N --from N --to N --out DIR   (writes PGM images)
   verify     --db F   (integrity pass: decode-checks every record,
              quarantines corrupt clips, reports damage)
@@ -44,7 +50,17 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let Some(cmd) = argv.first() else {
         return Err(format!("no command given\n{USAGE}"));
     };
-    let args = Args::parse(&argv[1..])?;
+    // `index` takes a positional action (`build`/`verify`) before its
+    // flags; every other command is flags-only after the name.
+    let (index_action, flag_argv) = if cmd == "index" {
+        let action = argv
+            .get(1)
+            .ok_or_else(|| format!("index: missing action (build|verify)\n{USAGE}"))?;
+        (Some(action.as_str()), argv.get(2..).unwrap_or(&[]))
+    } else {
+        (None, &argv[1..])
+    };
+    let args = Args::parse(flag_argv)?;
     if args.get("threads").is_some() {
         let n = args.num::<usize>("threads", 0)?;
         if n == 0 {
@@ -62,6 +78,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "search" => search(&args),
         "export" => export(&args),
         "verify" => verify(&args),
+        "index" => index_cmd(index_action.expect("set for index"), &args),
         "compact" => compact(&args),
         "demo" => demo(&args),
         "stats" => stats(&args),
@@ -255,6 +272,104 @@ fn info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `--clips 1,2,3`, defaulting to every clip in the database.
+fn clip_ids_from(args: &Args, db: &VideoDb) -> Result<Vec<u64>, String> {
+    match args.get("clips") {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("--clips: bad id {s:?}"))
+            })
+            .collect::<Result<_, _>>(),
+        None => Ok(db.list_clips().iter().map(|m| m.clip_id).collect()),
+    }
+}
+
+/// A clip's dataset, served from its stored feature index when allowed
+/// and fresh; otherwise rebuilt from the archived bundle (pure data
+/// reshaping — no vision work either way) and, when indexing was asked
+/// for, persisted so the next query is a hit.
+fn indexed_dataset(
+    db: &mut VideoDb,
+    clip_id: u64,
+    use_index: bool,
+    rebuild: bool,
+) -> Result<Dataset, String> {
+    let wcfg = WindowConfig::default();
+    if use_index && !rebuild {
+        if let Some(ds) = tsvr_core::load_index(db, clip_id, &wcfg).map_err(|e| e.to_string())? {
+            return Ok(ds);
+        }
+    }
+    let bundle = db.load_clip(clip_id).map_err(|e| e.to_string())?;
+    let ds = tsvr_core::dataset_from_bundle(&bundle, wcfg);
+    if use_index || rebuild {
+        tsvr_core::build_index(db, clip_id, &ds).map_err(|e| e.to_string())?;
+    }
+    Ok(ds)
+}
+
+/// `index build` / `index verify`.
+fn index_cmd(action: &str, args: &Args) -> Result<(), String> {
+    let mut db = open_db(args)?;
+    let clip_ids = clip_ids_from(args, &db)?;
+    if clip_ids.is_empty() {
+        return Err("no clips in the database".into());
+    }
+    let wcfg = WindowConfig::default();
+    match action {
+        "build" => {
+            for &id in &clip_ids {
+                let bundle = db.load_clip(id).map_err(|e| e.to_string())?;
+                let ds = tsvr_core::dataset_from_bundle(&bundle, wcfg);
+                tsvr_core::build_index(&mut db, id, &ds).map_err(|e| e.to_string())?;
+                println!(
+                    "indexed clip {id}: {} windows, {} trajectory sequences",
+                    ds.windows.len(),
+                    ds.windows.iter().map(|w| w.sequences.len()).sum::<usize>()
+                );
+            }
+            println!("{} indexes stored", db.index_count());
+            Ok(())
+        }
+        "verify" => {
+            let mut stale = 0usize;
+            let mut missing = 0usize;
+            for &id in &clip_ids {
+                // Raw presence first, so a config-hash mismatch reads
+                // as "stale", not "missing".
+                let present = db.load_index(id).map_err(|e| e.to_string())?.is_some();
+                let status = match tsvr_core::load_index(&mut db, id, &wcfg)
+                    .map_err(|e| e.to_string())?
+                {
+                    Some(ds) => format!("fresh ({} windows)", ds.windows.len()),
+                    None if present => {
+                        stale += 1;
+                        "STALE (rebuild with `index build`)".into()
+                    }
+                    None => {
+                        missing += 1;
+                        "missing".into()
+                    }
+                };
+                println!("clip {id}: {status}");
+            }
+            if stale + missing > 0 {
+                println!(
+                    "{stale} stale, {missing} missing of {} clips — run `index build`",
+                    clip_ids.len()
+                );
+            } else {
+                println!("all {} indexes fresh", clip_ids.len());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown index action {other:?}\n{USAGE}")),
+    }
+}
+
 fn learner_from(args: &Args) -> Result<LearnerKind, String> {
     Ok(match args.get("learner").unwrap_or("ocsvm") {
         "ocsvm" => LearnerKind::paper_ocsvm(),
@@ -278,8 +393,16 @@ fn event_from(args: &Args) -> Result<EventQuery, String> {
 fn query(args: &Args) -> Result<(), String> {
     let mut db = open_db(args)?;
     let clip_id = args.num::<u64>("clip-id", 1)?;
+    let use_index = args.switch("use-index");
+    let rebuild_index = args.switch("rebuild-index");
+    let bags = if use_index || rebuild_index {
+        let ds = indexed_dataset(&mut db, clip_id, use_index, rebuild_index)?;
+        bags_from_dataset(&ds)
+    } else {
+        let bundle = db.load_clip(clip_id).map_err(|e| e.to_string())?;
+        bags_from_bundle(&bundle, &FeatureConfig::default())
+    };
     let bundle = db.load_clip(clip_id).map_err(|e| e.to_string())?;
-    let bags = bags_from_bundle(&bundle, &FeatureConfig::default());
     let event = event_from(args)?;
     let labels = labels_from_bundle(&bundle, &event);
     let cfg = SessionConfig {
@@ -509,27 +632,49 @@ fn sessions(args: &Args) -> Result<(), String> {
 /// the paper's §6.2 names as its limitation).
 fn search(args: &Args) -> Result<(), String> {
     let mut db = open_db(args)?;
-    let clip_ids: Vec<u64> = match args.get("clips") {
-        Some(spec) => spec
-            .split(',')
-            .map(|s| {
-                s.trim()
-                    .parse()
-                    .map_err(|_| format!("--clips: bad id {s:?}"))
-            })
-            .collect::<Result<_, _>>()?,
-        None => db.list_clips().iter().map(|m| m.clip_id).collect(),
-    };
+    let clip_ids = clip_ids_from(args, &db)?;
     if clip_ids.is_empty() {
         return Err("no clips in the database".into());
     }
-    let bundles: Vec<std::sync::Arc<tsvr_viddb::ClipBundle>> = clip_ids
-        .iter()
-        .map(|&id| db.load_clip(id).map_err(|e| e.to_string()))
-        .collect::<Result<_, _>>()?;
-    let refs: Vec<&tsvr_viddb::ClipBundle> = bundles.iter().map(|b| b.as_ref()).collect();
     let event = event_from(args)?;
-    let index = tsvr_core::MultiClipIndex::build(&refs, &event, &FeatureConfig::default());
+    let use_index = args.switch("use-index");
+    let rebuild_index = args.switch("rebuild-index");
+    let index = if use_index || rebuild_index {
+        // Index-served path: bags come from stored feature segments;
+        // only the labels (incident annotations) are read from bundles.
+        let mut parts = Vec::with_capacity(clip_ids.len());
+        for &id in &clip_ids {
+            let ds = indexed_dataset(&mut db, id, use_index, rebuild_index)?;
+            let bags = bags_from_dataset(&ds);
+            let bundle = db.load_clip(id).map_err(|e| e.to_string())?;
+            let labels = labels_from_bundle(&bundle, &event);
+            parts.push((id, bags, labels));
+        }
+        // Deterministic cross-clip preview straight off the index.
+        let clips: Vec<tsvr_core::ClipWindows> = parts
+            .iter()
+            .map(|(id, bags, _)| tsvr_core::ClipWindows {
+                clip_id: *id,
+                bags: bags.clone(),
+            })
+            .collect();
+        let k = args.num("top", 20)?;
+        println!("heuristic top {k} (index-served):");
+        for r in tsvr_core::heuristic_topk(&clips, k) {
+            println!(
+                "  clip {} window {} score {:.4}",
+                r.clip_id, r.window_index, r.score
+            );
+        }
+        tsvr_core::MultiClipIndex::from_parts(parts)
+    } else {
+        let bundles: Vec<std::sync::Arc<tsvr_viddb::ClipBundle>> = clip_ids
+            .iter()
+            .map(|&id| db.load_clip(id).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?;
+        let refs: Vec<&tsvr_viddb::ClipBundle> = bundles.iter().map(|b| b.as_ref()).collect();
+        tsvr_core::MultiClipIndex::build(&refs, &event, &FeatureConfig::default())
+    };
     println!(
         "cross-camera index: {} windows from {} clips",
         index.len(),
@@ -913,6 +1058,81 @@ mod tests {
     #[test]
     fn help_prints() {
         run(&["help"]).unwrap();
+    }
+
+    #[test]
+    fn index_workflow() {
+        let db = temp_db("index-flow");
+        for (seed, id) in [("5", "1"), ("6", "2")] {
+            run(&[
+                "simulate",
+                "--db",
+                &db,
+                "--scenario",
+                "tunnel-small",
+                "--seed",
+                seed,
+                "--clip-id",
+                id,
+            ])
+            .unwrap();
+        }
+        // Before building: verify reports both indexes missing.
+        run(&["index", "verify", "--db", &db]).unwrap();
+        run(&["index", "build", "--db", &db]).unwrap();
+        run(&["index", "verify", "--db", &db]).unwrap();
+        {
+            let mut dbh = VideoDb::open(Path::new(&db)).unwrap();
+            assert_eq!(dbh.index_count(), 2);
+            // The stored index serves the default configuration.
+            assert!(tsvr_core::load_index(&mut dbh, 1, &WindowConfig::default())
+                .unwrap()
+                .is_some());
+        }
+        // Queries ride the index; a rebuild refreshes it in place.
+        run(&[
+            "query",
+            "--db",
+            &db,
+            "--clip-id",
+            "1",
+            "--rounds",
+            "1",
+            "--top",
+            "5",
+            "--use-index",
+        ])
+        .unwrap();
+        run(&[
+            "search",
+            "--db",
+            &db,
+            "--rounds",
+            "1",
+            "--top",
+            "5",
+            "--use-index",
+        ])
+        .unwrap();
+        run(&[
+            "query",
+            "--db",
+            &db,
+            "--clip-id",
+            "2",
+            "--rounds",
+            "1",
+            "--top",
+            "5",
+            "--rebuild-index",
+        ])
+        .unwrap();
+        // Subset selection and error paths.
+        run(&["index", "build", "--db", &db, "--clips", "1"]).unwrap();
+        assert!(run(&["index", "--db", &db]).is_err(), "missing action");
+        assert!(run(&["index", "frobnicate", "--db", &db]).is_err());
+        assert!(run(&["index", "build", "--db", &db, "--clips", "99"]).is_err());
+        let _ = std::fs::remove_file(&db);
     }
 
     #[test]

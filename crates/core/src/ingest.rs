@@ -38,8 +38,17 @@ pub fn bundle_from_clip(clip: &ClipArtifacts, meta: ClipMeta) -> ClipBundle {
         .iter()
         .map(|w| WindowRow {
             window_index: w.index as u32,
-            start_frame: w.start_frame,
-            end_frame: w.end_frame,
+            // The on-disk row keeps its u32 encoding (golden-fixture
+            // compatible); clip frame counts are u32 in `ClipMeta`, so
+            // any in-range clip fits — a span past u32 is a caller bug.
+            start_frame: w
+                .start_frame
+                .try_into()
+                .expect("window start_frame exceeds u32 clip range"),
+            end_frame: w
+                .end_frame
+                .try_into()
+                .expect("window end_frame exceeds u32 clip range"),
             sequences: w
                 .sequences
                 .iter()

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod index;
 pub mod ingest;
 pub mod labels;
 pub mod multiclip;
@@ -36,10 +37,16 @@ pub mod query;
 pub mod replay;
 pub mod sketch;
 
+pub use index::{
+    build_index, config_hash, dataset_from_bundle, dataset_from_segment, load_index,
+    segment_from_dataset, PIPELINE_VERSION,
+};
 pub use ingest::{archive_clip_video, bags_from_bundle, bundle_from_clip, labels_from_bundle};
 pub use labels::label_windows;
-pub use multiclip::MultiClipIndex;
-pub use pipeline::{prepare_clip, run_session, ClipArtifacts, LearnerKind, PipelineOptions};
-pub use query::EventQuery;
+pub use multiclip::{heuristic_topk, learner_topk, ClipWindows, MultiClipIndex};
+pub use pipeline::{
+    bags_from_dataset, prepare_clip, run_session, ClipArtifacts, LearnerKind, PipelineOptions,
+};
+pub use query::{EventQuery, RankedWindow, TopK};
 pub use replay::{continue_session, replay_session};
 pub use sketch::SketchQuery;

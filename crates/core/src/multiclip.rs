@@ -11,8 +11,8 @@
 //! different clips live in the same feature space and one retrieval
 //! session can rank the entire database.
 
-use crate::query::EventQuery;
-use tsvr_mil::{Bag, Instance};
+use crate::query::{EventQuery, RankedWindow, TopK};
+use tsvr_mil::{Bag, Instance, Learner};
 use tsvr_trajectory::checkpoint::{Alpha, FeatureConfig};
 use tsvr_viddb::ClipBundle;
 
@@ -89,6 +89,82 @@ impl MultiClipIndex {
     pub fn resolve(&self, bag_id: usize) -> Option<(u64, u32)> {
         self.origin.get(bag_id).copied()
     }
+
+    /// Builds a unified index from already-converted per-clip parts —
+    /// the index-served path, where bags come from stored feature
+    /// segments instead of a fresh extraction. Each part is
+    /// `(clip_id, bags, labels)` with `bags[i]` being window `i` of
+    /// that clip; bag ids are re-densified across clips.
+    pub fn from_parts(parts: Vec<(u64, Vec<Bag>, Vec<bool>)>) -> MultiClipIndex {
+        let mut bags = Vec::new();
+        let mut labels = Vec::new();
+        let mut origin = Vec::new();
+        for (clip_id, clip_bags, clip_labels) in parts {
+            debug_assert_eq!(clip_bags.len(), clip_labels.len());
+            for (bag, label) in clip_bags.into_iter().zip(clip_labels) {
+                let window_index = bag.id as u32;
+                let id = bags.len();
+                bags.push(Bag::new(id, bag.instances));
+                labels.push(label);
+                origin.push((clip_id, window_index));
+            }
+        }
+        MultiClipIndex {
+            bags,
+            labels,
+            origin,
+        }
+    }
+}
+
+/// One clip's windows as MIL bags, ready for cross-clip scoring.
+/// `bags[i].id` is the window index within the clip (the
+/// [`crate::pipeline::bags_from_dataset`] convention).
+#[derive(Debug, Clone)]
+pub struct ClipWindows {
+    /// The clip the bags came from.
+    pub clip_id: u64,
+    /// Per-window bags in window order.
+    pub bags: Vec<Bag>,
+}
+
+/// Ranks every window of every clip with the event heuristic and keeps
+/// the best `k`.
+///
+/// Scoring fans out per window inside each clip (via
+/// [`tsvr_mil::heuristic::bag_scores`]' order-preserving parallel map),
+/// but the merge walks clips and windows in their given order through a
+/// bounded [`TopK`] with a full tie-break — so the result is the same
+/// byte sequence at any thread count.
+pub fn heuristic_topk(clips: &[ClipWindows], k: usize) -> Vec<RankedWindow> {
+    let _span = tsvr_obs::span!("query.multiclip");
+    let mut topk = TopK::new(k);
+    for clip in clips {
+        for (bag, score) in clip.bags.iter().zip(tsvr_mil::heuristic::bag_scores(&clip.bags)) {
+            topk.push(score, clip.clip_id, bag.id as u32);
+        }
+    }
+    topk.into_sorted()
+}
+
+/// Like [`heuristic_topk`] but scoring with a trained learner
+/// ([`Learner::score_all`], which batches/parallelizes internally with
+/// the same bit-identical-to-`score` contract). Deterministic for the
+/// same reason: parallel scoring is order-preserving, the top-k merge
+/// is sequential and fully tie-broken.
+pub fn learner_topk<L: Learner + ?Sized>(
+    clips: &[ClipWindows],
+    learner: &L,
+    k: usize,
+) -> Vec<RankedWindow> {
+    let _span = tsvr_obs::span!("query.multiclip");
+    let mut topk = TopK::new(k);
+    for clip in clips {
+        for (bag, score) in clip.bags.iter().zip(learner.score_all(&clip.bags)) {
+            topk.push(score, clip.clip_id, bag.id as u32);
+        }
+    }
+    topk.into_sorted()
 }
 
 #[cfg(test)]
@@ -206,5 +282,83 @@ mod tests {
     fn empty_input_gives_empty_index() {
         let idx = MultiClipIndex::build(&[], &EventQuery::accidents(), &FeatureConfig::default());
         assert!(idx.is_empty());
+    }
+
+    fn two_clip_windows() -> Vec<ClipWindows> {
+        let a = prepare_clip(&Scenario::tunnel_small(11), &PipelineOptions::default());
+        let b = prepare_clip(&Scenario::tunnel_small(22), &PipelineOptions::default());
+        vec![
+            ClipWindows {
+                clip_id: 1,
+                bags: a.bags,
+            },
+            ClipWindows {
+                clip_id: 2,
+                bags: b.bags,
+            },
+        ]
+    }
+
+    #[test]
+    fn heuristic_topk_ranks_across_clips() {
+        let clips = two_clip_windows();
+        let total: usize = clips.iter().map(|c| c.bags.len()).sum();
+        let k = 8.min(total);
+        let top = heuristic_topk(&clips, k);
+        assert_eq!(top.len(), k);
+        // Best-first, fully ordered.
+        for pair in top.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        // Scores agree with scoring the bag directly.
+        for r in &top {
+            let clip = clips.iter().find(|c| c.clip_id == r.clip_id).unwrap();
+            let bag = clip
+                .bags
+                .iter()
+                .find(|b| b.id as u32 == r.window_index)
+                .unwrap();
+            assert_eq!(r.score.to_bits(), tsvr_mil::heuristic::bag_score(bag).to_bits());
+        }
+    }
+
+    #[test]
+    fn learner_topk_matches_learner_scores() {
+        let clips = two_clip_windows();
+        let all_bags: Vec<tsvr_mil::Bag> = clips.iter().flat_map(|c| c.bags.clone()).collect();
+        let learner = LearnerKind::paper_weighted_rf().build_for(&all_bags);
+        let top = learner_topk(&clips, &learner, 5);
+        assert_eq!(top.len(), 5);
+        for r in &top {
+            let clip = clips.iter().find(|c| c.clip_id == r.clip_id).unwrap();
+            let bag = clip
+                .bags
+                .iter()
+                .find(|b| b.id as u32 == r.window_index)
+                .unwrap();
+            assert_eq!(r.score.to_bits(), learner.score(bag).to_bits());
+        }
+    }
+
+    #[test]
+    fn from_parts_matches_build() {
+        let (a, b) = two_bundles();
+        let query = EventQuery::accidents();
+        let cfg = FeatureConfig::default();
+        let built = MultiClipIndex::build(&[&a, &b], &query, &cfg);
+        let parts = [&a, &b]
+            .iter()
+            .map(|bundle| {
+                (
+                    bundle.meta.clip_id,
+                    crate::ingest::bags_from_bundle(bundle, &cfg),
+                    crate::ingest::labels_from_bundle(bundle, &query),
+                )
+            })
+            .collect();
+        let assembled = MultiClipIndex::from_parts(parts);
+        assert_eq!(assembled.bags, built.bags);
+        assert_eq!(assembled.labels, built.labels);
+        assert_eq!(assembled.origin, built.origin);
     }
 }

@@ -121,7 +121,7 @@ pub fn median_heuristic_gamma(bags: &[Bag]) -> f64 {
     if dists.is_empty() {
         return FALLBACK;
     }
-    dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    dists.sort_by(|a, b| a.total_cmp(b));
     let median = dists[dists.len() / 2];
     // K = 1/16 at the median distance: narrow enough that the learned
     // region hugs the (heterogeneous) relevant signatures instead of

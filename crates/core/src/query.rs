@@ -6,6 +6,8 @@
 //! other event". A query here is a named set of incident kinds that the
 //! feedback oracle treats as relevant.
 
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use tsvr_sim::IncidentKind;
 
 /// A named query over incident kinds.
@@ -53,6 +55,119 @@ impl EventQuery {
     }
 }
 
+/// One retrieval result: a window of a clip with its score.
+#[derive(Debug, Clone, Copy)]
+pub struct RankedWindow {
+    /// Retrieval score; `NaN` inputs are mapped to `-∞` on entry.
+    pub score: f64,
+    /// Clip the window belongs to.
+    pub clip_id: u64,
+    /// Window index within that clip.
+    pub window_index: u32,
+}
+
+impl RankedWindow {
+    /// Total rank order: higher score first, ties broken by lower clip
+    /// id then lower window index. Because the tie-break covers the
+    /// full identity of a window, the order — and therefore any top-k
+    /// cut through it — is unique, which is what makes cross-clip
+    /// results reproducible at any thread count.
+    fn rank(&self, other: &RankedWindow) -> Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.clip_id.cmp(&self.clip_id))
+            .then_with(|| other.window_index.cmp(&self.window_index))
+    }
+}
+
+impl PartialEq for RankedWindow {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank(other) == Ordering::Equal
+    }
+}
+
+impl Eq for RankedWindow {}
+
+impl PartialOrd for RankedWindow {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RankedWindow {
+    /// `Greater` means *ranks better* (see [`RankedWindow::rank`]).
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.rank(other)
+    }
+}
+
+/// A bounded top-k accumulator over [`RankedWindow`]s.
+///
+/// Internally a min-heap of the k best entries seen so far: the root is
+/// the *worst kept* result, so each offer is one comparison in the
+/// common case and `O(log k)` when it displaces the root. Scores that
+/// are `NaN` are mapped to `-∞` before insertion (the `mil` ranking
+/// convention), so an undefined score can never panic the merge or
+/// shadow a real result.
+#[derive(Debug)]
+pub struct TopK {
+    capacity: usize,
+    heap: BinaryHeap<std::cmp::Reverse<RankedWindow>>,
+}
+
+impl TopK {
+    /// Creates an accumulator keeping the best `capacity` windows.
+    pub fn new(capacity: usize) -> TopK {
+        TopK {
+            capacity,
+            heap: BinaryHeap::with_capacity(capacity.saturating_add(1)),
+        }
+    }
+
+    /// Offers one scored window.
+    pub fn push(&mut self, score: f64, clip_id: u64, window_index: u32) {
+        if self.capacity == 0 {
+            return;
+        }
+        tsvr_obs::counter!("query.topk.pushed").incr();
+        let entry = RankedWindow {
+            score: if score.is_nan() {
+                f64::NEG_INFINITY
+            } else {
+                score
+            },
+            clip_id,
+            window_index,
+        };
+        if self.heap.len() < self.capacity {
+            self.heap.push(std::cmp::Reverse(entry));
+        } else if entry > self.heap.peek().expect("non-empty at capacity").0 {
+            tsvr_obs::counter!("query.topk.evicted").incr();
+            self.heap.pop();
+            self.heap.push(std::cmp::Reverse(entry));
+        } else {
+            tsvr_obs::counter!("query.topk.evicted").incr();
+        }
+    }
+
+    /// Number of windows currently kept.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consumes the accumulator, returning the kept windows best-first.
+    pub fn into_sorted(self) -> Vec<RankedWindow> {
+        let mut v: Vec<RankedWindow> = self.heap.into_iter().map(|r| r.0).collect();
+        v.sort_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +197,70 @@ mod tests {
         assert!(s.kinds.iter().all(|&k| !a.matches(k)));
         assert!(u.matches(IncidentKind::UTurn));
         assert!(s.matches(IncidentKind::Speeding));
+    }
+
+    #[test]
+    fn topk_keeps_best_and_sorts_descending() {
+        let mut tk = TopK::new(3);
+        for (i, s) in [0.1, 0.9, 0.5, 0.7, 0.2].into_iter().enumerate() {
+            tk.push(s, 1, i as u32);
+        }
+        let out = tk.into_sorted();
+        let scores: Vec<f64> = out.iter().map(|r| r.score).collect();
+        assert_eq!(scores, vec![0.9, 0.7, 0.5]);
+    }
+
+    #[test]
+    fn topk_ties_break_by_clip_then_window() {
+        let mut tk = TopK::new(4);
+        tk.push(0.5, 2, 7);
+        tk.push(0.5, 1, 9);
+        tk.push(0.5, 1, 3);
+        tk.push(0.5, 2, 1);
+        let out = tk.into_sorted();
+        let keys: Vec<(u64, u32)> = out.iter().map(|r| (r.clip_id, r.window_index)).collect();
+        assert_eq!(keys, vec![(1, 3), (1, 9), (2, 1), (2, 7)]);
+    }
+
+    #[test]
+    fn topk_maps_nan_to_lowest_and_never_panics() {
+        let mut tk = TopK::new(2);
+        tk.push(f64::NAN, 1, 0);
+        tk.push(0.1, 1, 1);
+        tk.push(f64::NAN, 2, 2);
+        tk.push(-5.0, 2, 3);
+        let out = tk.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].clip_id, out[0].window_index), (1, 1));
+        assert_eq!((out[1].clip_id, out[1].window_index), (2, 3));
+        assert_eq!(out[0].score, 0.1);
+    }
+
+    #[test]
+    fn topk_insertion_order_does_not_matter() {
+        let mut entries: Vec<(f64, u64, u32)> = (0..40)
+            .map(|i| (f64::from(i % 7) * 0.3, u64::from(i / 10), i))
+            .collect();
+        let mut a = TopK::new(5);
+        for &(s, c, w) in &entries {
+            a.push(s, c, w);
+        }
+        entries.reverse();
+        let mut b = TopK::new(5);
+        for &(s, c, w) in &entries {
+            b.push(s, c, w);
+        }
+        let ka: Vec<(u64, u32)> = a.into_sorted().iter().map(|r| (r.clip_id, r.window_index)).collect();
+        let kb: Vec<(u64, u32)> = b.into_sorted().iter().map(|r| (r.clip_id, r.window_index)).collect();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn topk_zero_capacity_is_inert() {
+        let mut tk = TopK::new(0);
+        tk.push(1.0, 1, 1);
+        assert!(tk.is_empty());
+        assert_eq!(tk.len(), 0);
+        assert!(tk.into_sorted().is_empty());
     }
 }

@@ -51,7 +51,11 @@ impl SketchQuery {
             .iter()
             .filter_map(|t| self.track_distance(t).map(|d| (t, d)))
             .collect();
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.id.cmp(&b.0.id)));
+        scored.sort_by(|a, b| {
+            tsvr_mil::heuristic::nan_to_highest(a.1)
+                .total_cmp(&tsvr_mil::heuristic::nan_to_highest(b.1))
+                .then(a.0.id.cmp(&b.0.id))
+        });
         scored
     }
 
@@ -80,7 +84,11 @@ impl SketchQuery {
                 (w.index, best)
             })
             .collect();
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| {
+            tsvr_mil::heuristic::nan_to_highest(a.1)
+                .total_cmp(&tsvr_mil::heuristic::nan_to_highest(b.1))
+                .then(a.0.cmp(&b.0))
+        });
         scored
     }
 }

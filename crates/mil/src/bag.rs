@@ -51,7 +51,7 @@ impl Instance {
             .max_by(|a, b| {
                 let na: f64 = a.iter().map(|x| x * x).sum();
                 let nb: f64 = b.iter().map(|x| x * x).sum();
-                na.partial_cmp(&nb).unwrap()
+                crate::heuristic::nan_to_lowest(na).total_cmp(&crate::heuristic::nan_to_lowest(nb))
             })
             .expect("instance has points")
     }

@@ -242,9 +242,10 @@ impl EmDdLearner {
                 .map(|bag| {
                     (0..bag.len())
                         .min_by(|&a, &b| {
-                            vecops::sq_dist(&bag[a], &t)
-                                .partial_cmp(&vecops::sq_dist(&bag[b], &t))
-                                .unwrap()
+                            crate::heuristic::nan_to_highest(vecops::sq_dist(&bag[a], &t))
+                                .total_cmp(&crate::heuristic::nan_to_highest(vecops::sq_dist(
+                                    &bag[b], &t,
+                                )))
                         })
                         .unwrap()
                 })

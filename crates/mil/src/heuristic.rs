@@ -47,6 +47,28 @@ pub fn bag_scores(bags: &[Bag]) -> Vec<f64> {
     tsvr_par::par_map(bags, |_, b| bag_score(b))
 }
 
+/// Maps a NaN score to `-inf` so descending rankings (higher = better)
+/// stay total under [`f64::total_cmp`] without letting an undefined
+/// score win — the workspace-wide NaN→lowest ranking convention.
+pub fn nan_to_lowest(score: f64) -> f64 {
+    if score.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        score
+    }
+}
+
+/// Maps a NaN distance to `+inf` so ascending orderings (lower = better)
+/// stay total without letting an undefined distance rank best — the
+/// dual of [`nan_to_lowest`] for distance-like keys.
+pub fn nan_to_highest(dist: f64) -> f64 {
+    if dist.is_nan() {
+        f64::INFINITY
+    } else {
+        dist
+    }
+}
+
 /// Index of the highest-scoring instance in a bag, if any.
 ///
 /// Comparison uses [`f64::total_cmp`]: even if a score were non-finite

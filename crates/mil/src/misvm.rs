@@ -78,7 +78,8 @@ impl MiSvmLearner {
                     .max_by(|&a, &b| {
                         let na: f64 = bag[a].iter().map(|x| x * x).sum();
                         let nb: f64 = bag[b].iter().map(|x| x * x).sum();
-                        na.partial_cmp(&nb).unwrap()
+                        crate::heuristic::nan_to_lowest(na)
+                            .total_cmp(&crate::heuristic::nan_to_lowest(nb))
                     })
                     .unwrap_or(0)
             })
@@ -106,9 +107,8 @@ impl MiSvmLearner {
                 .map(|bag| {
                     (0..bag.len())
                         .max_by(|&a, &b| {
-                            m.decision(&bag[a])
-                                .partial_cmp(&m.decision(&bag[b]))
-                                .unwrap()
+                            crate::heuristic::nan_to_lowest(m.decision(&bag[a]))
+                                .total_cmp(&crate::heuristic::nan_to_lowest(m.decision(&bag[b])))
                         })
                         .unwrap_or(0)
                 })

@@ -102,7 +102,7 @@ impl OcSvmMilLearner {
                 if dists.is_empty() {
                     return Kernel::Rbf { gamma };
                 }
-                dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                dists.sort_by(|a, b| a.total_cmp(b));
                 let median = dists[dists.len() / 2];
                 Kernel::Rbf {
                     gamma: scale / median,

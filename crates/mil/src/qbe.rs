@@ -51,7 +51,9 @@ impl QueryByExample {
             .iter()
             .map(|i| (heuristic::instance_score(i), i.concat()))
             .collect();
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        scored.sort_by(|a, b| {
+            heuristic::nan_to_lowest(b.0).total_cmp(&heuristic::nan_to_lowest(a.0))
+        });
         let Some(top) = scored.first().map(|(s, _)| *s) else {
             return;
         };

@@ -325,10 +325,15 @@ impl<'a> Parser<'a> {
                 }
                 _ => {
                     // Re-scan from the byte position to keep UTF-8 intact.
+                    // A truncated multi-byte sequence at end-of-input must
+                    // surface as a parse error, never a panic.
                     let start = self.pos - 1;
                     let rest = std::str::from_utf8(&self.bytes[start..])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("truncated string"))?;
                     out.push(c);
                     self.pos = start + c.len_utf8();
                 }

@@ -121,6 +121,62 @@ fn snapshot_rejects_foreign_documents() {
     assert_eq!(Snapshot::from_json(&empty.to_json()).unwrap(), empty);
 }
 
+/// Tiny deterministic LCG so the corruption sweep needs no external
+/// crates and reproduces bit-for-bit across runs.
+fn lcg(state: &mut u64) -> usize {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 33) as usize
+}
+
+#[test]
+fn parser_survives_corrupted_snapshots() {
+    // A snapshot whose metric names force every string-parser path:
+    // short escapes, \u escapes (control chars), and multi-byte UTF-8.
+    let snap = Snapshot {
+        counters: vec![
+            CounterSnapshot {
+                name: "quoted \"name\" with \\ and \n and \t".into(),
+                value: 42,
+            },
+            CounterSnapshot {
+                name: "unicode café 🚗 θ\u{0008}\u{000c}".into(),
+                value: u64::MAX,
+            },
+        ],
+        histograms: sample_snapshot().histograms,
+    };
+    let text = snap.to_json();
+    assert_eq!(
+        Snapshot::from_json(&text).expect("nasty names round trip"),
+        snap
+    );
+
+    // Property 1: the parser returns Ok or Err — never panics — at
+    // every truncation point, including cuts that land mid-escape or
+    // mid-multi-byte character (lossy re-decode keeps the &str contract
+    // while still ending input at an arbitrary byte).
+    let bytes = text.as_bytes();
+    for cut in 0..bytes.len() {
+        let s = String::from_utf8_lossy(&bytes[..cut]);
+        let _ = Snapshot::from_json(&s);
+    }
+
+    // Property 2: seeded random byte corruption (1–4 flips per case)
+    // anywhere in the document never panics either.
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    for _ in 0..2000 {
+        let mut mutated = bytes.to_vec();
+        for _ in 0..(lcg(&mut state) % 4 + 1) {
+            let i = lcg(&mut state) % mutated.len();
+            mutated[i] = (lcg(&mut state) % 256) as u8;
+        }
+        let s = String::from_utf8_lossy(&mutated);
+        let _ = Snapshot::from_json(&s);
+    }
+}
+
 #[test]
 fn histogram_snapshot_statistics() {
     let h = &sample_snapshot().histograms[0];

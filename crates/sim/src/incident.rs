@@ -117,8 +117,10 @@ pub struct IncidentRecord {
 
 impl IncidentRecord {
     /// Whether the record's frame span overlaps `[lo, hi]` (inclusive).
-    pub fn overlaps(&self, lo: u32, hi: u32) -> bool {
-        self.start_frame <= hi && lo <= self.end_frame
+    /// Takes u64 bounds so callers holding widened window frame spans
+    /// (which can exceed `u32` on long recordings) compare losslessly.
+    pub fn overlaps(&self, lo: u64, hi: u64) -> bool {
+        u64::from(self.start_frame) <= hi && lo <= u64::from(self.end_frame)
     }
 }
 

@@ -57,19 +57,26 @@ impl TrajectorySequence {
 
     /// The per-checkpoint α with the largest squared norm — used by the
     /// initial heuristic query (§5.3 scores a TS by its highest-scoring
-    /// sampling point).
+    /// sampling point). A checkpoint whose norm is NaN ranks lowest
+    /// (NaN → −∞, the same convention as `mil` ranking), so a single
+    /// undefined feature cannot panic the query path or win the peak.
     pub fn peak_alpha(&self) -> Alpha {
         *self
             .alphas
             .iter()
-            .max_by(|a, b| sq_norm(a).partial_cmp(&sq_norm(b)).unwrap())
+            .max_by(|a, b| rank_norm(a).total_cmp(&rank_norm(b)))
             .expect("trajectory sequence has at least one checkpoint")
     }
 }
 
-fn sq_norm(a: &Alpha) -> f64 {
+fn rank_norm(a: &Alpha) -> f64 {
     let [x, y, z] = a.as_array();
-    x * x + y * y + z * z
+    let n = x * x + y * y + z * z;
+    if n.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        n
+    }
 }
 
 /// One window of video — a MIL *bag*.
@@ -79,10 +86,12 @@ pub struct VideoSequence {
     pub index: usize,
     /// First checkpoint (inclusive) on the global grid.
     pub start_checkpoint: usize,
-    /// First frame covered by the window.
-    pub start_frame: u32,
+    /// First frame covered by the window. Frame spans are u64: the
+    /// checkpoint grid is unbounded (`usize`), so `checkpoint × rate`
+    /// can exceed `u32` on long recordings.
+    pub start_frame: u64,
     /// Last frame covered (inclusive).
-    pub end_frame: u32,
+    pub end_frame: u64,
     /// The trajectory sequences fully covering the window.
     pub sequences: Vec<TrajectorySequence>,
 }
@@ -137,12 +146,18 @@ impl Dataset {
     /// containing no fully-covering trajectory sequence are dropped, so
     /// [`Dataset::window_count`] can be lower than the formula.
     pub fn from_series(series: &[CheckpointSeries], config: WindowConfig) -> Dataset {
-        let rate = config.features.sampling_rate;
+        let rate = config.features.sampling_rate as u64;
         let w = config.window_size;
         let max_ck = series.iter().map(|s| s.end_checkpoint()).max().unwrap_or(0);
 
         let mut windows = Vec::new();
-        let mut start = 0usize;
+        // Candidate starts live on the global grid 0, stride, 2·stride, …
+        // but every candidate before the first covered checkpoint is
+        // empty and dropped, so jump straight to the grid point at or
+        // below the earliest coverage (output-identical, and keeps long
+        // recordings with a late first track O(covered) not O(frames)).
+        let first_covered = series.iter().map(|s| s.first_checkpoint).min().unwrap_or(0);
+        let mut start = first_covered / config.stride * config.stride;
         while start + w <= max_ck {
             let mut sequences = Vec::new();
             for s in series {
@@ -160,11 +175,11 @@ impl Dataset {
                 windows.push(VideoSequence {
                     index: windows.len(),
                     start_checkpoint: start,
-                    start_frame: start as u32 * rate,
+                    start_frame: start as u64 * rate,
                     // The window "owns" the frames up to (but not
                     // including) the next checkpoint after its last one:
                     // w checkpoints x rate frames.
-                    end_frame: (start + w) as u32 * rate - 1,
+                    end_frame: (start + w) as u64 * rate - 1,
                     sequences,
                 });
             }
@@ -300,6 +315,69 @@ mod tests {
         };
         let p = ts.peak_alpha();
         assert_eq!(p.vdiff, 3.0);
+    }
+
+    #[test]
+    fn peak_alpha_ignores_nan_checkpoints() {
+        // A NaN feature ranks lowest instead of panicking the
+        // `partial_cmp().unwrap()` way; the finite peak still wins.
+        let ts = TrajectorySequence {
+            track_id: 1,
+            alphas: vec![
+                Alpha {
+                    inv_mdist: f64::NAN,
+                    vdiff: 0.0,
+                    theta: 0.0,
+                },
+                Alpha {
+                    inv_mdist: 0.0,
+                    vdiff: 2.0,
+                    theta: 0.0,
+                },
+            ],
+        };
+        assert_eq!(ts.peak_alpha().vdiff, 2.0);
+
+        // All-NaN sequences still return *something* (no panic).
+        let all_nan = TrajectorySequence {
+            track_id: 2,
+            alphas: vec![Alpha {
+                inv_mdist: f64::NAN,
+                vdiff: f64::NAN,
+                theta: f64::NAN,
+            }],
+        };
+        assert!(all_nan.peak_alpha().vdiff.is_nan());
+    }
+
+    #[test]
+    fn frame_spans_survive_u32_overflow() {
+        use crate::checkpoint::CheckpointSeries;
+        // A series that starts ~900M checkpoints in: at 5 frames per
+        // checkpoint the frame offsets exceed u32::MAX (~4.29e9), which
+        // the old `start as u32 * rate` math silently wrapped.
+        let first = 900_000_000usize;
+        let n = 6usize;
+        let series = CheckpointSeries {
+            track_id: 7,
+            first_checkpoint: first,
+            positions: (0..n).map(|k| Vec2::new(3.0 * k as f64, 100.0)).collect(),
+            alphas: vec![Alpha::ZERO; n],
+        };
+        let cfg = WindowConfig::default();
+        let rate = cfg.features.sampling_rate as u64;
+        let ds = Dataset::from_series(&[series], cfg);
+        assert_eq!(ds.window_count(), 2);
+        let w0 = &ds.windows[0];
+        assert_eq!(w0.start_checkpoint, first);
+        assert_eq!(w0.start_frame, first as u64 * rate);
+        assert!(w0.start_frame > u64::from(u32::MAX));
+        assert_eq!(w0.end_frame, (first as u64 + 3) * rate - 1);
+        assert_eq!(
+            ds.windows[1].start_frame,
+            (first as u64 + 3) * rate,
+            "adjacent windows stay contiguous past the u32 boundary"
+        );
     }
 
     #[test]

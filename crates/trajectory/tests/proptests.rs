@@ -154,7 +154,7 @@ fn stride_one_windows_nest_stride_w_windows() {
         );
         let sparse = Dataset::build(&[t], WindowConfig::default());
         // Every sparse window start appears among the dense ones.
-        let dense_starts: Vec<u32> = dense.windows.iter().map(|w| w.start_frame).collect();
+        let dense_starts: Vec<u64> = dense.windows.iter().map(|w| w.start_frame).collect();
         for w in &sparse.windows {
             assert!(
                 dense_starts.contains(&w.start_frame),

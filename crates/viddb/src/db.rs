@@ -5,7 +5,7 @@ use crate::codec::{Reader, Writer};
 use crate::error::{DbError, Result};
 use crate::frames::{FrameCodec, StoredFrame};
 use crate::log::{CorruptRegion, Log};
-use crate::record::{ClipBundle, ClipMeta, SessionRow};
+use crate::record::{ClipBundle, ClipMeta, IndexSegment, SessionRow, INDEX_FORMAT_VERSION, INDEX_MAGIC};
 use crate::storage::Storage;
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -16,6 +16,7 @@ const TAG_CLIP: u8 = 1;
 const TAG_SESSION: u8 = 2;
 const TAG_TOMBSTONE: u8 = 3;
 const TAG_VIDEO: u8 = 4;
+const TAG_INDEX: u8 = 5;
 
 /// Default number of decoded clip bundles kept in the buffer cache.
 pub const DEFAULT_CACHE_CAPACITY: usize = 8;
@@ -46,6 +47,9 @@ pub struct VerifyReport {
     pub sessions_dropped: usize,
     /// Video segment records dropped as corrupt.
     pub segments_dropped: usize,
+    /// Feature-index segments dropped as corrupt (rebuildable from the
+    /// clip, so dropping is always safe).
+    pub indexes_dropped: usize,
     /// Corrupt byte ranges the open-time scan skipped.
     pub corrupt_regions: usize,
 }
@@ -56,6 +60,7 @@ impl VerifyReport {
         self.clips_quarantined == 0
             && self.sessions_dropped == 0
             && self.segments_dropped == 0
+            && self.indexes_dropped == 0
             && self.corrupt_regions == 0
     }
 }
@@ -96,6 +101,8 @@ pub struct VideoDb {
     sessions: Vec<(u64, u64, u64)>,
     /// Video segments: (clip_id, start_frame, frame_count, offset).
     video_segments: Vec<(u64, u32, u32, u64)>,
+    /// Feature indexes: clip_id -> log offset (later records win).
+    indexes: BTreeMap<u64, u64>,
     cache: LruCache<u64, ClipBundle>,
     /// Clips whose stored record failed integrity checks at query time.
     quarantined: BTreeMap<u64, QuarantineEntry>,
@@ -151,6 +158,7 @@ impl VideoDb {
             catalog: BTreeMap::new(),
             sessions: Vec::new(),
             video_segments: Vec::new(),
+            indexes: BTreeMap::new(),
             cache: LruCache::new(DEFAULT_CACHE_CAPACITY),
             quarantined: BTreeMap::new(),
         };
@@ -193,6 +201,7 @@ impl VideoDb {
                 let clip_id = r.get_u64()?;
                 self.catalog.remove(&clip_id);
                 self.video_segments.retain(|&(cid, _, _, _)| cid != clip_id);
+                self.indexes.remove(&clip_id);
             }
             TAG_VIDEO => {
                 let clip_id = r.get_u64()?;
@@ -200,6 +209,15 @@ impl VideoDb {
                 let frame_count = r.get_u32()?;
                 self.video_segments
                     .push((clip_id, start_frame, frame_count, offset));
+            }
+            TAG_INDEX => {
+                // Only the header is decoded here; the full segment is
+                // decode-checked lazily at load time (and by `verify`).
+                if r.get_u32()? != INDEX_MAGIC || r.get_u32()? != INDEX_FORMAT_VERSION {
+                    return Err(DbError::BadMagic);
+                }
+                let clip_id = r.get_u64()?;
+                self.indexes.insert(clip_id, offset);
             }
             t => return Err(DbError::UnknownRecordType(t)),
         }
@@ -319,6 +337,61 @@ impl VideoDb {
         );
     }
 
+    /// Stores (or replaces) the persistent feature index of a clip. The
+    /// clip itself must exist — an index is derived data and never
+    /// outlives its source record.
+    pub fn put_index(&mut self, segment: &IndexSegment) -> Result<()> {
+        let _span = tsvr_obs::span!("viddb.put_index");
+        if !self.catalog.contains_key(&segment.clip_id) {
+            return Err(DbError::ClipNotFound(segment.clip_id));
+        }
+        let mut w = Writer::new();
+        w.put_u8(TAG_INDEX);
+        segment.encode(&mut w);
+        let offset = self.log.append(&w.into_bytes())?;
+        self.indexes.insert(segment.clip_id, offset);
+        Ok(())
+    }
+
+    /// Loads the stored feature index of a clip, if one exists.
+    ///
+    /// A corrupt index segment is *dropped*, not quarantined: unlike a
+    /// clip it is fully re-derivable, so the method reports it as
+    /// absent (`Ok(None)`) and the caller rebuilds. The source clip is
+    /// untouched. Real I/O errors still propagate.
+    pub fn load_index(&mut self, clip_id: u64) -> Result<Option<IndexSegment>> {
+        let Some(&offset) = self.indexes.get(&clip_id) else {
+            return Ok(None);
+        };
+        let _span = tsvr_obs::span!("viddb.load_index");
+        let decoded = self.log.read(offset).and_then(|payload| {
+            let mut r = Reader::new(&payload);
+            let tag = r.get_u8()?;
+            if tag != TAG_INDEX {
+                return Err(DbError::UnknownRecordType(tag));
+            }
+            let seg = IndexSegment::decode(&mut r)?;
+            if seg.clip_id != clip_id {
+                return Err(DbError::BadMagic);
+            }
+            Ok(seg)
+        });
+        match decoded {
+            Ok(seg) => Ok(Some(seg)),
+            Err(e) if e.is_corruption() => {
+                tsvr_obs::counter!("viddb.fault.detected").incr();
+                self.indexes.remove(&clip_id);
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Number of stored feature indexes.
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+
     /// Deletes a clip (tombstone append; space is reclaimed by
     /// [`VideoDb::compact`]).
     pub fn delete_clip(&mut self, clip_id: u64) -> Result<()> {
@@ -333,6 +406,7 @@ impl VideoDb {
         self.log.append(&w.into_bytes())?;
         self.catalog.remove(&clip_id);
         self.quarantined.remove(&clip_id);
+        self.indexes.remove(&clip_id);
         self.cache.invalidate(&clip_id);
         Ok(())
     }
@@ -570,10 +644,33 @@ impl VideoDb {
                 Err(e) => return Err(e),
             }
         }
+        // Index segments are decode-checked like clips: a corrupt index
+        // silently vanishes (it is re-derivable), an intact one is
+        // carried over.
+        let index_offsets: Vec<(u64, u64)> =
+            self.indexes.iter().map(|(&id, &off)| (id, off)).collect();
+        for (id, off) in index_offsets {
+            match self.log.read(off).and_then(|p| {
+                let mut r = Reader::new(&p);
+                let tag = r.get_u8()?;
+                if tag != TAG_INDEX {
+                    return Err(DbError::UnknownRecordType(tag));
+                }
+                IndexSegment::decode(&mut r).map(|_| p)
+            }) {
+                Ok(payload) => live.push(payload),
+                Err(e) if e.is_corruption() => {
+                    tsvr_obs::counter!("viddb.fault.detected").incr();
+                    self.indexes.remove(&id);
+                }
+                Err(e) => return Err(e),
+            }
+        }
         self.log.reset()?;
         self.catalog.clear();
         self.sessions.clear();
         self.video_segments.clear();
+        self.indexes.clear();
         self.cache.clear();
         for payload in live {
             self.log.append(&payload)?;
@@ -662,6 +759,28 @@ impl VideoDb {
                 Err(e) => return Err(e),
             }
         }
+        let index_offsets: Vec<(u64, u64)> =
+            self.indexes.iter().map(|(&id, &off)| (id, off)).collect();
+        for (id, off) in index_offsets {
+            report.records_checked += 1;
+            let ok = self.log.read(off).and_then(|p| {
+                let mut r = Reader::new(&p);
+                let tag = r.get_u8()?;
+                if tag != TAG_INDEX {
+                    return Err(DbError::UnknownRecordType(tag));
+                }
+                IndexSegment::decode(&mut r).map(|_| ())
+            });
+            match ok {
+                Ok(()) => {}
+                Err(e) if e.is_corruption() => {
+                    tsvr_obs::counter!("viddb.fault.detected").incr();
+                    self.indexes.remove(&id);
+                    report.indexes_dropped += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
         Ok(report)
     }
 
@@ -692,7 +811,7 @@ impl VideoDb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::test_fixtures::sample_bundle;
+    use crate::record::test_fixtures::{sample_bundle, sample_index};
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
@@ -945,6 +1064,71 @@ mod tests {
         {
             let db = VideoDb::open(&path).unwrap();
             assert_eq!(db.video_segment_count(), 0);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn index_put_load_round_trip() {
+        let mut db = VideoDb::in_memory();
+        db.put_clip(&sample_bundle(1)).unwrap();
+        assert_eq!(db.load_index(1).unwrap(), None, "no index yet");
+        let seg = sample_index(1);
+        db.put_index(&seg).unwrap();
+        assert_eq!(db.index_count(), 1);
+        assert_eq!(db.load_index(1).unwrap(), Some(seg));
+        assert_eq!(db.load_index(2).unwrap(), None);
+    }
+
+    #[test]
+    fn index_requires_existing_clip() {
+        let mut db = VideoDb::in_memory();
+        assert!(matches!(
+            db.put_index(&sample_index(4)).unwrap_err(),
+            DbError::ClipNotFound(4)
+        ));
+    }
+
+    #[test]
+    fn index_replacement_latest_wins() {
+        let mut db = VideoDb::in_memory();
+        db.put_clip(&sample_bundle(1)).unwrap();
+        db.put_index(&sample_index(1)).unwrap();
+        let mut newer = sample_index(1);
+        newer.config_hash = 42;
+        db.put_index(&newer).unwrap();
+        assert_eq!(db.index_count(), 1);
+        assert_eq!(db.load_index(1).unwrap().unwrap().config_hash, 42);
+    }
+
+    #[test]
+    fn deleting_clip_drops_its_index() {
+        let mut db = VideoDb::in_memory();
+        db.put_clip(&sample_bundle(1)).unwrap();
+        db.put_index(&sample_index(1)).unwrap();
+        db.delete_clip(1).unwrap();
+        assert_eq!(db.index_count(), 0);
+        assert_eq!(db.load_index(1).unwrap(), None);
+    }
+
+    #[test]
+    fn index_survives_reopen_and_compaction() {
+        let path = temp_path("index");
+        {
+            let mut db = VideoDb::open(&path).unwrap();
+            db.put_clip(&sample_bundle(1)).unwrap();
+            db.put_clip(&sample_bundle(2)).unwrap();
+            db.put_index(&sample_index(1)).unwrap();
+            db.delete_clip(2).unwrap();
+            db.compact().unwrap();
+        }
+        {
+            let mut db = VideoDb::open(&path).unwrap();
+            assert_eq!(db.index_count(), 1);
+            let seg = db.load_index(1).unwrap().expect("index survived");
+            assert_eq!(seg, sample_index(1));
+            let report = db.verify().unwrap();
+            assert!(report.is_clean(), "{report:?}");
         }
         std::fs::remove_file(&path).unwrap();
     }

@@ -43,5 +43,8 @@ pub use db::{FaultReport, QuarantineEntry, VerifyReport, VideoDb};
 pub use error::DbError;
 pub use frames::{FrameCodec, StoredFrame};
 pub use log::{CorruptRegion, RecoveryReport};
-pub use record::{ClipBundle, ClipMeta, IncidentRow, SequenceRow, SessionRow, TrackRow, WindowRow};
+pub use record::{
+    ClipBundle, ClipMeta, IncidentRow, IndexSegment, IndexWindowRow, SequenceRow, SessionRow,
+    TrackRow, WindowRow, INDEX_FORMAT_VERSION, INDEX_MAGIC,
+};
 pub use storage::{FaultHandle, FaultKind, FaultyStorage, FileStorage, MemStorage, OpKind, Storage};

@@ -1,7 +1,7 @@
 //! Durable record types and their binary encodings.
 
 use crate::codec::{Reader, Writer};
-use crate::error::Result;
+use crate::error::{DbError, Result};
 
 /// Metadata of one stored clip — "the time and place a video is taken"
 /// (paper §1) plus camera identity, which the paper's future work needs
@@ -91,6 +91,55 @@ pub struct SessionRow {
     pub feedback: Vec<Vec<(u32, bool)>>,
     /// Accuracy@n per round (initial + feedback rounds).
     pub accuracies: Vec<f64>,
+}
+
+/// Format magic of persisted feature-index segments: the bytes `TSIX`.
+pub const INDEX_MAGIC: u32 = u32::from_le_bytes(*b"TSIX");
+
+/// Current `TSIX` segment format version. Bump on any layout change so
+/// old segments are rejected (and rebuilt) instead of misdecoded.
+pub const INDEX_FORMAT_VERSION: u32 = 1;
+
+/// One window's worth of precomputed retrieval features inside an index
+/// segment: the frame span, the per-trajectory-sequence track ids, and
+/// the flat concatenation of their α feature vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexWindowRow {
+    /// Dense window index within the clip.
+    pub window_index: u32,
+    /// First checkpoint (inclusive) on the global grid.
+    pub start_checkpoint: u64,
+    /// First covered frame. Stored wide (u64): index spans come from
+    /// the unbounded checkpoint grid, unlike the u32 clip-frame rows.
+    pub start_frame: u64,
+    /// Last covered frame (inclusive).
+    pub end_frame: u64,
+    /// Track id of each trajectory sequence, in sequence order.
+    pub track_ids: Vec<u64>,
+    /// Flat raw feature matrix: `track_ids.len() × feature_dim` values,
+    /// row-major (one `feature_dim`-long vector per trajectory
+    /// sequence). Bit-exact f64s — index-served features are identical
+    /// to freshly extracted ones.
+    pub features: Vec<f64>,
+}
+
+/// A persisted feature index for one clip — the extracted `Dataset`
+/// (paper §5.1) serialized so queries can skip vision and segmentation
+/// entirely. Stored under its own record tag with a `TSIX` magic +
+/// format version header, and invalidated via `config_hash` (computed
+/// over clip id, window/feature configuration, and pipeline version).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexSegment {
+    /// Clip the index was built from.
+    pub clip_id: u64,
+    /// Invalidation hash: anything that changes extraction output
+    /// changes this hash, so stale indexes are rebuilt, never served.
+    pub config_hash: u64,
+    /// Feature vector length per trajectory sequence
+    /// (`3 × window_size`).
+    pub feature_dim: u32,
+    /// Per-window feature rows, in temporal order.
+    pub windows: Vec<IndexWindowRow>,
 }
 
 /// A complete clip's worth of derived data.
@@ -251,6 +300,95 @@ impl IncidentRow {
     }
 }
 
+impl IndexWindowRow {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.window_index);
+        w.put_u64(self.start_checkpoint);
+        w.put_u64(self.start_frame);
+        w.put_u64(self.end_frame);
+        w.put_u32(self.track_ids.len() as u32);
+        for &id in &self.track_ids {
+            w.put_u64(id);
+        }
+        w.put_u32(self.features.len() as u32);
+        for &v in &self.features {
+            w.put_f64(v);
+        }
+    }
+
+    fn decode(r: &mut Reader, feature_dim: u32) -> Result<IndexWindowRow> {
+        let window_index = r.get_u32()?;
+        let start_checkpoint = r.get_u64()?;
+        let start_frame = r.get_u64()?;
+        let end_frame = r.get_u64()?;
+        let n = r.get_len_bounded(8)?; // u64 per track id
+        let mut track_ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            track_ids.push(r.get_u64()?);
+        }
+        let m = r.get_len_bounded(8)?; // f64 per feature
+        // The flat matrix must be exactly sequences × feature_dim; any
+        // other shape is a corrupt segment, not a usable index.
+        if m != n.saturating_mul(feature_dim as usize) {
+            return Err(DbError::LengthOutOfBounds(m as u64));
+        }
+        let mut features = Vec::with_capacity(m);
+        for _ in 0..m {
+            features.push(r.get_f64()?);
+        }
+        Ok(IndexWindowRow {
+            window_index,
+            start_checkpoint,
+            start_frame,
+            end_frame,
+            track_ids,
+            features,
+        })
+    }
+}
+
+impl IndexSegment {
+    /// Serializes the segment, magic + format version first.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u32(INDEX_MAGIC);
+        w.put_u32(INDEX_FORMAT_VERSION);
+        w.put_u64(self.clip_id);
+        w.put_u64(self.config_hash);
+        w.put_u32(self.feature_dim);
+        w.put_u32(self.windows.len() as u32);
+        for win in &self.windows {
+            win.encode(w);
+        }
+    }
+
+    /// Deserializes a segment. A wrong magic or an unknown format
+    /// version fails with [`DbError::BadMagic`] — classified as
+    /// corruption, so the database drops (and callers rebuild) the
+    /// segment instead of serving a misdecoded index.
+    pub fn decode(r: &mut Reader) -> Result<IndexSegment> {
+        if r.get_u32()? != INDEX_MAGIC {
+            return Err(DbError::BadMagic);
+        }
+        if r.get_u32()? != INDEX_FORMAT_VERSION {
+            return Err(DbError::BadMagic);
+        }
+        let clip_id = r.get_u64()?;
+        let config_hash = r.get_u64()?;
+        let feature_dim = r.get_u32()?;
+        let n = r.get_len_bounded(32)?; // fixed window header alone is 32 bytes
+        let mut windows = Vec::with_capacity(n);
+        for _ in 0..n {
+            windows.push(IndexWindowRow::decode(r, feature_dim)?);
+        }
+        Ok(IndexSegment {
+            clip_id,
+            config_hash,
+            feature_dim,
+            windows,
+        })
+    }
+}
+
 impl SessionRow {
     /// Serializes the record.
     pub fn encode(&self, w: &mut Writer) {
@@ -350,6 +488,34 @@ pub(crate) mod test_fixtures {
             }],
         }
     }
+
+    /// A small index segment (2 windows, feature_dim 9) for round-trip
+    /// and corruption tests.
+    pub fn sample_index(clip_id: u64) -> IndexSegment {
+        IndexSegment {
+            clip_id,
+            config_hash: 0xfeed_beef_dead_cafe,
+            feature_dim: 9,
+            windows: vec![
+                IndexWindowRow {
+                    window_index: 0,
+                    start_checkpoint: 0,
+                    start_frame: 0,
+                    end_frame: 14,
+                    track_ids: vec![1, 2],
+                    features: (0..18).map(|i| i as f64 * 0.25).collect(),
+                },
+                IndexWindowRow {
+                    window_index: 1,
+                    start_checkpoint: 3,
+                    start_frame: 15,
+                    end_frame: 29,
+                    track_ids: vec![2],
+                    features: (0..9).map(|i| -(i as f64)).collect(),
+                },
+            ],
+        }
+    }
 }
 
 #[cfg(test)]
@@ -415,6 +581,68 @@ mod tests {
             accuracies: vec![0.4, 0.5, 0.6],
         };
         round_trip(&s, SessionRow::encode, SessionRow::decode);
+    }
+
+    #[test]
+    fn index_segment_round_trip() {
+        let seg = test_fixtures::sample_index(9);
+        round_trip(&seg, IndexSegment::encode, IndexSegment::decode);
+        // Empty segment edge case (clip with no extractable windows).
+        let empty = IndexSegment {
+            clip_id: 1,
+            config_hash: 7,
+            feature_dim: 9,
+            windows: vec![],
+        };
+        round_trip(&empty, IndexSegment::encode, IndexSegment::decode);
+    }
+
+    #[test]
+    fn index_segment_rejects_wrong_magic_and_version() {
+        let seg = test_fixtures::sample_index(9);
+        let mut w = Writer::new();
+        seg.encode(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            IndexSegment::decode(&mut Reader::new(&bad_magic)),
+            Err(DbError::BadMagic)
+        ));
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xfe; // version 1 -> garbage
+        assert!(matches!(
+            IndexSegment::decode(&mut Reader::new(&bad_version)),
+            Err(DbError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn index_segment_rejects_feature_shape_mismatch() {
+        let mut seg = test_fixtures::sample_index(9);
+        seg.windows[0].features.pop(); // 17 values for 2 × 9 slots
+        let mut w = Writer::new();
+        seg.encode(&mut w);
+        let bytes = w.into_bytes();
+        let err = IndexSegment::decode(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(err.is_corruption(), "shape mismatch not corruption: {err:?}");
+    }
+
+    #[test]
+    fn truncated_index_segment_fails_cleanly() {
+        let seg = test_fixtures::sample_index(9);
+        let mut w = Writer::new();
+        seg.encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in [0usize, 3, 8, 20, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(
+                IndexSegment::decode(&mut r).is_err(),
+                "cut at {cut} succeeded"
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,13 @@ repo="$PWD"
 (cd "$(mktemp -d)" && TSVR_BENCH_FAST=1 cargo run --release -q \
     --manifest-path "$repo/Cargo.toml" -p tsvr-bench --bin parallel)
 
+# Same scratch-dir discipline for the feature-index bench: proves the
+# cold-vs-indexed comparison (and its bit-identity assertion) end to end
+# without touching a committed BENCH_index.json.
+echo "==> index bench smoke run (TSVR_BENCH_FAST=1)"
+(cd "$(mktemp -d)" && TSVR_BENCH_FAST=1 cargo run --release -q \
+    --manifest-path "$repo/Cargo.toml" -p tsvr-bench --bin index)
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
