@@ -1,0 +1,275 @@
+//! Load-tests the concurrent retrieval service and writes
+//! `BENCH_serve.json`.
+//!
+//! One scripted relevance-feedback session (open, N feedback rounds,
+//! final page, close) is driven over real TCP connections at 1, 4, and
+//! 16 concurrent clients against a single [`tsvr_serve::Server`]. For
+//! each level the bench records wall-clock throughput (requests/s) and
+//! the p50/p99 per-request latency across every client.
+//!
+//! Correctness gate: every ranking a TCP client receives — at every
+//! concurrency level — must be byte-identical (compared as encoded
+//! JSON arrays) to the ranking produced by the same script run
+//! sequentially through the in-process [`Service::handle`] path. The
+//! server may reorder *sessions*; it must never change a ranking.
+//!
+//! `TSVR_BENCH_FAST=1` shortens the script (used by `scripts/ci.sh`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use tsvr_bench::PAPER_SEED;
+use tsvr_core::{bundle_from_clip, prepare_clip, PipelineOptions};
+use tsvr_obs::json::Json;
+use tsvr_serve::{
+    decode_response, encode_request, Envelope, Request, Response, Server, ServerConfig, Service,
+    ServiceConfig,
+};
+use tsvr_sim::Scenario;
+use tsvr_viddb::record::ClipBundle;
+use tsvr_viddb::{ClipMeta, VideoDb};
+
+const LEVELS: [usize; 3] = [1, 4, 16];
+
+fn make_bundle() -> ClipBundle {
+    let scenario = Scenario::tunnel_small(PAPER_SEED);
+    let clip = prepare_clip(&scenario, &PipelineOptions::default());
+    bundle_from_clip(
+        &clip,
+        ClipMeta {
+            clip_id: 1,
+            name: "bench".into(),
+            location: "bench-site".into(),
+            camera: "cam-0".into(),
+            start_time: 0,
+            frame_count: scenario.total_frames,
+            width: clip.sim.width,
+            height: clip.sim.height,
+        },
+    )
+}
+
+fn fresh_service(bundle: &ClipBundle) -> Service {
+    let mut db = VideoDb::in_memory();
+    db.put_clip(bundle).expect("store clip");
+    Service::new(db, ServiceConfig::default())
+}
+
+fn ranking_json(ranking: &[u64]) -> String {
+    Json::Arr(ranking.iter().map(|&w| Json::Num(w as f64)).collect()).to_string()
+}
+
+/// The scripted session, parametrized over the transport. Returns the
+/// encoded JSON of every ranking the client was served, in order.
+fn script(call: &mut dyn FnMut(Request) -> Response, salt: u64, rounds: usize) -> Vec<String> {
+    let Response::Opened {
+        session_id,
+        windows,
+        ..
+    } = call(Request::Open {
+        clip_id: 1,
+        query: "accident".into(),
+        learner: "ocsvm".into(),
+    }) else {
+        panic!("open failed")
+    };
+    let mut rankings = Vec::new();
+    for round in 1..=rounds {
+        let Response::Page { ranking, .. } = call(Request::Page {
+            session_id,
+            n: Some(windows),
+        }) else {
+            panic!("page failed")
+        };
+        let labels: Vec<(u32, bool)> = ranking
+            .iter()
+            .take(6)
+            .map(|&w| (w as u32, (w + salt).is_multiple_of(3)))
+            .collect();
+        rankings.push(ranking_json(&ranking));
+        let resp = call(Request::Feedback { session_id, labels });
+        assert!(
+            matches!(resp, Response::Learned { round: r, .. } if r == round),
+            "feedback round {round} failed: {resp:?}"
+        );
+    }
+    let Response::Page { ranking, .. } = call(Request::Page {
+        session_id,
+        n: Some(windows),
+    }) else {
+        panic!("final page failed")
+    };
+    rankings.push(ranking_json(&ranking));
+    call(Request::Close { session_id });
+    rankings
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// Nanoseconds spent per request, write-to-response.
+    latencies: Vec<u64>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client {
+            writer: stream,
+            reader,
+            latencies: Vec::new(),
+        }
+    }
+
+    fn call(&mut self, req: Request) -> Response {
+        let line = encode_request(&Envelope::new(req));
+        let started = Instant::now();
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write request");
+        let mut buf = String::new();
+        self.reader.read_line(&mut buf).expect("read response");
+        self.latencies.push(started.elapsed().as_nanos() as u64);
+        decode_response(&buf).expect("decode response")
+    }
+}
+
+struct LevelResult {
+    sessions: usize,
+    requests: usize,
+    throughput_rps: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    rankings: Vec<Vec<String>>,
+}
+
+fn run_level(bundle: &ClipBundle, sessions: usize, rounds: usize) -> LevelResult {
+    let service = Arc::new(fresh_service(bundle));
+    let server = Server::start(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: sessions,
+            queue_cap: 64,
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    let barrier = Arc::new(Barrier::new(sessions + 1));
+    let handles: Vec<_> = (0..sessions)
+        .map(|salt| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                barrier.wait();
+                let rankings = script(&mut |req| client.call(req), salt as u64, rounds);
+                (rankings, client.latencies)
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    let outcomes: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall = started.elapsed();
+    server.shutdown();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut rankings = Vec::new();
+    for (r, l) in outcomes {
+        rankings.push(r);
+        latencies.extend(l);
+    }
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    let pct = |p: usize| latencies[((requests - 1) * p) / 100];
+    LevelResult {
+        sessions,
+        requests,
+        throughput_rps: requests as f64 / wall.as_secs_f64(),
+        p50_ns: pct(50),
+        p99_ns: pct(99),
+        rankings,
+    }
+}
+
+fn main() {
+    let fast = std::env::var_os("TSVR_BENCH_FAST").is_some_and(|v| v != "0");
+    let rounds = if fast { 2 } else { 3 };
+    let bundle = make_bundle();
+
+    // Single-threaded in-process reference: the same scripts, run
+    // sequentially through Service::handle on one thread. Every TCP
+    // client below must reproduce its salt's rankings exactly.
+    let max_sessions = *LEVELS.iter().max().unwrap();
+    let reference: Vec<Vec<String>> = {
+        let service = fresh_service(&bundle);
+        (0..max_sessions)
+            .map(|salt| {
+                script(
+                    &mut |req| service.handle(&Envelope::new(req)),
+                    salt as u64,
+                    rounds,
+                )
+            })
+            .collect()
+    };
+
+    let mut level_docs = Vec::new();
+    for &sessions in &LEVELS {
+        let res = run_level(&bundle, sessions, rounds);
+        for (salt, served) in res.rankings.iter().enumerate() {
+            assert_eq!(
+                served, &reference[salt],
+                "TCP rankings diverged from single-threaded path \
+                 (level {sessions}, client {salt})"
+            );
+        }
+        println!(
+            "{:>2} sessions: {} requests, {:.0} req/s, p50 {:.2} ms, p99 {:.2} ms",
+            res.sessions,
+            res.requests,
+            res.throughput_rps,
+            res.p50_ns as f64 / 1e6,
+            res.p99_ns as f64 / 1e6,
+        );
+        level_docs.push(Json::Obj(vec![
+            ("sessions".into(), Json::Num(res.sessions as f64)),
+            ("requests".into(), Json::Num(res.requests as f64)),
+            ("throughput_rps".into(), Json::Num(res.throughput_rps)),
+            ("p50_ns".into(), Json::Num(res.p50_ns as f64)),
+            ("p99_ns".into(), Json::Num(res.p99_ns as f64)),
+        ]));
+    }
+
+    let note = format!(
+        "PASS: rankings byte-identical to the single-threaded in-process \
+         path at {LEVELS:?} concurrent sessions"
+    );
+    println!("{note}");
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("serve".into())),
+        (
+            "workload".into(),
+            Json::Str(format!(
+                "scripted feedback session ({rounds} rounds, ocsvm, tunnel_small) \
+                 over TCP at 1/4/16 concurrent clients"
+            )),
+        ),
+        ("fast_mode".into(), Json::Bool(fast)),
+        ("levels".into(), Json::Arr(level_docs)),
+        ("identical_to_single_thread".into(), Json::Bool(true)),
+        ("pass".into(), Json::Bool(true)),
+        ("note".into(), Json::Str(note)),
+    ]);
+    let path = "BENCH_serve.json";
+    std::fs::write(path, format!("{doc}\n")).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}

@@ -24,7 +24,16 @@ commands:
              [--use-index] [--rebuild-index]
              [--interactive]   (you label each page item y/n instead of the oracle)
   sessions   --db F --clip-id N
-  resume     --db F --clip-id N --session N [--rounds N] [--top N]
+  resume     --db F --clip-id N --session N [--learner L] [--rounds N] [--top N]
+  session list     --db F [--clip-id N]   (every stored session, latest state)
+  session replay   --db F --clip-id N --session N [--learner L] [--top N]
+             (rebuild the stored learner and print its current page;
+             a --learner that differs from the stored one is a typed error)
+  session continue --db F --clip-id N --session N [--learner L]
+             [--rounds N] [--top N]   (same as resume)
+  serve      --db F [--addr H:P] [--workers N] [--queue N] [--deadline-ms N]
+             [--top N]   (concurrent retrieval service; line-delimited JSON
+             protocol documented in DESIGN.md; {\"op\":\"shutdown\"} drains)
   search     --db F [--clips 1,2,3] [--event E] [--rounds N] [--top N]
              [--use-index] [--rebuild-index]
              (cross-camera: one session over several clips; default = all clips)
@@ -50,12 +59,17 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let Some(cmd) = argv.first() else {
         return Err(format!("no command given\n{USAGE}"));
     };
-    // `index` takes a positional action (`build`/`verify`) before its
+    // `index` and `session` take a positional action before their
     // flags; every other command is flags-only after the name.
-    let (index_action, flag_argv) = if cmd == "index" {
+    let (sub_action, flag_argv) = if cmd == "index" || cmd == "session" {
+        let actions = if cmd == "index" {
+            "build|verify"
+        } else {
+            "list|replay|continue"
+        };
         let action = argv
             .get(1)
-            .ok_or_else(|| format!("index: missing action (build|verify)\n{USAGE}"))?;
+            .ok_or_else(|| format!("{cmd}: missing action ({actions})\n{USAGE}"))?;
         (Some(action.as_str()), argv.get(2..).unwrap_or(&[]))
     } else {
         (None, &argv[1..])
@@ -78,7 +92,9 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "search" => search(&args),
         "export" => export(&args),
         "verify" => verify(&args),
-        "index" => index_cmd(index_action.expect("set for index"), &args),
+        "index" => index_cmd(sub_action.expect("set for index"), &args),
+        "session" => session_cmd(sub_action.expect("set for session"), &args),
+        "serve" => serve_cmd(&args),
         "compact" => compact(&args),
         "demo" => demo(&args),
         "stats" => stats(&args),
@@ -471,17 +487,53 @@ fn query(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The most advanced stored row for a session (`session_id == 0` means
+/// "the latest session for the clip"). Checkpoint rows carry the full
+/// feedback history, so the row with the most rounds is the freshest
+/// state; among equals the later append wins.
+fn stored_session_row(
+    db: &mut VideoDb,
+    clip_id: u64,
+    session_id: u64,
+) -> Result<SessionRow, String> {
+    let stored = db.sessions_for_clip(clip_id).map_err(|e| e.to_string())?;
+    let wanted = if session_id == 0 {
+        stored.last().map(|s| s.session_id)
+    } else {
+        Some(session_id)
+    };
+    wanted
+        .and_then(|id| {
+            stored
+                .into_iter()
+                .enumerate()
+                .filter(|(_, s)| s.session_id == id)
+                .max_by_key(|(i, s)| (s.feedback.len(), *i))
+                .map(|(_, s)| s)
+        })
+        .ok_or_else(|| format!("no stored session {session_id} for clip {clip_id}"))
+}
+
+/// The learner kind to rebuild a stored session with: `--learner` when
+/// given (replay then validates it against the row), else the kind the
+/// row itself names.
+fn kind_for_row(args: &Args, row: &SessionRow) -> Result<LearnerKind, String> {
+    match args.get("learner") {
+        Some(_) => learner_from(args),
+        None => LearnerKind::from_learner_name(&row.learner).ok_or_else(|| {
+            format!(
+                "stored session {} uses unknown learner {:?}",
+                row.session_id, row.learner
+            )
+        }),
+    }
+}
+
 fn resume(args: &Args) -> Result<(), String> {
     let mut db = open_db(args)?;
     let clip_id = args.num::<u64>("clip-id", 1)?;
     let session_id = args.num::<u64>("session", 0)?;
-    let stored = db.sessions_for_clip(clip_id).map_err(|e| e.to_string())?;
-    let row = if session_id == 0 {
-        stored.last().cloned()
-    } else {
-        stored.iter().find(|s| s.session_id == session_id).cloned()
-    }
-    .ok_or_else(|| format!("no stored session for clip {clip_id}"))?;
+    let row = stored_session_row(&mut db, clip_id, session_id)?;
 
     let bundle = db.load_clip(clip_id).map_err(|e| e.to_string())?;
     let bags = bags_from_bundle(&bundle, &FeatureConfig::default());
@@ -493,14 +545,9 @@ fn resume(args: &Args) -> Result<(), String> {
     let oracle = GroundTruthOracle::new(labels_from_bundle(&bundle, &event));
     let top_n = args.num("top", 20)?;
     let rounds = args.num("rounds", 2)?;
-    let report = tsvr_core::continue_session(
-        &bags,
-        &row,
-        LearnerKind::paper_ocsvm(),
-        &oracle,
-        top_n,
-        rounds,
-    );
+    let kind = kind_for_row(args, &row)?;
+    let report = tsvr_core::continue_session(&bags, &row, kind, &oracle, top_n, rounds)
+        .map_err(|e| e.to_string())?;
     println!(
         "resumed session {} (query {:?}, {} stored rounds):",
         row.session_id,
@@ -625,6 +672,132 @@ fn sessions(args: &Args) -> Result<(), String> {
                 .collect::<Vec<_>>()
         );
     }
+    Ok(())
+}
+
+/// `session list` / `session replay` / `session continue`.
+fn session_cmd(action: &str, args: &Args) -> Result<(), String> {
+    match action {
+        "list" => session_list(args),
+        "replay" => session_replay(args),
+        // `continue` is `resume` under the subcommand's name.
+        "continue" => resume(args),
+        other => Err(format!("unknown session action {other:?}\n{USAGE}")),
+    }
+}
+
+/// Every stored session (optionally one clip's), reduced to its latest
+/// checkpoint.
+fn session_list(args: &Args) -> Result<(), String> {
+    let mut db = open_db(args)?;
+    let mut clip_ids: Vec<u64> = db.session_index().iter().map(|&(_, cid)| cid).collect();
+    clip_ids.sort_unstable();
+    clip_ids.dedup();
+    if let Some(only) = args.get("clip-id") {
+        let only: u64 = only
+            .parse()
+            .map_err(|_| format!("--clip-id: cannot parse {only:?}"))?;
+        clip_ids.retain(|&c| c == only);
+    }
+    if clip_ids.is_empty() {
+        println!("no stored sessions");
+        return Ok(());
+    }
+    println!(
+        "{:<10}{:<8}{:<12}{:<20}{:<8}accuracies",
+        "session", "clip", "query", "learner", "rounds"
+    );
+    for cid in clip_ids {
+        let rows = db.sessions_for_clip(cid).map_err(|e| e.to_string())?;
+        // Latest checkpoint per session id (rows carry full history, so
+        // the most rounds wins; later append breaks ties).
+        let mut latest: std::collections::BTreeMap<u64, (usize, SessionRow)> = Default::default();
+        for (i, r) in rows.into_iter().enumerate() {
+            let replace = match latest.get(&r.session_id) {
+                Some((j, prev)) => (r.feedback.len(), i) > (prev.feedback.len(), *j),
+                None => true,
+            };
+            if replace {
+                latest.insert(r.session_id, (i, r));
+            }
+        }
+        for (sid, (_, r)) in latest {
+            println!(
+                "{:<10}{:<8}{:<12}{:<20}{:<8}{:?}",
+                sid,
+                cid,
+                r.query,
+                r.learner,
+                r.feedback.len(),
+                r.accuracies
+                    .iter()
+                    .map(|a| format!("{:.0}%", a * 100.0))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Rebuilds a stored session's learner by replaying its feedback and
+/// prints the page it would serve now. `--learner` must match the
+/// stored kind — the typed replay error surfaces here.
+fn session_replay(args: &Args) -> Result<(), String> {
+    use tsvr_mil::session::rank_by;
+    use tsvr_mil::Learner;
+    let mut db = open_db(args)?;
+    let clip_id = args.num::<u64>("clip-id", 1)?;
+    let session_id = args.num::<u64>("session", 0)?;
+    let row = stored_session_row(&mut db, clip_id, session_id)?;
+    let bundle = db.load_clip(clip_id).map_err(|e| e.to_string())?;
+    let bags = bags_from_bundle(&bundle, &FeatureConfig::default());
+    let kind = kind_for_row(args, &row)?;
+    let learner = tsvr_core::replay_session(&bags, &row, kind).map_err(|e| e.to_string())?;
+    let ranking = if row.feedback.is_empty() {
+        rank_by(&bags, tsvr_mil::heuristic::bag_score)
+    } else {
+        rank_by(&bags, |b| learner.score(b))
+    };
+    let top_n = args.num::<usize>("top", 20)?.min(ranking.len());
+    println!(
+        "session {} (clip {clip_id}, query {:?}, learner {}, {} rounds replayed):",
+        row.session_id,
+        row.query,
+        learner.name(),
+        row.feedback.len()
+    );
+    println!("  current top {top_n}: {:?}", &ranking[..top_n]);
+    Ok(())
+}
+
+/// Runs the concurrent retrieval service until a client sends
+/// `{"op":"shutdown"}` (graceful drain).
+fn serve_cmd(args: &Args) -> Result<(), String> {
+    let db = open_db(args)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7070");
+    let workers = args.num::<usize>("workers", 4)?;
+    if workers == 0 {
+        return Err("--workers must be >= 1".into());
+    }
+    let service = std::sync::Arc::new(tsvr_serve::Service::new(
+        db,
+        tsvr_serve::ServiceConfig {
+            default_top_n: args.num("top", 20)?,
+            default_deadline_ms: args.num("deadline-ms", 30_000)?,
+        },
+    ));
+    let server = tsvr_serve::Server::start(
+        service,
+        addr,
+        tsvr_serve::ServerConfig {
+            workers,
+            queue_cap: args.num("queue", 64)?,
+        },
+    )
+    .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("serving on {} ({workers} workers)", server.addr());
+    server.join();
+    println!("drained; all acked feedback rounds are checkpointed");
     Ok(())
 }
 
@@ -1058,6 +1231,87 @@ mod tests {
     #[test]
     fn help_prints() {
         run(&["help"]).unwrap();
+    }
+
+    #[test]
+    fn session_subcommand_workflow() {
+        let db = temp_db("session-flow");
+        run(&[
+            "simulate",
+            "--db",
+            &db,
+            "--scenario",
+            "tunnel-small",
+            "--seed",
+            "5",
+            "--clip-id",
+            "1",
+        ])
+        .unwrap();
+        // Listing an empty database is fine.
+        run(&["session", "list", "--db", &db]).unwrap();
+        run(&[
+            "query", "--db", &db, "--clip-id", "1", "--rounds", "2", "--top", "5",
+        ])
+        .unwrap();
+        run(&["session", "list", "--db", &db]).unwrap();
+        run(&["session", "list", "--db", &db, "--clip-id", "1"]).unwrap();
+        // Replay the stored session: the stored row names its learner,
+        // so no --learner is needed...
+        run(&[
+            "session", "replay", "--db", &db, "--clip-id", "1", "--session", "1", "--top", "5",
+        ])
+        .unwrap();
+        // ...a matching explicit learner also works...
+        run(&[
+            "session", "replay", "--db", &db, "--clip-id", "1", "--session", "1", "--learner",
+            "ocsvm",
+        ])
+        .unwrap();
+        // ...and a mismatched one is the typed replay error.
+        let err = run(&[
+            "session", "replay", "--db", &db, "--clip-id", "1", "--session", "1", "--learner",
+            "wrf",
+        ])
+        .unwrap_err();
+        assert!(err.contains("MIL_OneClassSVM"), "unexpected error: {err}");
+        // `session continue` == `resume`, including the mismatch check.
+        run(&[
+            "session", "continue", "--db", &db, "--clip-id", "1", "--session", "1", "--rounds",
+            "1", "--top", "5",
+        ])
+        .unwrap();
+        assert!(run(&[
+            "session", "continue", "--db", &db, "--clip-id", "1", "--session", "1", "--learner",
+            "wrf",
+        ])
+        .is_err());
+        // Error paths: missing/unknown action, unknown session.
+        assert!(run(&["session", "--db", &db]).is_err());
+        assert!(run(&["session", "frobnicate", "--db", &db]).is_err());
+        assert!(run(&[
+            "session", "replay", "--db", &db, "--clip-id", "1", "--session", "99",
+        ])
+        .is_err());
+        let _ = std::fs::remove_file(&db);
+    }
+
+    #[test]
+    fn serve_command_validates_flags() {
+        let db = temp_db("serve-flags");
+        run(&[
+            "simulate",
+            "--db",
+            &db,
+            "--scenario",
+            "tunnel-small",
+            "--clip-id",
+            "1",
+        ])
+        .unwrap();
+        assert!(run(&["serve", "--db", &db, "--workers", "0"]).is_err());
+        assert!(run(&["serve", "--db", &db, "--addr", "999.999.999.999:1"]).is_err());
+        let _ = std::fs::remove_file(&db);
     }
 
     #[test]

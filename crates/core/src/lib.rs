@@ -48,5 +48,5 @@ pub use pipeline::{
     bags_from_dataset, prepare_clip, run_session, ClipArtifacts, LearnerKind, PipelineOptions,
 };
 pub use query::{EventQuery, RankedWindow, TopK};
-pub use replay::{continue_session, replay_session};
+pub use replay::{continue_session, replay_session, ReplayError};
 pub use sketch::SketchQuery;

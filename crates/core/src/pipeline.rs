@@ -176,6 +176,39 @@ impl LearnerKind {
         LearnerKind::WeightedRf(Normalization::Percentage)
     }
 
+    /// The [`Learner::name`] the built learner will report, resolved
+    /// without building (building an auto-width learner costs a full
+    /// median-heuristic pass). Persisted [`SessionRow`](tsvr_viddb::SessionRow)s
+    /// store this name, so it is also the replay-compatibility key.
+    pub fn learner_name(self) -> &'static str {
+        match self {
+            LearnerKind::OcSvmAuto { .. } | LearnerKind::OcSvm { .. } => "MIL_OneClassSVM",
+            LearnerKind::WeightedRf(Normalization::None) => "Weighted_RF_raw",
+            LearnerKind::WeightedRf(Normalization::Linear) => "Weighted_RF_linear",
+            LearnerKind::WeightedRf(Normalization::Percentage) => "Weighted_RF",
+            LearnerKind::DiverseDensity { .. } => "DiverseDensity",
+            LearnerKind::EmDd { .. } => "EM-DD",
+            LearnerKind::MiSvm { .. } => "MI-SVM",
+        }
+    }
+
+    /// The paper-default configuration whose learner reports `name` —
+    /// the inverse of [`LearnerKind::learner_name`], used to rebuild a
+    /// session from its persisted row without the caller guessing the
+    /// kind. `None` for names no shipped learner reports.
+    pub fn from_learner_name(name: &str) -> Option<LearnerKind> {
+        Some(match name {
+            "MIL_OneClassSVM" => LearnerKind::paper_ocsvm(),
+            "Weighted_RF_raw" => LearnerKind::WeightedRf(Normalization::None),
+            "Weighted_RF_linear" => LearnerKind::WeightedRf(Normalization::Linear),
+            "Weighted_RF" => LearnerKind::WeightedRf(Normalization::Percentage),
+            "DiverseDensity" => LearnerKind::DiverseDensity { scale: 8.0 },
+            "EM-DD" => LearnerKind::EmDd { scale: 8.0 },
+            "MI-SVM" => LearnerKind::MiSvm { c: 10.0 },
+            _ => return None,
+        })
+    }
+
     /// Instantiates the learner for a given bag database (needed to
     /// resolve the auto kernel width).
     pub fn build_for(self, bags: &[Bag]) -> Box<dyn Learner> {
@@ -290,6 +323,27 @@ mod tests {
             let report = run_session(&clip, &EventQuery::accidents(), kind, cfg);
             assert_eq!(report.accuracies.len(), 2, "{:?}", kind);
         }
+    }
+
+    #[test]
+    fn learner_names_round_trip_through_kinds() {
+        let clip = small_clip();
+        for kind in [
+            LearnerKind::paper_ocsvm(),
+            LearnerKind::paper_weighted_rf(),
+            LearnerKind::WeightedRf(Normalization::None),
+            LearnerKind::WeightedRf(Normalization::Linear),
+            LearnerKind::DiverseDensity { scale: 8.0 },
+            LearnerKind::EmDd { scale: 8.0 },
+            LearnerKind::MiSvm { c: 10.0 },
+        ] {
+            // The unbuild name matches what the built learner reports…
+            assert_eq!(kind.learner_name(), kind.build_for(&clip.bags).name());
+            // …and maps back to a kind reporting the same name.
+            let back = LearnerKind::from_learner_name(kind.learner_name()).unwrap();
+            assert_eq!(back.learner_name(), kind.learner_name());
+        }
+        assert!(LearnerKind::from_learner_name("NotALearner").is_none());
     }
 
     #[test]

@@ -13,12 +13,53 @@ use crate::pipeline::LearnerKind;
 use tsvr_mil::{Bag, Learner};
 use tsvr_viddb::SessionRow;
 
+/// Why a stored session could not be replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The stored session was trained with a different learner than the
+    /// one requested for replay: feeding e.g. OC-SVM feedback through
+    /// `weighted_rf` would silently produce a wrong model, so the
+    /// mismatch is a typed error instead.
+    LearnerMismatch {
+        /// Learner name recorded in the [`SessionRow`].
+        stored: String,
+        /// Learner the caller asked to replay through.
+        requested: &'static str,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::LearnerMismatch { stored, requested } => write!(
+                f,
+                "session was trained with learner {stored:?} but replay was requested \
+                 through {requested:?}; replaying feedback through a different learner \
+                 would yield a wrong model"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
 /// Replays a stored session's feedback through a fresh learner of the
 /// given kind, returning the trained learner. The bags must be the same
 /// database the session was recorded against (same clip, same
 /// extraction parameters) — the normal case, since both are persisted
-/// together.
-pub fn replay_session(bags: &[Bag], session: &SessionRow, kind: LearnerKind) -> Box<dyn Learner> {
+/// together. The requested kind must match the learner the session was
+/// recorded with ([`ReplayError::LearnerMismatch`] otherwise).
+pub fn replay_session(
+    bags: &[Bag],
+    session: &SessionRow,
+    kind: LearnerKind,
+) -> Result<Box<dyn Learner>, ReplayError> {
+    if session.learner != kind.learner_name() {
+        return Err(ReplayError::LearnerMismatch {
+            stored: session.learner.clone(),
+            requested: kind.learner_name(),
+        });
+    }
     let mut learner = kind.build_for(bags);
     for round in &session.feedback {
         let feedback: Vec<(usize, bool)> = round
@@ -27,7 +68,7 @@ pub fn replay_session(bags: &[Bag], session: &SessionRow, kind: LearnerKind) -> 
             .collect();
         learner.learn(bags, &feedback);
     }
-    learner
+    Ok(learner)
 }
 
 /// Continues a stored session for `extra_rounds` more feedback rounds,
@@ -39,8 +80,8 @@ pub fn continue_session(
     oracle: &impl tsvr_mil::Oracle,
     top_n: usize,
     extra_rounds: usize,
-) -> tsvr_mil::SessionReport {
-    let learner = replay_session(bags, session, kind);
+) -> Result<tsvr_mil::SessionReport, ReplayError> {
+    let learner = replay_session(bags, session, kind)?;
     let cfg = tsvr_mil::SessionConfig {
         top_n,
         feedback_rounds: extra_rounds,
@@ -49,7 +90,7 @@ pub fn continue_session(
         initial_from_learner: true,
     };
     let (report, _) = tsvr_mil::RetrievalSession::new(bags, learner, oracle, cfg).run();
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -102,13 +143,48 @@ mod tests {
         let row = session_row_from(&report, &oracle, cfg.top_n, cfg.feedback_rounds);
 
         // Replay in a "new process" and re-rank.
-        let learner = replay_session(&clip.bags, &row, LearnerKind::paper_ocsvm());
+        let learner = replay_session(&clip.bags, &row, LearnerKind::paper_ocsvm()).unwrap();
         let ranking = rank_by(&clip.bags, |b| learner.score(b));
         assert_eq!(
             &ranking,
             report.rankings.last().unwrap(),
             "replayed learner ranks differently from the original session"
         );
+    }
+
+    #[test]
+    fn replay_through_wrong_learner_is_a_typed_error() {
+        let clip = prepare_clip(&Scenario::tunnel_small(61), &PipelineOptions::default());
+        let row = SessionRow {
+            session_id: 4,
+            clip_id: 1,
+            query: "accident".into(),
+            learner: "MIL_OneClassSVM".into(),
+            feedback: vec![vec![(0, true)]],
+            accuracies: vec![0.5],
+        };
+        // An OC-SVM session replayed through weighted_rf must refuse,
+        // not silently build a wrong model.
+        let err = match replay_session(&clip.bags, &row, LearnerKind::paper_weighted_rf()) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched learner kind replayed without error"),
+        };
+        assert_eq!(
+            err,
+            ReplayError::LearnerMismatch {
+                stored: "MIL_OneClassSVM".into(),
+                requested: "Weighted_RF",
+            }
+        );
+        assert!(err.to_string().contains("MIL_OneClassSVM"));
+        // continue_session surfaces the same error.
+        let oracle = GroundTruthOracle::new(clip.labels(&EventQuery::accidents()));
+        assert!(
+            continue_session(&clip.bags, &row, LearnerKind::paper_weighted_rf(), &oracle, 5, 1)
+                .is_err()
+        );
+        // The matching kind replays fine.
+        assert!(replay_session(&clip.bags, &row, LearnerKind::paper_ocsvm()).is_ok());
     }
 
     #[test]
@@ -125,7 +201,7 @@ mod tests {
         let row = session_row_from(&report, &oracle, cfg.top_n, cfg.feedback_rounds);
 
         let continued =
-            continue_session(&clip.bags, &row, LearnerKind::paper_ocsvm(), &oracle, 5, 2);
+            continue_session(&clip.bags, &row, LearnerKind::paper_ocsvm(), &oracle, 5, 2).unwrap();
         // The continued session starts where the stored one ended.
         let stored_final = *report.accuracies.last().unwrap();
         assert!(
@@ -148,7 +224,7 @@ mod tests {
             feedback: vec![],
             accuracies: vec![],
         };
-        let learner = replay_session(&clip.bags, &row, LearnerKind::paper_ocsvm());
+        let learner = replay_session(&clip.bags, &row, LearnerKind::paper_ocsvm()).unwrap();
         // Untrained OCSVM falls back to the heuristic ranking.
         let replayed = rank_by(&clip.bags, |b| learner.score(b));
         let heuristic = rank_by(&clip.bags, tsvr_mil::heuristic::bag_score);

@@ -25,6 +25,19 @@ use crate::session::Learner;
 use std::collections::HashSet;
 use tsvr_svm::{Kernel, OneClassModel, OneClassSvm};
 
+/// The true median of an ascending-sorted, non-empty slice: the middle
+/// element for odd lengths, the mean of the two middle elements for
+/// even lengths (not the upper-middle shortcut, which biases γ low on
+/// even-sized training sets).
+fn true_median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
 /// The One-class-SVM MIL learner.
 #[derive(Debug, Clone)]
 pub struct OcSvmMilLearner {
@@ -54,6 +67,13 @@ pub struct OcSvmMilLearner {
     training: Vec<Vec<f64>>,
     seen: HashSet<usize>,
     model: Option<OneClassModel>,
+    /// Every pairwise squared distance among `training[..dists_upto]`
+    /// above the degeneracy floor, appended incrementally as training
+    /// vectors arrive so the median heuristic never rescans the full
+    /// O(H²) set.
+    pair_dists: Vec<f64>,
+    /// How many training vectors `pair_dists` already covers.
+    dists_upto: usize,
 }
 
 impl OcSvmMilLearner {
@@ -70,6 +90,8 @@ impl OcSvmMilLearner {
             training: Vec::new(),
             seen: HashSet::new(),
             model: None,
+            pair_dists: Vec::new(),
+            dists_upto: 0,
         }
     }
 
@@ -88,22 +110,37 @@ impl OcSvmMilLearner {
         self
     }
 
-    /// The kernel the next training run will use.
-    fn effective_kernel(&self) -> Kernel {
+    /// Extends the pairwise-distance cache to cover every training
+    /// vector: each vector added since the last retraining contributes
+    /// its distances to all earlier vectors, exactly the pairs a full
+    /// upper-triangle rescan would have produced.
+    fn extend_pair_dists(&mut self) {
+        for j in self.dists_upto..self.training.len() {
+            let b = &self.training[j];
+            for a in &self.training[..j] {
+                let d = tsvr_linalg::vecops::sq_dist(a, b);
+                if d > 1e-12 {
+                    self.pair_dists.push(d);
+                }
+            }
+        }
+        self.dists_upto = self.training.len();
+    }
+
+    /// The kernel the next training run will use. Under the adaptive
+    /// median heuristic the training-set pairwise distances come from
+    /// the incrementally maintained cache, and the median is the true
+    /// one (mean of the two middle elements for even-length lists).
+    fn effective_kernel(&mut self) -> Kernel {
         match (self.kernel, self.adaptive_gamma) {
             (Kernel::Rbf { gamma }, Some(scale)) => {
-                let mut dists: Vec<f64> = Vec::new();
-                for (i, a) in self.training.iter().enumerate() {
-                    for b in self.training.iter().skip(i + 1) {
-                        dists.push(tsvr_linalg::vecops::sq_dist(a, b));
-                    }
-                }
-                dists.retain(|d| *d > 1e-12);
-                if dists.is_empty() {
+                self.extend_pair_dists();
+                if self.pair_dists.is_empty() {
                     return Kernel::Rbf { gamma };
                 }
+                let mut dists = self.pair_dists.clone();
                 dists.sort_by(|a, b| a.total_cmp(b));
-                let median = dists[dists.len() / 2];
+                let median = true_median(&dists);
                 Kernel::Rbf {
                     gamma: scale / median,
                 }
@@ -142,14 +179,20 @@ impl OcSvmMilLearner {
 impl Learner for OcSvmMilLearner {
     fn learn(&mut self, bags: &[Bag], feedback: &[(usize, bool)]) {
         for &(bag_id, relevant) in feedback {
-            if !self.seen.insert(bag_id) {
+            if self.seen.contains(&bag_id) {
                 continue; // the user re-confirmed an earlier label
             }
             if !relevant {
                 // One-class training uses relevant samples only;
-                // irrelevant TSs are treated as outliers implicitly.
+                // irrelevant TSs are treated as outliers implicitly —
+                // the label is consumed, just as a deliberate no-op.
+                self.seen.insert(bag_id);
                 continue;
             }
+            // A bag id the database does not (yet) hold is unusable
+            // feedback, not consumed feedback: the same label must
+            // still count in a later round, e.g. after a re-ingest
+            // repairs the tracker output. Do NOT mark it seen.
             let Some(bag) = bags.iter().find(|b| b.id == bag_id) else {
                 continue;
             };
@@ -161,8 +204,12 @@ impl Learner for OcSvmMilLearner {
                 .collect();
             let top = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             if top < self.min_collect_score {
-                continue; // event vehicle untracked: unusable feedback
+                // Event vehicle untracked: unusable feedback. Leave the
+                // bag unseen so the label is honored once the bag's
+                // trajectories are repaired.
+                continue;
             }
+            self.seen.insert(bag_id);
             self.relevant_bags += 1;
             for (inst, &s) in bag.instances.iter().zip(&scores) {
                 if s >= (top * self.collect_ratio).max(self.min_collect_score) {
@@ -327,6 +374,92 @@ mod tests {
         l.learn(&bags, &[(0, true)]);
         assert_eq!(l.training_size(), 1);
         assert_eq!(l.relevant_bag_count(), 1);
+    }
+
+    #[test]
+    fn feedback_for_missing_bag_is_not_consumed() {
+        // Round 1 labels a bag id the database does not hold (tracker
+        // output lost); the label must not be permanently consumed.
+        let mut l = OcSvmMilLearner::new(rbf());
+        l.learn(&[], &[(7, true)]);
+        assert_eq!(l.training_size(), 0);
+        assert_eq!(l.relevant_bag_count(), 0);
+        // Round 2: re-ingest repaired the clip and the bag now exists;
+        // the identical feedback must be honored.
+        let bags = vec![bag(7, hot_rows(0.9))];
+        l.learn(&bags, &[(7, true)]);
+        assert_eq!(l.training_size(), 1);
+        assert_eq!(l.relevant_bag_count(), 1);
+    }
+
+    #[test]
+    fn feedback_below_collect_floor_is_not_consumed() {
+        // Round 1: the relevant bag's event vehicle was untracked, so
+        // its best TS scores below `min_collect_score` — unusable.
+        let mut l = OcSvmMilLearner::new(rbf());
+        let broken = vec![bag(3, quiet_rows(0.0))];
+        l.learn(&broken, &[(3, true)]);
+        assert_eq!(l.training_size(), 0);
+        assert_eq!(l.relevant_bag_count(), 0);
+        // Round 2: re-ingest restored the hot trajectory; the same
+        // label must now train the model instead of being ignored.
+        let repaired = vec![bag(3, hot_rows(0.9))];
+        l.learn(&repaired, &[(3, true)]);
+        assert_eq!(l.training_size(), 1);
+        assert_eq!(l.relevant_bag_count(), 1);
+        assert!(l.model().is_some());
+    }
+
+    #[test]
+    fn irrelevant_label_is_consumed_and_idempotent() {
+        let mut l = OcSvmMilLearner::new(rbf());
+        let bags = vec![bag(0, hot_rows(0.9)), bag(1, quiet_rows(0.0))];
+        l.learn(&bags, &[(1, false)]);
+        // A re-confirmed irrelevant label stays a no-op.
+        l.learn(&bags, &[(1, false)]);
+        assert_eq!(l.training_size(), 0);
+    }
+
+    #[test]
+    fn adaptive_gamma_matches_from_scratch_median() {
+        // The incrementally cached pairwise distances must yield
+        // exactly the γ a from-scratch O(H²) rescan with the true
+        // median would, across several retraining rounds.
+        let mut l = OcSvmMilLearner::new(rbf()).with_adaptive_gamma(1.0);
+        let bags: Vec<Bag> = (0..8)
+            .map(|i| bag(i, hot_rows(0.5 + 0.05 * i as f64)))
+            .collect();
+        for round in 0..4 {
+            let fb: Vec<(usize, bool)> = (round * 2..round * 2 + 2).map(|i| (i, true)).collect();
+            l.learn(&bags, &fb);
+            let Kernel::Rbf { gamma } = l.effective_kernel() else {
+                panic!("adaptive RBF learner must stay RBF");
+            };
+            // From-scratch reference over the same training set.
+            let mut dists = Vec::new();
+            for (i, a) in l.training.iter().enumerate() {
+                for b in l.training.iter().skip(i + 1) {
+                    let d = tsvr_linalg::vecops::sq_dist(a, b);
+                    if d > 1e-12 {
+                        dists.push(d);
+                    }
+                }
+            }
+            dists.sort_by(|a, b| a.total_cmp(b));
+            let expected = 1.0 / true_median(&dists);
+            assert_eq!(
+                gamma.to_bits(),
+                expected.to_bits(),
+                "round {round}: cached γ {gamma} != from-scratch γ {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn true_median_of_even_list_averages_middle_pair() {
+        assert_eq!(true_median(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(true_median(&[1.0, 2.0, 3.0, 10.0]), 2.5);
+        assert_eq!(true_median(&[4.0]), 4.0);
     }
 
     #[test]

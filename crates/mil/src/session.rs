@@ -16,7 +16,11 @@ use crate::metrics;
 use crate::oracle::Oracle;
 
 /// A retrieval learner driven by bag-level relevance feedback.
-pub trait Learner {
+///
+/// `Send` is a supertrait so trained learners can live inside a
+/// concurrent session manager (`tsvr-serve`): every learner here is
+/// plain owned data, so the bound costs implementors nothing.
+pub trait Learner: Send {
     /// Incorporates labeled bags. `feedback` holds `(bag_id, relevant)`
     /// pairs; bags the learner has already seen may repeat.
     fn learn(&mut self, bags: &[Bag], feedback: &[(usize, bool)]);

@@ -54,11 +54,18 @@ pub fn dtw_distance(a: &[Vec2], b: &[Vec2]) -> f64 {
 }
 
 /// Resamples a polyline to `k` points spaced uniformly by arc length.
-/// Degenerate inputs (single point, zero length) repeat the first point.
+/// Degenerate inputs (single point, zero length) repeat the first
+/// point. Degenerate `k` has a defined result too: `k == 0` yields an
+/// empty polyline and `k == 1` the path's start point — the
+/// `total / (k - 1)` spacing is only computed for `k >= 2`, so no
+/// `inf` step (or underflowing `k - 1` cast) can reach the distance
+/// computations downstream.
 pub fn resample(path: &[Vec2], k: usize) -> Vec<Vec2> {
-    assert!(k >= 2, "resample needs at least 2 points");
-    if path.is_empty() {
+    if path.is_empty() || k == 0 {
         return Vec::new();
+    }
+    if k == 1 {
+        return vec![path[0]];
     }
     let total: f64 = path.windows(2).map(|w| w[0].dist(w[1])).sum();
     if total <= 0.0 || path.len() < 2 {
@@ -177,6 +184,21 @@ mod tests {
         for w in r.windows(2) {
             assert!((w[0].dist(w[1]) - 1.0).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn resample_degenerate_k_is_defined() {
+        let p = vec![Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0)];
+        // k == 0: empty polyline, no (k - 1) underflow.
+        assert!(resample(&p, 0).is_empty());
+        // k == 1: the start point, no inf step.
+        let one = resample(&p, 1);
+        assert_eq!(one.len(), 1);
+        assert!(one[0].dist(p[0]) < 1e-12);
+        // Degenerate k must not poison trajectory distances with NaN.
+        let d = shape_distance(&p, &p, 1);
+        assert!(d.is_finite(), "k = 1 shape distance is {d}");
+        assert!(!shape_distance(&p, &u_turn(5), 1).is_nan());
     }
 
     #[test]

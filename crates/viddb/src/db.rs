@@ -506,6 +506,22 @@ impl VideoDb {
         self.sessions.len()
     }
 
+    /// The highest session id the database has recorded, `0` when no
+    /// sessions exist. A session service mints fresh ids above this so
+    /// restarts never collide with persisted checkpoints.
+    pub fn max_session_id(&self) -> u64 {
+        self.sessions.iter().map(|&(sid, _, _)| sid).max().unwrap_or(0)
+    }
+
+    /// `(session_id, clip_id)` of every stored session record, in log
+    /// order — checkpointed sessions appear once per checkpoint, later
+    /// entries superseding earlier ones. Cheap (reads the in-memory
+    /// index only); decode the rows you need via
+    /// [`VideoDb::sessions_for_clip`].
+    pub fn session_index(&self) -> Vec<(u64, u64)> {
+        self.sessions.iter().map(|&(sid, cid, _)| (sid, cid)).collect()
+    }
+
     /// Stores a segment of video frames for a clip (the clip must
     /// already exist). Frames are quantized/delta/RLE compressed by
     /// `codec`; `start_frame` is the absolute index of the first frame.
@@ -921,9 +937,26 @@ mod tests {
         };
         db.put_session(&s).unwrap();
         let got = db.sessions_for_clip(1).unwrap();
-        assert_eq!(got, vec![s]);
+        assert_eq!(got, vec![s.clone()]);
         assert!(db.sessions_for_clip(2).unwrap().is_empty());
         assert_eq!(db.session_count(), 1);
+        assert_eq!(db.max_session_id(), 100);
+        // A checkpointed session appears once per stored row.
+        db.put_session(&SessionRow {
+            session_id: 100,
+            feedback: vec![vec![(0, true)], vec![(1, false)]],
+            ..s
+        })
+        .unwrap();
+        assert_eq!(db.session_index(), vec![(100, 1), (100, 1)]);
+        assert_eq!(db.max_session_id(), 100);
+    }
+
+    #[test]
+    fn max_session_id_empty_db_is_zero() {
+        let db = VideoDb::in_memory();
+        assert_eq!(db.max_session_id(), 0);
+        assert!(db.session_index().is_empty());
     }
 
     #[test]

@@ -29,8 +29,13 @@ use std::sync::{Arc, Mutex};
 use tsvr_sim::Pcg32;
 
 /// Byte-level storage for an append-only log.
+///
+/// `Send` is a supertrait so a [`VideoDb`](crate::VideoDb) can sit
+/// behind a mutex shared across a server's worker threads; all shipped
+/// backends are plain owned data (or `Arc`-shared in the fault
+/// injector's case) and satisfy it for free.
 #[allow(clippy::len_without_is_empty)]
-pub trait Storage: std::fmt::Debug {
+pub trait Storage: std::fmt::Debug + Send {
     /// Reads up to `buf.len()` bytes at `offset`, returning how many
     /// were read (`0` means end of storage). Short reads are allowed.
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize>;

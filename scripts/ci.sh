@@ -35,6 +35,57 @@ echo "==> index bench smoke run (TSVR_BENCH_FAST=1)"
 (cd "$(mktemp -d)" && TSVR_BENCH_FAST=1 cargo run --release -q \
     --manifest-path "$repo/Cargo.toml" -p tsvr-bench --bin index)
 
+# Serve bench smoke: proves the TCP fan-out and the byte-identity
+# assertion against the single-threaded in-process path end to end.
+echo "==> serve bench smoke run (TSVR_BENCH_FAST=1)"
+(cd "$(mktemp -d)" && TSVR_BENCH_FAST=1 cargo run --release -q \
+    --manifest-path "$repo/Cargo.toml" -p tsvr-bench --bin serve)
+
+# Serve TCP smoke: a scripted NDJSON session over bash's /dev/tcp
+# against a real `tsvr serve` process, then a cross-process check that
+# the checkpointed session is readable by the CLI replay path.
+echo "==> serve TCP smoke (scripted NDJSON session over /dev/tcp)"
+smoke="$(mktemp -d)"
+./target/release/tsvr simulate --db "$smoke/smoke.db" \
+    --scenario tunnel-small --seed 7 --clip-id 1 >/dev/null
+port=$((20000 + RANDOM % 20000))
+./target/release/tsvr serve --db "$smoke/smoke.db" \
+    --addr "127.0.0.1:$port" --workers 2 >"$smoke/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then break; fi
+    sleep 0.2
+done
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+expect() { # expect <needle> — send stdin line, read one response, grep it
+    local needle="$1" line
+    read -r line <&3
+    echo "   <- $line"
+    [[ "$line" == *"$needle"* ]] || {
+        echo "serve smoke: expected '$needle' in response" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    }
+}
+send() { echo "   -> $1"; printf '%s\n' "$1" >&3; }
+send '{"op":"ping"}';                                    expect '"ok":"pong"'
+send '{"op":"open","clip_id":1,"query":"accident","learner":"ocsvm"}'
+                                                         expect '"ok":"opened"'
+send '{"op":"page","session_id":1,"n":5}';               expect '"ok":"page"'
+send '{"op":"feedback","session_id":1,"labels":[[0,true],[1,false]]}'
+                                                         expect '"ok":"learned"'
+send '{"op":"page","session_id":1,"n":5}';               expect '"ok":"page"'
+send '{"op":"page","session_id":99}';                    expect '"error":"not_found"'
+send '{"op":"shutdown"}';                                expect '"ok":"shutting_down"'
+exec 3<&- 3>&-
+wait "$serve_pid"
+# The feedback round the TCP client saw acked must be durable and
+# replayable from another process.
+./target/release/tsvr session list --db "$smoke/smoke.db" | grep -q "MIL_OneClassSVM"
+./target/release/tsvr session replay --db "$smoke/smoke.db" \
+    --clip-id 1 --session 1 --top 5 | tee "$smoke/replay.out"
+grep -q "1 rounds replayed" "$smoke/replay.out"
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
