@@ -32,7 +32,8 @@ commands:
   session continue --db F --clip-id N --session N [--learner L]
              [--rounds N] [--top N]   (same as resume)
   serve      --db F [--addr H:P] [--workers N] [--queue N] [--deadline-ms N]
-             [--top N]   (concurrent retrieval service; line-delimited JSON
+             [--top N] [--slowlog-ms N] [--flight-dump FILE]
+             (concurrent retrieval service; line-delimited JSON
              protocol documented in DESIGN.md; {\"op\":\"shutdown\"} drains)
   search     --db F [--clips 1,2,3] [--event E] [--rounds N] [--top N]
              [--use-index] [--rebuild-index]
@@ -46,7 +47,13 @@ commands:
   compact    --db F   (rewrites live intact records; drops corrupt ones)
   demo       [--db F] [--seed N] [--rounds N] [--top N]
              (simulate + retrieve in one process; exercises every subsystem)
-  stats      --metrics FILE   (pretty-print a --metrics-out snapshot)
+  stats      --metrics FILE | --addr H:P [--watch] [--interval-ms N]
+             (pretty-print a --metrics-out snapshot, or poll a live
+             server's metrics over its own protocol)
+  trace      --addr H:P [--id N]   (print one request's span tree; the
+             latest completed request when --id is omitted)
+  slowlog    --addr H:P   (span trees of requests that exceeded the
+             server's --slowlog-ms threshold)
 
 every command also accepts --metrics-out FILE to dump the process's
 span timings and counters as JSON on exit, and --threads N to size the
@@ -98,6 +105,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "compact" => compact(&args),
         "demo" => demo(&args),
         "stats" => stats(&args),
+        "trace" => trace_cmd(&args),
+        "slowlog" => slowlog_cmd(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -162,13 +171,103 @@ fn demo(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Pretty-prints a metrics snapshot written by `--metrics-out`.
+/// Sends one ops-plane request to a running `serve` instance over its
+/// own line-delimited JSON protocol and returns the reply — the exact
+/// code path every other client uses, framing included.
+fn ops_request(addr: &str, req: tsvr_serve::Request) -> Result<tsvr_serve::Response, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writeln!(
+        writer,
+        "{}",
+        tsvr_serve::encode_request(&tsvr_serve::Envelope::new(req))
+    )
+    .map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| e.to_string())?;
+    if line.trim().is_empty() {
+        return Err(format!("{addr}: server closed the connection without replying"));
+    }
+    tsvr_serve::decode_response(&line)
+}
+
+/// Pretty-prints a metrics snapshot: a `--metrics-out` file, or a live
+/// server's registry via the `stats` protocol op (`--watch` re-polls).
 fn stats(args: &Args) -> Result<(), String> {
-    let path = args.require("metrics")?;
+    if let Some(addr) = args.get("addr") {
+        let interval =
+            std::time::Duration::from_millis(args.num::<u64>("interval-ms", 2000)?.max(1));
+        loop {
+            match ops_request(addr, tsvr_serve::Request::Stats)? {
+                tsvr_serve::Response::Stats { snapshot } => print!("{}", snapshot.render_table()),
+                tsvr_serve::Response::Error(e) => return Err(e.to_string()),
+                other => return Err(format!("unexpected stats reply {other:?}")),
+            }
+            if !args.switch("watch") {
+                return Ok(());
+            }
+            std::thread::sleep(interval);
+            println!("---");
+        }
+    }
+    let path = args
+        .get("metrics")
+        .ok_or("stats needs --metrics FILE or --addr H:P")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let snap = tsvr_obs::Snapshot::from_json(&text).map_err(|e| format!("parse {path}: {e}"))?;
     print!("{}", snap.render_table());
     Ok(())
+}
+
+/// Prints one completed request's span tree from a running server.
+fn trace_cmd(args: &Args) -> Result<(), String> {
+    let addr = args.require("addr")?;
+    let trace_id = match args.get("id") {
+        Some(s) => Some(
+            s.parse::<u64>()
+                .map_err(|_| format!("--id: cannot parse {s:?}"))?,
+        ),
+        None => None,
+    };
+    match ops_request(addr, tsvr_serve::Request::Trace { trace_id })? {
+        tsvr_serve::Response::Trace { trace } => {
+            print!("{}", trace.render_tree());
+            Ok(())
+        }
+        tsvr_serve::Response::Error(e) => Err(e.to_string()),
+        other => Err(format!("unexpected trace reply {other:?}")),
+    }
+}
+
+/// Prints a running server's retained slow-request span trees.
+fn slowlog_cmd(args: &Args) -> Result<(), String> {
+    let addr = args.require("addr")?;
+    match ops_request(addr, tsvr_serve::Request::Slowlog)? {
+        tsvr_serve::Response::Slowlog {
+            threshold_ns,
+            entries,
+        } => {
+            if threshold_ns == u64::MAX {
+                println!("slowlog disabled (serve runs without a --slowlog-ms threshold)");
+            } else {
+                println!(
+                    "slowlog threshold {:.1}ms, {} retained",
+                    threshold_ns as f64 / 1e6,
+                    entries.len()
+                );
+            }
+            for t in &entries {
+                print!("{}", t.render_tree());
+            }
+            Ok(())
+        }
+        tsvr_serve::Response::Error(e) => Err(e.to_string()),
+        other => Err(format!("unexpected slowlog reply {other:?}")),
+    }
 }
 
 fn open_db(args: &Args) -> Result<VideoDb, String> {
@@ -778,6 +877,13 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
     let workers = args.num::<usize>("workers", 4)?;
     if workers == 0 {
         return Err("--workers must be >= 1".into());
+    }
+    // Requests slower than this land in the slowlog with their full span
+    // tree (0 retains everything — useful when smoke-testing).
+    let slowlog_ms = args.num::<u64>("slowlog-ms", 100)?;
+    tsvr_obs::trace::set_slow_threshold_ns(slowlog_ms.saturating_mul(1_000_000));
+    if let Some(path) = args.get("flight-dump") {
+        tsvr_obs::trace::set_dump_path(Some(PathBuf::from(path)));
     }
     let service = std::sync::Arc::new(tsvr_serve::Service::new(
         db,
@@ -1426,6 +1532,72 @@ mod tests {
         run(&["stats", "--metrics", &metrics]).unwrap();
         assert!(run(&["stats", "--metrics", "/nonexistent/x.json"]).is_err());
         let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn ops_plane_commands_against_a_live_server() {
+        let db = temp_db("ops-plane");
+        run(&[
+            "simulate",
+            "--db",
+            &db,
+            "--scenario",
+            "tunnel-small",
+            "--seed",
+            "5",
+            "--clip-id",
+            "1",
+        ])
+        .unwrap();
+        // Retain every traced request so `slowlog` has something to show.
+        tsvr_obs::trace::set_slow_threshold_ns(0);
+        let service = std::sync::Arc::new(tsvr_serve::Service::new(
+            VideoDb::open(Path::new(&db)).unwrap(),
+            tsvr_serve::ServiceConfig::default(),
+        ));
+        let server = tsvr_serve::Server::start(
+            std::sync::Arc::clone(&service),
+            "127.0.0.1:0",
+            tsvr_serve::ServerConfig {
+                workers: 2,
+                queue_cap: 8,
+            },
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        // One real request to trace.
+        match ops_request(
+            &addr,
+            tsvr_serve::Request::Open {
+                clip_id: 1,
+                query: "accident".into(),
+                learner: String::new(),
+            },
+        )
+        .unwrap()
+        {
+            tsvr_serve::Response::Opened { .. } => {}
+            other => panic!("open failed: {other:?}"),
+        }
+
+        run(&["stats", "--addr", &addr]).unwrap();
+        if tsvr_obs::is_enabled() {
+            run(&["trace", "--addr", &addr]).unwrap();
+            run(&["slowlog", "--addr", &addr]).unwrap();
+            // A bogus id is a typed not_found.
+            let e = run(&["trace", "--addr", &addr, "--id", "999999999"]).unwrap_err();
+            assert!(e.contains("not_found"), "unexpected error: {e}");
+        } else {
+            // Without probes there are no retained traces.
+            assert!(run(&["trace", "--addr", &addr]).is_err());
+            run(&["slowlog", "--addr", &addr]).unwrap();
+        }
+        assert!(run(&["trace", "--addr", &addr, "--id", "zebra"]).is_err());
+        assert!(run(&["stats"]).is_err(), "needs --metrics or --addr");
+
+        server.shutdown();
+        tsvr_obs::trace::set_slow_threshold_ns(u64::MAX);
+        let _ = std::fs::remove_file(&db);
     }
 
     #[test]

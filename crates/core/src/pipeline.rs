@@ -48,7 +48,7 @@ impl ClipArtifacts {
 /// Runs simulation → rendering → segmentation/tracking → feature
 /// extraction → bag construction for one scenario.
 pub fn prepare_clip(scenario: &Scenario, opts: &PipelineOptions) -> ClipArtifacts {
-    let _span = tsvr_obs::span!("core.prepare_clip");
+    let _span = tsvr_obs::tspan!("core.prepare_clip");
     let sim = World::run(scenario.clone());
     let vision = tsvr_vision::pipeline::process(&sim, scenario.kind, &opts.vision);
     let dataset = Dataset::build(&vision.tracks, opts.window);
@@ -238,7 +238,7 @@ pub fn run_session(
     learner: LearnerKind,
     config: SessionConfig,
 ) -> SessionReport {
-    let _span = tsvr_obs::span!("core.run_session");
+    let _span = tsvr_obs::tspan!("core.run_session");
     let oracle = GroundTruthOracle::new(clip.labels(query));
     let (report, _) =
         RetrievalSession::new(&clip.bags, learner.build_for(&clip.bags), &oracle, config).run();

@@ -145,7 +145,7 @@ impl<'a, L: Learner, O: Oracle> RetrievalSession<'a, L, O> {
     /// Runs the full protocol and returns the per-round report (and the
     /// trained learner for inspection).
     pub fn run(mut self) -> (SessionReport, L) {
-        let _session_span = tsvr_obs::span!("mil.session");
+        let _session_span = tsvr_obs::tspan!("mil.session");
         let labels: Vec<bool> = (0..self.bags.len()).map(|i| self.oracle.label(i)).collect();
         let n = self.config.top_n;
 
@@ -167,7 +167,7 @@ impl<'a, L: Learner, O: Oracle> RetrievalSession<'a, L, O> {
         rankings.push(initial);
 
         for _ in 0..self.config.feedback_rounds {
-            let _round_span = tsvr_obs::span!("mil.round");
+            let _round_span = tsvr_obs::tspan!("mil.round");
             let current = rankings.last().unwrap();
             let feedback: Vec<(usize, bool)> = current
                 .iter()

@@ -34,6 +34,7 @@
 pub mod json;
 mod metrics;
 mod snapshot;
+pub mod trace;
 
 #[cfg(feature = "enabled")]
 mod registry;
@@ -42,7 +43,13 @@ pub use metrics::{bucket_bounds, bucket_index, Counter, Histogram, Span, BUCKETS
 pub use snapshot::{BucketSnapshot, CounterSnapshot, HistogramSnapshot, Snapshot};
 
 #[cfg(feature = "enabled")]
-pub use registry::{counter, histogram, histogram_ns, is_enabled, reset, set_enabled, snapshot};
+pub use registry::{
+    counter, counter_labeled, histogram, histogram_ns, histogram_ns_labeled, is_enabled, reset,
+    set_enabled, snapshot,
+};
+
+#[cfg(feature = "enabled")]
+pub(crate) use registry::epoch as registry_epoch;
 
 #[cfg(not(feature = "enabled"))]
 mod noop_api {
@@ -73,6 +80,19 @@ mod noop_api {
     /// shared stub).
     #[inline(always)]
     pub fn histogram_ns(_name: &'static str) -> &'static Histogram {
+        &NOOP_HISTOGRAM
+    }
+
+    /// Look up or create the labeled counter (no-op build: shared stub).
+    #[inline(always)]
+    pub fn counter_labeled(_name: &'static str, _label: &str) -> &'static Counter {
+        &NOOP_COUNTER
+    }
+
+    /// Look up or create the labeled nanosecond histogram (no-op build:
+    /// shared stub).
+    #[inline(always)]
+    pub fn histogram_ns_labeled(_name: &'static str, _label: &str) -> &'static Histogram {
         &NOOP_HISTOGRAM
     }
 
@@ -182,5 +202,36 @@ macro_rules! span {
     ($name:expr) => {{
         let _ = $name;
         $crate::Span::noop()
+    }};
+}
+
+/// Start a **traced** RAII span named `$name`: times the region into
+/// the histogram `$name` exactly like [`span!`], and additionally
+/// records a span event into the current request trace (becoming the
+/// trace root when no span is live on this thread). See
+/// [`trace`](crate::trace) for the data model.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! tspan {
+    ($name:expr) => {{
+        static __TSVR_OBS_SITE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        $crate::trace::TracedSpan::start(
+            $name,
+            *__TSVR_OBS_SITE.get_or_init(|| $crate::histogram_ns($name)),
+        )
+    }};
+}
+
+/// Start a traced RAII span named `$name`.
+///
+/// Probes are compiled out: expands to a zero-sized guard and never
+/// reads the clock.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! tspan {
+    ($name:expr) => {{
+        let _ = $name;
+        $crate::trace::TracedSpan::noop()
     }};
 }

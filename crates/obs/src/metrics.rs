@@ -222,18 +222,23 @@ impl Histogram {
 #[must_use = "a span records its duration when dropped; bind it with `let _span = ...`"]
 pub struct Span {
     #[cfg(feature = "enabled")]
-    inner: Option<(&'static Histogram, Instant)>,
+    inner: Option<(&'static Histogram, Instant, u64)>,
 }
 
 #[cfg(feature = "enabled")]
 impl Span {
     /// Start a span recording into `h` (kill switch off: inert guard).
+    ///
+    /// The guard remembers the registry's reset epoch: a span whose
+    /// lifetime straddles a [`reset`](crate::reset) drops its sample
+    /// instead of writing a pre-reset duration into the zeroed
+    /// histogram.
     #[doc(hidden)]
     #[inline]
     pub fn start(h: &'static Histogram) -> Span {
         Span {
             inner: if crate::is_enabled() {
-                Some((h, Instant::now()))
+                Some((h, Instant::now(), crate::registry_epoch()))
             } else {
                 None
             },
@@ -244,8 +249,10 @@ impl Span {
 #[cfg(feature = "enabled")]
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((h, t0)) = self.inner.take() {
-            h.record_duration(t0.elapsed());
+        if let Some((h, t0, epoch)) = self.inner.take() {
+            if crate::registry_epoch() == epoch {
+                h.record_duration(t0.elapsed());
+            }
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Process-global metric registry (only compiled with `enabled`).
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use crate::metrics::{bucket_bounds, Counter, Histogram, BUCKETS};
@@ -10,6 +10,22 @@ use crate::snapshot::{BucketSnapshot, CounterSnapshot, HistogramSnapshot, Snapsh
 /// Runtime kill switch; probes check it before touching the clock or
 /// any atomic. On by default.
 static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Bumped by every [`reset`]. Span timers capture it at start and drop
+/// their sample if it moved: a span completing across a reset must not
+/// resurrect pre-reset state into the freshly zeroed histograms.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Current reset epoch (see [`EPOCH`]).
+#[inline]
+pub(crate) fn epoch() -> u64 {
+    EPOCH.load(Ordering::Relaxed)
+}
+
+/// Distinct labels registered per metric name before further labels
+/// collapse into `other` (bounds registry growth under hostile or buggy
+/// label cardinality).
+const MAX_LABELS_PER_NAME: usize = 64;
 
 /// Unit attached to a histogram at registration time.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -30,13 +46,23 @@ impl Unit {
 struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
     histograms: Mutex<BTreeMap<&'static str, (Unit, &'static Histogram)>>,
+    /// Labeled variants, keyed `(name, label)`. Labels are runtime
+    /// strings (session ids, stage names), so these live in their own
+    /// maps rather than widening the `&'static str` fast path.
+    labeled_counters: Mutex<LabeledMap<&'static Counter>>,
+    labeled_histograms: Mutex<LabeledMap<(Unit, &'static Histogram)>>,
 }
+
+/// Metrics with a label dimension, keyed `(name, label)`.
+type LabeledMap<V> = BTreeMap<(&'static str, String), V>;
 
 fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(BTreeMap::new()),
         histograms: Mutex::new(BTreeMap::new()),
+        labeled_counters: Mutex::new(BTreeMap::new()),
+        labeled_histograms: Mutex::new(BTreeMap::new()),
     })
 }
 
@@ -85,49 +111,128 @@ fn histogram_with_unit(name: &'static str, unit: Unit) -> &'static Histogram {
         .1
 }
 
+/// The label a new registration lands under: the requested one, or
+/// `other` once the name already carries [`MAX_LABELS_PER_NAME`] labels.
+fn admit_label<V>(
+    map: &BTreeMap<(&'static str, String), V>,
+    name: &'static str,
+    label: &str,
+) -> (&'static str, String) {
+    let registered = map
+        .range((name, String::new())..)
+        .take_while(|((n, _), _)| *n == name)
+        .count();
+    if registered >= MAX_LABELS_PER_NAME {
+        (name, "other".to_string())
+    } else {
+        (name, label.to_string())
+    }
+}
+
+/// Look up or create the counter registered under `name` with a label
+/// dimension (rendered `name{label}` in snapshots). Label cardinality
+/// per name is capped; overflow collapses into the `other` label.
+pub fn counter_labeled(name: &'static str, label: &str) -> &'static Counter {
+    let mut map = lock(&registry().labeled_counters);
+    if let Some(c) = map.get(&(name, label.to_string())) {
+        return c;
+    }
+    let key = admit_label(&map, name, label);
+    map.entry(key)
+        .or_insert_with(|| Box::leak(Box::new(Counter::new())))
+}
+
+/// Look up or create the nanosecond histogram registered under `name`
+/// with a label dimension (rendered `name{label}` in snapshots). Same
+/// cardinality cap as [`counter_labeled`].
+pub fn histogram_ns_labeled(name: &'static str, label: &str) -> &'static Histogram {
+    let mut map = lock(&registry().labeled_histograms);
+    if let Some(&(_, h)) = map.get(&(name, label.to_string())) {
+        return h;
+    }
+    let key = admit_label(&map, name, label);
+    map.entry(key)
+        .or_insert_with(|| (Unit::Nanos, Box::leak(Box::new(Histogram::new()))))
+        .1
+}
+
 /// Zero every registered counter and histogram (the registry keeps its
-/// entries). Mainly for tests and benchmarks.
+/// entries) and forget all tracing state. Mainly for tests and
+/// benchmarks.
+///
+/// The epoch bump comes first: any span already running when `reset`
+/// is called sees a changed epoch at drop time and discards its sample
+/// instead of writing pre-reset timing into the zeroed histograms.
 pub fn reset() {
+    EPOCH.fetch_add(1, Ordering::Relaxed);
     for c in lock(&registry().counters).values() {
         c.reset();
     }
     for (_, h) in lock(&registry().histograms).values() {
         h.reset();
     }
+    for c in lock(&registry().labeled_counters).values() {
+        c.reset();
+    }
+    for (_, h) in lock(&registry().labeled_histograms).values() {
+        h.reset();
+    }
+    crate::trace::clear_all();
 }
 
-/// Capture a point-in-time copy of every registered metric.
+fn hist_snapshot(name: String, unit: Unit, h: &Histogram) -> HistogramSnapshot {
+    let buckets = (0..BUCKETS)
+        .filter_map(|k| {
+            let n = h.bucket(k);
+            (n > 0).then(|| {
+                let (lo, hi) = bucket_bounds(k);
+                BucketSnapshot { lo, hi, count: n }
+            })
+        })
+        .collect();
+    HistogramSnapshot {
+        name,
+        unit: unit.as_str().to_string(),
+        count: h.count(),
+        sum: h.sum(),
+        min: h.min(),
+        max: h.max(),
+        buckets,
+    }
+}
+
+/// Capture a point-in-time copy of every registered metric. Labeled
+/// metrics appear alongside plain ones as `name{label}`; everything is
+/// in name order.
 pub fn snapshot() -> Snapshot {
-    let counters = lock(&registry().counters)
+    let mut counters: Vec<CounterSnapshot> = lock(&registry().counters)
         .iter()
         .map(|(&name, c)| CounterSnapshot {
             name: name.to_string(),
             value: c.get(),
         })
         .collect();
-    let histograms = lock(&registry().histograms)
+    counters.extend(
+        lock(&registry().labeled_counters)
+            .iter()
+            .map(|((name, label), c)| CounterSnapshot {
+                name: format!("{name}{{{label}}}"),
+                value: c.get(),
+            }),
+    );
+    counters.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut histograms: Vec<HistogramSnapshot> = lock(&registry().histograms)
         .iter()
-        .map(|(&name, &(unit, h))| {
-            let buckets = (0..BUCKETS)
-                .filter_map(|k| {
-                    let n = h.bucket(k);
-                    (n > 0).then(|| {
-                        let (lo, hi) = bucket_bounds(k);
-                        BucketSnapshot { lo, hi, count: n }
-                    })
-                })
-                .collect();
-            HistogramSnapshot {
-                name: name.to_string(),
-                unit: unit.as_str().to_string(),
-                count: h.count(),
-                sum: h.sum(),
-                min: h.min(),
-                max: h.max(),
-                buckets,
-            }
-        })
+        .map(|(&name, &(unit, h))| hist_snapshot(name.to_string(), unit, h))
         .collect();
+    histograms.extend(
+        lock(&registry().labeled_histograms)
+            .iter()
+            .map(|((name, label), &(unit, h))| {
+                hist_snapshot(format!("{name}{{{label}}}"), unit, h)
+            }),
+    );
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
     Snapshot {
         counters,
         histograms,

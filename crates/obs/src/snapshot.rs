@@ -106,6 +106,15 @@ pub struct Snapshot {
 impl Snapshot {
     /// Serialize to the stable JSON schema described in the module docs.
     pub fn to_json(&self) -> String {
+        let mut out = self.to_json_value().to_string();
+        out.push('\n');
+        out
+    }
+
+    /// The same document as [`Snapshot::to_json`], as a [`Json`] value —
+    /// for embedding in a larger document (the serve protocol's `stats`
+    /// response).
+    pub fn to_json_value(&self) -> Json {
         let counters = self
             .counters
             .iter()
@@ -142,19 +151,21 @@ impl Snapshot {
                 ])
             })
             .collect();
-        let doc = Json::Obj(vec![
+        Json::Obj(vec![
             ("schema".into(), Json::Str(SCHEMA.into())),
             ("counters".into(), Json::Arr(counters)),
             ("histograms".into(), Json::Arr(histograms)),
-        ]);
-        let mut out = doc.to_string();
-        out.push('\n');
-        out
+        ])
     }
 
     /// Parse a snapshot previously produced by [`Snapshot::to_json`].
     pub fn from_json(text: &str) -> Result<Snapshot, ParseError> {
         let doc = Json::parse(text)?;
+        Snapshot::from_json_value(&doc)
+    }
+
+    /// Inverse of [`Snapshot::to_json_value`].
+    pub fn from_json_value(doc: &Json) -> Result<Snapshot, ParseError> {
         let bad = |message: &str| ParseError {
             message: message.to_string(),
             offset: 0,

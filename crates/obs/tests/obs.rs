@@ -300,6 +300,280 @@ mod enabled {
     }
 
     #[test]
+    fn reset_race_drops_inflight_span_samples() {
+        let _g = lock();
+        tsvr_obs::set_enabled(true);
+        tsvr_obs::reset();
+        // Deterministic interleaving: the span is live when reset()
+        // runs, and drops only after it returned. Its sample must be
+        // discarded — recording it would resurrect pre-reset timing
+        // into the freshly zeroed histogram.
+        let started = std::sync::Barrier::new(2);
+        let was_reset = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _span = tsvr_obs::tspan!("test.resetrace.span");
+                started.wait();
+                was_reset.wait();
+            });
+            started.wait();
+            tsvr_obs::reset();
+            was_reset.wait();
+        });
+        let count = |snap: &tsvr_obs::Snapshot| {
+            snap.histograms
+                .iter()
+                .find(|h| h.name == "test.resetrace.span")
+                .map(|h| h.count)
+                .unwrap_or(0)
+        };
+        assert_eq!(
+            count(&snapshot()),
+            0,
+            "span straddling reset() leaked its sample"
+        );
+        assert!(
+            tsvr_obs::trace::latest().is_none(),
+            "trace straddling reset() was resurrected"
+        );
+        // A span entirely after the reset records normally.
+        {
+            let _span = tsvr_obs::tspan!("test.resetrace.span");
+        }
+        assert_eq!(count(&snapshot()), 1);
+
+        // Concurrent hammer: resets racing span starts/drops must never
+        // corrupt histogram state (count is the number of surviving
+        // samples; min/max/sum stay internally consistent).
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let stop = &stop;
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let _span = tsvr_obs::span!("test.resetrace.hammer");
+                        std::hint::black_box(0u64);
+                    }
+                });
+            }
+            for _ in 0..200 {
+                tsvr_obs::reset();
+                std::thread::yield_now();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        tsvr_obs::reset();
+        let snap = snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.resetrace.hammer")
+            .expect("hammer histogram registered");
+        assert_eq!(h.count, 0, "final reset left samples behind");
+        assert_eq!((h.sum, h.min, h.max), (0, 0, 0));
+    }
+
+    #[test]
+    fn flight_recorder_wraparound_under_concurrent_writers() {
+        // Private ring (not the global one), small enough to wrap many
+        // times. Each writer's payload is self-describing, so a torn
+        // event — fields from two different writes — is detectable.
+        use tsvr_obs::trace::{Event, EventKind, FlightRecorder};
+        const WRITERS: u64 = 8;
+        const PER_WRITER: u64 = 1_000;
+        let ring = FlightRecorder::with_capacity(64);
+        std::thread::scope(|scope| {
+            for t in 0..WRITERS {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        ring.record(Event {
+                            seq: 0,
+                            kind: EventKind::Span,
+                            trace: t + 1,
+                            span: i + 1,
+                            parent: 0,
+                            name: format!("writer{t}").into(),
+                            detail: format!("{}:{}", t + 1, i + 1).into(),
+                            start_ns: (t + 1) * 1_000_000 + (i + 1),
+                            dur_ns: i + 1,
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.recorded(), WRITERS * PER_WRITER);
+        let events = ring.events();
+        assert!(events.len() <= 64);
+        assert!(!events.is_empty());
+        let mut last_span_per_trace = std::collections::HashMap::new();
+        let mut prev_seq = None;
+        for e in &events {
+            // Ascending, unique sequence numbers.
+            assert!(prev_seq.is_none_or(|p| p < e.seq));
+            prev_seq = Some(e.seq);
+            // Untorn: every field agrees with the writer/iteration that
+            // produced it.
+            assert_eq!(e.name, format!("writer{}", e.trace - 1), "torn event {e:?}");
+            assert_eq!(e.detail, format!("{}:{}", e.trace, e.span), "torn event {e:?}");
+            assert_eq!(e.start_ns, e.trace * 1_000_000 + e.span, "torn event {e:?}");
+            assert_eq!(e.dur_ns, e.span, "torn event {e:?}");
+            // Order within a trace: each writer recorded its spans in
+            // ascending order, so surviving seqs must preserve it.
+            if let Some(prev) = last_span_per_trace.insert(e.trace, e.span) {
+                assert!(prev < e.span, "trace {} reordered", e.trace);
+            }
+        }
+    }
+
+    #[test]
+    fn labeled_metrics_render_in_snapshots_with_bounded_cardinality() {
+        let _g = lock();
+        tsvr_obs::set_enabled(true);
+        tsvr_obs::reset();
+        tsvr_obs::counter_labeled("test.lbl.requests", "session=1").add(2);
+        tsvr_obs::counter_labeled("test.lbl.requests", "session=2").incr();
+        tsvr_obs::histogram_ns_labeled("test.lbl.latency", "op=page").record(1_000);
+        let snap = snapshot();
+        let value = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+        };
+        assert_eq!(value("test.lbl.requests{session=1}"), Some(2));
+        assert_eq!(value("test.lbl.requests{session=2}"), Some(1));
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.lbl.latency{op=page}")
+            .expect("labeled histogram registered");
+        assert_eq!((h.unit.as_str(), h.count), ("ns", 1));
+        // Hostile cardinality collapses into the `other` label instead
+        // of growing the registry without bound.
+        for i in 0..200 {
+            tsvr_obs::counter_labeled("test.lbl.flood", &format!("k={i}")).incr();
+        }
+        let snap = snapshot();
+        let flood: Vec<_> = snap
+            .counters
+            .iter()
+            .filter(|c| c.name.starts_with("test.lbl.flood{"))
+            .collect();
+        assert!(
+            flood.len() <= 65,
+            "label cardinality unbounded: {} labels",
+            flood.len()
+        );
+        let other = value_of(&snap, "test.lbl.flood{other}");
+        assert!(other >= 1, "overflow labels must land in {{other}}");
+    }
+
+    fn value_of(snap: &tsvr_obs::Snapshot, name: &str) -> u64 {
+        snap.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn tspan_builds_hierarchical_traces_across_threads() {
+        let _g = lock();
+        tsvr_obs::set_enabled(true);
+        tsvr_obs::reset();
+        tsvr_obs::trace::set_slow_threshold_ns(0);
+        {
+            let root = tsvr_obs::tspan!("test.trace.root");
+            let ctx = root.ctx();
+            assert!(ctx.is_some());
+            {
+                let _child = tsvr_obs::tspan!("test.trace.child");
+                tsvr_obs::trace::incident("test.trace.boom", "injected");
+            }
+            // Cross-thread propagation: a worker adopts the submitting
+            // thread's context and its span joins the same trace.
+            std::thread::scope(|scope| {
+                let ctx = tsvr_obs::trace::current();
+                scope.spawn(move || {
+                    let _adopted = tsvr_obs::trace::adopt(ctx);
+                    let _span = tsvr_obs::tspan!("test.trace.worker");
+                });
+            });
+        }
+        tsvr_obs::trace::set_slow_threshold_ns(u64::MAX);
+        let t = tsvr_obs::trace::latest().expect("root span published a trace");
+        assert_eq!(t.name, "test.trace.root");
+        assert_eq!(tsvr_obs::trace::finished(t.trace), Some(t.clone()));
+        let names: Vec<&str> = t.events.iter().map(|e| e.name.as_ref()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "test.trace.boom",
+                "test.trace.child",
+                "test.trace.worker",
+                "test.trace.root"
+            ],
+            "incidents fire immediately, spans at completion, root last"
+        );
+        let root_ev = &t.events[3];
+        assert_eq!(root_ev.parent, 0);
+        for e in &t.events[..3] {
+            assert_eq!(e.trace, root_ev.trace);
+        }
+        assert_eq!(t.events[1].parent, root_ev.span, "child hangs off root");
+        assert_eq!(t.events[2].parent, root_ev.span, "worker hangs off root");
+        assert_eq!(
+            t.events[0].parent, t.events[1].span,
+            "incident hangs off the span live when it fired"
+        );
+        // Root exceeded the zero threshold, so the slowlog kept it.
+        assert!(tsvr_obs::trace::slowlog().iter().any(|s| s.trace == t.trace));
+        // The flight recorder holds the same events.
+        let recorded = tsvr_obs::trace::recorder_events();
+        assert!(recorded.iter().any(|e| e.name == "test.trace.boom"));
+        // The labeled incident counter ticked.
+        assert_eq!(
+            value_of(&snapshot(), "obs.incident{test.trace.boom}"),
+            1
+        );
+    }
+
+    #[test]
+    fn incident_dump_writes_parseable_flight_recording() {
+        let _g = lock();
+        tsvr_obs::set_enabled(true);
+        tsvr_obs::reset();
+        let mut path = std::env::temp_dir();
+        path.push(format!("tsvr-flight-test-{}.ndjson", std::process::id()));
+        tsvr_obs::trace::set_dump_path(Some(path.clone()));
+        {
+            let _root = tsvr_obs::tspan!("test.dump.root");
+            tsvr_obs::trace::incident_dump("test.dump.quarantine", "clip 7 torn");
+        }
+        tsvr_obs::trace::set_dump_path(None);
+        let text = std::fs::read_to_string(&path).expect("dump file written");
+        let mut lines = text.lines();
+        let header = tsvr_obs::json::Json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(
+            header.get("schema").and_then(tsvr_obs::json::Json::as_str),
+            Some("tsvr-flight/1")
+        );
+        assert_eq!(
+            header.get("reason").and_then(tsvr_obs::json::Json::as_str),
+            Some("test.dump.quarantine")
+        );
+        // The failing trace is named in the header.
+        let named = header.get("trace").and_then(tsvr_obs::json::Json::as_u64);
+        assert!(named.is_some_and(|t| t > 0), "dump header names no trace");
+        let events: Vec<_> = lines
+            .map(|l| tsvr_obs::trace::Event::parse_line(l).expect("event line parses"))
+            .collect();
+        assert!(events.iter().any(|e| e.name == "test.dump.quarantine"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn write_snapshot_emits_parseable_json() {
         let _g = lock();
         tsvr_obs::counter!("test.file.counter").incr();

@@ -31,6 +31,19 @@
 //! disables spawning entirely — every entry point then runs inline on
 //! the calling thread.
 //!
+//! Whatever the resolved count, forking is capped by the detected
+//! hardware parallelism and skipped outright when the work is too small
+//! to amortize a spawn — so a `--threads 4` request on a single-core
+//! host degrades gracefully to the sequential path instead of paying
+//! for context switches (the *sequential fallback*).
+//!
+//! ## Tracing
+//!
+//! Workers adopt the forking thread's [`tsvr_obs::trace`] context: when
+//! the fork happens inside a request trace, every chunk records a
+//! `par.chunk` span into that trace, so a `trace <id>` tree shows the
+//! fan-out.
+//!
 //! ## Observability
 //!
 //! With the `obs` feature the runtime records under `par.*`:
@@ -81,13 +94,35 @@ pub fn current_threads() -> usize {
     if let Some(n) = env_threads() {
         return n;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    hw_threads()
 }
 
-/// Minimum items per worker before forking pays for itself; below
-/// `2 * threads` items the spawn cost dominates and we run inline.
+/// Detected hardware parallelism, probed once. Fork-join never spawns
+/// more workers than this: the pipeline is CPU-bound, so oversubscribing
+/// a small host (e.g. `--threads 4` on one core) only buys context
+/// switches — measured ~5× slower than inline on a 1-thread host.
+fn hw_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The worker count a fork over `work_items` items actually gets: the
+/// resolved thread count, clamped by hardware parallelism and by the
+/// rule that each worker must have at least [`MIN_FORK_ITEMS`] items.
+/// A result of 1 means "run inline" — the sequential fallback.
+fn plan_workers(work_items: usize) -> usize {
+    current_threads()
+        .min(hw_threads())
+        .min(work_items / MIN_FORK_ITEMS)
+        .max(1)
+}
+
+/// Minimum items per worker before forking pays for itself; with fewer
+/// the spawn cost dominates and the call runs inline.
 const MIN_FORK_ITEMS: usize = 2;
 
 /// Target chunks per worker: enough granularity that one slow chunk
@@ -189,8 +224,8 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let threads = current_threads().min(n);
-    if threads <= 1 || n < MIN_FORK_ITEMS * 2 {
+    let threads = plan_workers(n);
+    if threads <= 1 {
         record_call(false);
         return (0..n).map(f).collect();
     }
@@ -201,20 +236,27 @@ where
     let cursor = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(nchunks));
     let fork = Instant::now();
+    // Hand the submitting thread's trace context to every worker, so
+    // chunk spans land in the request's trace instead of starting one.
+    let ctx = tsvr_obs::trace::current();
 
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                let c = cursor.fetch_add(1, Ordering::Relaxed);
-                if c >= nchunks {
-                    break;
+            s.spawn(|| {
+                let _adopted = tsvr_obs::trace::adopt(ctx);
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= nchunks {
+                        break;
+                    }
+                    let picked = Instant::now();
+                    let _span = ctx.map(|_| tsvr_obs::tspan!("par.chunk"));
+                    let lo = c * chunk;
+                    let hi = (lo + chunk).min(n);
+                    let out: Vec<R> = (lo..hi).map(&f).collect();
+                    record_chunk(fork, picked, Instant::now());
+                    done.lock().unwrap_or_else(|e| e.into_inner()).push((c, out));
                 }
-                let picked = Instant::now();
-                let lo = c * chunk;
-                let hi = (lo + chunk).min(n);
-                let out: Vec<R> = (lo..hi).map(&f).collect();
-                record_chunk(fork, picked, Instant::now());
-                done.lock().unwrap_or_else(|e| e.into_inner()).push((c, out));
             });
         }
     });
@@ -242,7 +284,8 @@ where
 {
     let chunk_len = chunk_len.max(1);
     let n = data.len();
-    let threads = current_threads().min(n.div_ceil(chunk_len));
+    let nchunks = n.div_ceil(chunk_len);
+    let threads = current_threads().min(hw_threads()).min(nchunks);
     if threads <= 1 {
         record_call(false);
         for (c, run) in data.chunks_mut(chunk_len).enumerate() {
@@ -262,14 +305,19 @@ where
             .collect(),
     );
     let fork = Instant::now();
+    let ctx = tsvr_obs::trace::current();
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                let item = queue.lock().unwrap_or_else(|e| e.into_inner()).pop();
-                let Some((offset, run)) = item else { break };
-                let picked = Instant::now();
-                f(offset, run);
-                record_chunk(fork, picked, Instant::now());
+            s.spawn(|| {
+                let _adopted = tsvr_obs::trace::adopt(ctx);
+                loop {
+                    let item = queue.lock().unwrap_or_else(|e| e.into_inner()).pop();
+                    let Some((offset, run)) = item else { break };
+                    let picked = Instant::now();
+                    let _span = ctx.map(|_| tsvr_obs::tspan!("par.chunk"));
+                    f(offset, run);
+                    record_chunk(fork, picked, Instant::now());
+                }
             });
         }
     });
@@ -403,6 +451,29 @@ mod tests {
             })
         });
         assert!(!ids.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn sequential_fallback_clamps_oversubscription() {
+        let _g = lock();
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        with_threads(hw * 8, || {
+            // Requesting more workers than the hardware has never forks
+            // wider than the hardware.
+            assert!(plan_workers(100_000) <= hw);
+            // Tiny work always runs inline, whatever was requested.
+            assert_eq!(plan_workers(0), 1);
+            assert_eq!(plan_workers(1), 1);
+            // 3 items / MIN_FORK_ITEMS(2) per worker -> 1 worker: inline.
+            assert_eq!(plan_workers(3), 1);
+        });
+        // And results stay correct under heavy oversubscription.
+        let items: Vec<u64> = (0..300).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * 7).collect();
+        let par = with_threads(hw * 8, || par_map(&items, |_, &x| x * 7));
+        assert_eq!(par, seq);
     }
 
     #[test]

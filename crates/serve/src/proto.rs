@@ -16,6 +16,8 @@
 //! ```
 
 use tsvr_obs::json::Json;
+use tsvr_obs::trace::FinishedTrace;
+use tsvr_obs::Snapshot;
 
 /// One client request, already validated structurally.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +70,18 @@ pub enum Request {
     },
     /// Liveness check.
     Ping,
+    /// Live metrics snapshot (counters + histograms, labeled included).
+    Stats,
+    /// Fetch one completed request's span tree by trace id, or the most
+    /// recent one when no id is given.
+    Trace {
+        /// Trace id (as carried on error responses and slowlog
+        /// entries); `None` returns the latest completed trace.
+        trace_id: Option<u64>,
+    },
+    /// The retained slowlog: full span trees of requests that exceeded
+    /// the server's latency threshold.
+    Slowlog,
     /// Begin graceful drain: no new sessions, in-flight requests
     /// finish, then the server exits.
     Shutdown,
@@ -84,6 +98,9 @@ impl Request {
             Request::Sessions { .. } => "sessions",
             Request::Close { .. } => "close",
             Request::Ping => "ping",
+            Request::Stats => "stats",
+            Request::Trace { .. } => "trace",
+            Request::Slowlog => "slowlog",
             Request::Shutdown => "shutdown",
         }
     }
@@ -182,15 +199,26 @@ pub struct ServeError {
     pub kind: ErrorKind,
     /// Detail for humans; not meant to be parsed.
     pub message: String,
+    /// The failing request's trace id, when the service was tracing it
+    /// — feed it to `{"op":"trace","trace_id":N}` (or `tsvr trace`) to
+    /// see where the request spent its time before failing.
+    pub trace: Option<u64>,
 }
 
 impl ServeError {
-    /// Builds an error response value.
+    /// Builds an error response value (no trace attribution).
     pub fn new(kind: ErrorKind, message: impl Into<String>) -> ServeError {
         ServeError {
             kind,
             message: message.into(),
+            trace: None,
         }
+    }
+
+    /// Attach the originating trace id.
+    pub fn with_trace(mut self, trace: Option<u64>) -> ServeError {
+        self.trace = trace;
+        self
     }
 }
 
@@ -246,6 +274,24 @@ pub enum Response {
     },
     /// Liveness answer.
     Pong,
+    /// Live metrics snapshot.
+    Stats {
+        /// Point-in-time registry copy (labeled metrics included).
+        snapshot: Snapshot,
+    },
+    /// One completed request's span tree.
+    Trace {
+        /// The finished trace (root span, nested events, incidents).
+        trace: FinishedTrace,
+    },
+    /// The retained slowlog.
+    Slowlog {
+        /// Latency threshold in nanoseconds a request must exceed to be
+        /// retained; `u64::MAX` means the slowlog is disabled.
+        threshold_ns: u64,
+        /// Retained slow traces, oldest first.
+        entries: Vec<FinishedTrace>,
+    },
     /// Drain acknowledged.
     ShuttingDown,
     /// The request failed.
@@ -311,7 +357,12 @@ pub fn encode_request(env: &Envelope) -> String {
         }
         Request::Sessions { clip_id } => fields.push(("clip_id", num(*clip_id))),
         Request::Close { session_id } => fields.push(("session_id", num(*session_id))),
-        Request::Ping | Request::Shutdown => {}
+        Request::Trace { trace_id } => {
+            if let Some(id) = trace_id {
+                fields.push(("trace_id", num(*id)));
+            }
+        }
+        Request::Ping | Request::Stats | Request::Slowlog | Request::Shutdown => {}
     }
     if let Some(ms) = env.deadline_ms {
         fields.push(("deadline_ms", num(ms)));
@@ -395,6 +446,17 @@ pub fn decode_request(line: &str) -> Result<Envelope, String> {
             session_id: field_u64(&v, "session_id")?,
         },
         "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "trace" => Request::Trace {
+            trace_id: match v.get("trace_id") {
+                Some(id) => Some(
+                    id.as_u64()
+                        .ok_or("field \"trace_id\" must be a non-negative integer")?,
+                ),
+                None => None,
+            },
+        },
+        "slowlog" => Request::Slowlog,
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown op {other:?}")),
     };
@@ -466,11 +528,36 @@ pub fn encode_response(resp: &Response) -> String {
             ("session_id", num(*session_id)),
         ]),
         Response::Pong => obj(vec![("ok", Json::Str("pong".into()))]),
-        Response::ShuttingDown => obj(vec![("ok", Json::Str("shutting_down".into()))]),
-        Response::Error(e) => obj(vec![
-            ("error", Json::Str(e.kind.as_str().into())),
-            ("message", Json::Str(e.message.clone())),
+        Response::Stats { snapshot } => obj(vec![
+            ("ok", Json::Str("stats".into())),
+            ("snapshot", snapshot.to_json_value()),
         ]),
+        Response::Trace { trace } => obj(vec![
+            ("ok", Json::Str("trace".into())),
+            ("trace", trace.to_json_value()),
+        ]),
+        Response::Slowlog {
+            threshold_ns,
+            entries,
+        } => obj(vec![
+            ("ok", Json::Str("slowlog".into())),
+            ("threshold_ns", num(*threshold_ns)),
+            (
+                "entries",
+                Json::Arr(entries.iter().map(FinishedTrace::to_json_value).collect()),
+            ),
+        ]),
+        Response::ShuttingDown => obj(vec![("ok", Json::Str("shutting_down".into()))]),
+        Response::Error(e) => {
+            let mut fields = vec![
+                ("error", Json::Str(e.kind.as_str().into())),
+                ("message", Json::Str(e.message.clone())),
+            ];
+            if let Some(t) = e.trace {
+                fields.push(("trace", num(t)));
+            }
+            obj(fields)
+        }
     };
     v.to_string()
 }
@@ -480,10 +567,10 @@ pub fn decode_response(line: &str) -> Result<Response, String> {
     let v = Json::parse(line.trim()).map_err(|e| e.to_string())?;
     if let Some(kind) = v.get("error").and_then(Json::as_str) {
         let kind = ErrorKind::from_wire(kind).ok_or_else(|| format!("unknown error kind {kind:?}"))?;
-        return Ok(Response::Error(ServeError::new(
-            kind,
-            v.get("message").and_then(Json::as_str).unwrap_or(""),
-        )));
+        return Ok(Response::Error(
+            ServeError::new(kind, v.get("message").and_then(Json::as_str).unwrap_or(""))
+                .with_trace(v.get("trace").and_then(Json::as_u64)),
+        ));
     }
     let ok = v
         .get("ok")
@@ -546,6 +633,28 @@ pub fn decode_response(line: &str) -> Result<Response, String> {
             session_id: field_u64(&v, "session_id")?,
         },
         "pong" => Response::Pong,
+        "stats" => Response::Stats {
+            snapshot: Snapshot::from_json_value(
+                v.get("snapshot").ok_or("missing object field \"snapshot\"")?,
+            )
+            .map_err(|e| format!("bad snapshot: {e}"))?,
+        },
+        "trace" => Response::Trace {
+            trace: FinishedTrace::from_json_value(
+                v.get("trace").ok_or("missing object field \"trace\"")?,
+            )
+            .map_err(|e| format!("bad trace: {e}"))?,
+        },
+        "slowlog" => Response::Slowlog {
+            threshold_ns: field_u64(&v, "threshold_ns")?,
+            entries: v
+                .get("entries")
+                .and_then(Json::as_arr)
+                .ok_or("missing array field \"entries\"")?
+                .iter()
+                .map(|t| FinishedTrace::from_json_value(t).map_err(|e| format!("bad trace: {e}")))
+                .collect::<Result<_, _>>()?,
+        },
         "shutting_down" => Response::ShuttingDown,
         other => return Err(format!("unknown ok kind {other:?}")),
     })
@@ -602,6 +711,10 @@ mod tests {
         round_trip_req(Envelope::new(Request::Sessions { clip_id: 1 }));
         round_trip_req(Envelope::new(Request::Close { session_id: 3 }));
         round_trip_req(Envelope::new(Request::Ping));
+        round_trip_req(Envelope::new(Request::Stats));
+        round_trip_req(Envelope::new(Request::Trace { trace_id: Some(17) }));
+        round_trip_req(Envelope::new(Request::Trace { trace_id: None }));
+        round_trip_req(Envelope::new(Request::Slowlog));
         round_trip_req(Envelope::new(Request::Shutdown));
     }
 
@@ -640,6 +753,60 @@ mod tests {
             ErrorKind::Overloaded,
             "queue full",
         )));
+        round_trip_resp(Response::Error(
+            ServeError::new(ErrorKind::Storage, "checkpoint failed").with_trace(Some(41)),
+        ));
+    }
+
+    fn sample_trace(id: u64) -> FinishedTrace {
+        FinishedTrace {
+            trace: id,
+            name: "serve.latency.page".into(),
+            dur_ns: 120_000,
+            events: vec![
+                tsvr_obs::trace::Event {
+                    seq: 7,
+                    kind: tsvr_obs::trace::EventKind::Incident,
+                    trace: id,
+                    span: 3,
+                    parent: 2,
+                    name: "viddb.retry.exhausted".into(),
+                    detail: "segment 4".into(),
+                    start_ns: 50,
+                    dur_ns: 0,
+                },
+                tsvr_obs::trace::Event {
+                    seq: 9,
+                    kind: tsvr_obs::trace::EventKind::Span,
+                    trace: id,
+                    span: 2,
+                    parent: 0,
+                    name: "serve.latency.page".into(),
+                    detail: "".into(),
+                    start_ns: 10,
+                    dur_ns: 120_000,
+                },
+            ],
+            dropped: 1,
+        }
+    }
+
+    #[test]
+    fn ops_plane_responses_round_trip() {
+        round_trip_resp(Response::Stats {
+            snapshot: Snapshot::default(),
+        });
+        round_trip_resp(Response::Trace {
+            trace: sample_trace(41),
+        });
+        round_trip_resp(Response::Slowlog {
+            threshold_ns: 100_000_000,
+            entries: vec![sample_trace(41), sample_trace(42)],
+        });
+        round_trip_resp(Response::Slowlog {
+            threshold_ns: u64::MAX,
+            entries: vec![],
+        });
     }
 
     #[test]

@@ -169,6 +169,10 @@ fn enqueue(shared: &Shared, mut stream: TcpStream) {
         if q.len() >= shared.queue_cap {
             drop(q);
             tsvr_obs::counter!("serve.overloaded").incr();
+            tsvr_obs::trace::incident(
+                "serve.overloaded",
+                &format!("queue at cap {}; connection shed", shared.queue_cap),
+            );
             let resp = Response::Error(ServeError::new(
                 ErrorKind::Overloaded,
                 "connection queue full; retry later",

@@ -96,9 +96,13 @@ fn learner_kind_from_spec(spec: &str) -> Option<LearnerKind> {
     })
 }
 
+/// Builds an error response, stamping it with the current trace id so a
+/// client holding only the error line can pull the request's span tree
+/// via `{"op":"trace","trace_id":N}`.
 fn err(kind: ErrorKind, message: impl Into<String>) -> Response {
     tsvr_obs::counter!("serve.errors").incr();
-    Response::Error(ServeError::new(kind, message))
+    let trace = tsvr_obs::trace::current().map(|c| c.trace);
+    Response::Error(ServeError::new(kind, message).with_trace(trace))
 }
 
 fn db_err(e: &DbError) -> Response {
@@ -138,6 +142,10 @@ impl Deadline {
             return None;
         }
         tsvr_obs::counter!("serve.deadline_exceeded").incr();
+        tsvr_obs::trace::incident(
+            "serve.deadline_exceeded",
+            &format!("budget {budget:?} spent before the work started"),
+        );
         Some(err(
             ErrorKind::DeadlineExceeded,
             format!("deadline of {budget:?} expired before the work started"),
@@ -181,16 +189,27 @@ impl Service {
     pub fn handle(&self, env: &Envelope) -> Response {
         let deadline = Deadline::new(env, &self.cfg);
         tsvr_obs::counter!("serve.requests").incr();
-        // Per-endpoint latency spans (each arm is its own probe site, so
-        // every name is static).
-        let _latency = match &env.req {
-            Request::Open { .. } => tsvr_obs::span!("serve.latency.open"),
-            Request::Resume { .. } => tsvr_obs::span!("serve.latency.resume"),
-            Request::Page { .. } => tsvr_obs::span!("serve.latency.page"),
-            Request::Feedback { .. } => tsvr_obs::span!("serve.latency.feedback"),
-            _ => tsvr_obs::span!("serve.latency.other"),
+        let op = env.req.op_name();
+        tsvr_obs::counter_labeled("serve.requests", &format!("op={op}")).incr();
+        // Retrieval ops become trace roots (each arm is its own probe
+        // site, so every name is static). Ops-plane requests — ping,
+        // stats, trace, slowlog — stay untraced so `trace` with no id
+        // always answers with the latest *real* request.
+        let _traced = match &env.req {
+            Request::Open { .. } => Some(tsvr_obs::tspan!("serve.latency.open")),
+            Request::Resume { .. } => Some(tsvr_obs::tspan!("serve.latency.resume")),
+            Request::Page { .. } => Some(tsvr_obs::tspan!("serve.latency.page")),
+            Request::Feedback { .. } => Some(tsvr_obs::tspan!("serve.latency.feedback")),
+            _ => None,
         };
-        match &env.req {
+        let _plain = match &env.req {
+            Request::Sessions { .. } | Request::Close { .. } | Request::Shutdown => {
+                Some(tsvr_obs::span!("serve.latency.other"))
+            }
+            _ => None,
+        };
+        let labeled_t0 = tsvr_obs::is_enabled().then(Instant::now);
+        let resp = match &env.req {
             Request::Open {
                 clip_id,
                 query,
@@ -208,10 +227,48 @@ impl Service {
             Request::Sessions { clip_id } => self.list_sessions(*clip_id),
             Request::Close { session_id } => self.close(*session_id),
             Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats {
+                snapshot: tsvr_obs::snapshot(),
+            },
+            Request::Trace { trace_id } => Self::trace_of(*trace_id),
+            Request::Slowlog => Response::Slowlog {
+                threshold_ns: tsvr_obs::trace::slow_threshold_ns(),
+                entries: tsvr_obs::trace::slowlog(),
+            },
             Request::Shutdown => {
                 self.begin_drain();
                 Response::ShuttingDown
             }
+        };
+        // Per-op latency with a label dimension (`serve.latency{op=x}`),
+        // alongside the per-endpoint histograms the spans feed.
+        if let Some(t0) = labeled_t0 {
+            tsvr_obs::histogram_ns_labeled("serve.latency", &format!("op={op}"))
+                .record(t0.elapsed().as_nanos() as u64);
+        }
+        resp
+    }
+
+    /// Answers a `trace` request from the retained recent-trace buffer.
+    fn trace_of(trace_id: Option<u64>) -> Response {
+        let found = match trace_id {
+            Some(id) => tsvr_obs::trace::finished(id),
+            None => tsvr_obs::trace::latest(),
+        };
+        match found {
+            Some(trace) => Response::Trace { trace },
+            None => err(
+                ErrorKind::NotFound,
+                match trace_id {
+                    Some(id) => format!(
+                        "trace {id} not retained (buffer keeps the last {} traces)",
+                        tsvr_obs::trace::RECENT_CAP
+                    ),
+                    None => "no completed traces (server built without obs, or no traced \
+                             request has finished yet)"
+                        .to_string(),
+                },
+            ),
         }
     }
 
@@ -293,6 +350,8 @@ impl Service {
             .unwrap()
             .insert(session_id, Arc::new(Mutex::new(state)));
         tsvr_obs::counter!("serve.sessions.opened").incr();
+        tsvr_obs::counter_labeled("serve.sessions.opened", &format!("session={session_id}"))
+            .incr();
         Response::Opened {
             session_id,
             clip_id,
@@ -344,6 +403,10 @@ impl Service {
             None => match LearnerKind::from_learner_name(&row.learner) {
                 Some(k) => k,
                 None => {
+                    tsvr_obs::trace::incident(
+                        "serve.learner.mismatch",
+                        &format!("session {session_id}: stored learner {:?} unknown", row.learner),
+                    );
                     return err(
                         ErrorKind::LearnerMismatch,
                         format!("stored session uses unknown learner {:?}", row.learner),
@@ -360,7 +423,13 @@ impl Service {
         }
         let learner = match tsvr_core::replay_session(&bags, &row, kind) {
             Ok(l) => l,
-            Err(e) => return err(ErrorKind::LearnerMismatch, e.to_string()),
+            Err(e) => {
+                tsvr_obs::trace::incident(
+                    "serve.learner.mismatch",
+                    &format!("session {session_id}: replay refused: {e}"),
+                );
+                return err(ErrorKind::LearnerMismatch, e.to_string());
+            }
         };
         // Reproduce the exact post-round ranking the original session
         // last served: heuristic before any feedback, learner scores
@@ -432,7 +501,7 @@ impl Service {
         let feedback: Vec<(usize, bool)> =
             labels.iter().map(|&(w, r)| (w as usize, r)).collect();
         {
-            let _span = tsvr_obs::span!("serve.learn");
+            let _span = tsvr_obs::tspan!("serve.learn");
             let SessionState {
                 learner,
                 bags,
@@ -455,13 +524,18 @@ impl Service {
             accuracies: Vec::new(),
         };
         {
-            let _span = tsvr_obs::span!("serve.checkpoint");
+            let _span = tsvr_obs::tspan!("serve.checkpoint");
             let mut db = self.db.lock().unwrap();
             if let Err(e) = db.put_session(&row).and_then(|()| db.sync()) {
                 // The in-memory session is ahead of disk; the next
                 // successful checkpoint carries this round too, because
-                // rows hold the full history.
+                // rows hold the full history. A lost checkpoint is the
+                // incident the flight recorder exists for: dump it.
                 tsvr_obs::counter!("serve.checkpoint.failed").incr();
+                tsvr_obs::trace::incident_dump(
+                    "serve.checkpoint.failed",
+                    &format!("session {session_id} round {}: {e}", state.feedback.len()),
+                );
                 return err(
                     ErrorKind::Storage,
                     format!("round applied in memory but NOT durable: {e}"),
@@ -469,6 +543,8 @@ impl Service {
             }
         }
         tsvr_obs::counter!("serve.rounds.checkpointed").incr();
+        tsvr_obs::counter_labeled("serve.rounds.checkpointed", &format!("session={session_id}"))
+            .incr();
         Response::Learned {
             session_id,
             round: state.feedback.len(),

@@ -82,7 +82,7 @@ impl OneClassSvm {
             }
         }
 
-        let _span = tsvr_obs::span!("svm.train");
+        let _span = tsvr_obs::tspan!("svm.train");
         let n = data.len();
         let c = 1.0 / (self.nu * n as f64); // upper bound per α
         let gram = self.kernel.gram(data);

@@ -131,7 +131,7 @@ impl Dataset {
     pub fn build(tracks: &[Track], config: WindowConfig) -> Dataset {
         assert!(config.window_size >= 1, "window size must be positive");
         assert!(config.stride >= 1, "stride must be positive");
-        let _span = tsvr_obs::span!("trajectory.window.build");
+        let _span = tsvr_obs::tspan!("trajectory.window.build");
         let series = build_series(tracks, &config.features);
         Self::from_series(&series, config)
     }

@@ -325,6 +325,12 @@ impl VideoDb {
     fn quarantine_clip(&mut self, clip_id: u64, offset: u64, cause: &DbError) {
         tsvr_obs::counter!("viddb.fault.detected").incr();
         tsvr_obs::counter!("viddb.fault.quarantined").incr();
+        // Data loss in progress: dump the flight recorder alongside the
+        // incident so the faulty window is inspectable post-mortem.
+        tsvr_obs::trace::incident_dump(
+            "viddb.quarantine",
+            &format!("clip {clip_id} at offset {offset}: {cause}"),
+        );
         self.catalog.remove(&clip_id);
         self.cache.invalidate(&clip_id);
         self.quarantined.insert(
@@ -590,6 +596,10 @@ impl VideoDb {
                 // whole playback query.
                 Err(e) if e.is_corruption() => {
                     tsvr_obs::counter!("viddb.fault.detected").incr();
+                    tsvr_obs::trace::incident(
+                        "viddb.segment.dropped",
+                        &format!("corrupt segment at offset {off} dropped from playback: {e}"),
+                    );
                     self.video_segments.retain(|&(_, _, _, o)| o != off);
                 }
                 Err(e) => return Err(e),

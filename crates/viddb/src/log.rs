@@ -104,6 +104,10 @@ fn with_retry<T>(mut op: impl FnMut() -> io::Result<T>) -> Result<T> {
                 tsvr_obs::counter!("viddb.retry.attempts").incr();
                 if attempts > MAX_IO_RETRIES {
                     tsvr_obs::counter!("viddb.retry.exhausted").incr();
+                    tsvr_obs::trace::incident(
+                        "viddb.retry.exhausted",
+                        &format!("{attempts} interrupted attempts: {e}"),
+                    );
                     return Err(DbError::Io(e));
                 }
             }
@@ -231,7 +235,7 @@ impl Log {
         if self.poisoned {
             return Err(DbError::LogPoisoned);
         }
-        let _span = tsvr_obs::span!("viddb.append");
+        let _span = tsvr_obs::tspan!("viddb.append");
         let offset = self.len;
         let mut framed = Vec::with_capacity(payload.len() + 8);
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -244,9 +248,17 @@ impl Log {
             tsvr_obs::counter!("viddb.fault.detected").incr();
             // Roll the torn frame back so the on-storage state is
             // unchanged by the failed append.
-            if with_retry(|| self.storage.truncate(offset)).is_err() {
+            let rolled_back = with_retry(|| self.storage.truncate(offset)).is_ok();
+            if !rolled_back {
                 self.poisoned = true;
             }
+            tsvr_obs::trace::incident(
+                "viddb.append.rollback",
+                &format!(
+                    "append at {offset} failed ({e}); rollback {}",
+                    if rolled_back { "ok" } else { "FAILED, log poisoned" }
+                ),
+            );
             return Err(e);
         }
         self.len += framed.len() as u64;
@@ -262,7 +274,7 @@ impl Log {
         if self.poisoned {
             return Err(DbError::LogPoisoned);
         }
-        let _span = tsvr_obs::span!("viddb.sync");
+        let _span = tsvr_obs::tspan!("viddb.sync");
         tsvr_obs::counter!("viddb.sync.calls").incr();
         with_retry(|| self.storage.sync())
     }

@@ -41,8 +41,22 @@ echo "==> serve bench smoke run (TSVR_BENCH_FAST=1)"
 (cd "$(mktemp -d)" && TSVR_BENCH_FAST=1 cargo run --release -q \
     --manifest-path "$repo/Cargo.toml" -p tsvr-bench --bin serve)
 
+# Obs-overhead smoke: the full traced measurement path (probes on,
+# traced, off) end to end in a scratch dir. Fast mode gates only gross
+# regressions (noise in a single short batch exceeds the real 2%
+# target); the committed full-mode BENCH_obs_overhead.json is checked
+# against the 2% acceptance number below.
+echo "==> obs_overhead bench smoke run (TSVR_BENCH_FAST=1, traced)"
+obs_tmp="$(mktemp -d)"
+(cd "$obs_tmp" && TSVR_BENCH_FAST=1 cargo run --release -q \
+    --manifest-path "$repo/Cargo.toml" -p tsvr-bench --bin obs_overhead)
+grep -q '"pass":true' "$obs_tmp/BENCH_obs_overhead.json"
+grep -q '"pass":true' BENCH_obs_overhead.json
+grep -q '"ns_per_iter_traced"' BENCH_obs_overhead.json
+
 # Serve TCP smoke: a scripted NDJSON session over bash's /dev/tcp
-# against a real `tsvr serve` process, then a cross-process check that
+# against a real `tsvr serve` process (slowlog retaining everything, so
+# the ops plane has traces to serve), then a cross-process check that
 # the checkpointed session is readable by the CLI replay path.
 echo "==> serve TCP smoke (scripted NDJSON session over /dev/tcp)"
 smoke="$(mktemp -d)"
@@ -50,7 +64,9 @@ smoke="$(mktemp -d)"
     --scenario tunnel-small --seed 7 --clip-id 1 >/dev/null
 port=$((20000 + RANDOM % 20000))
 ./target/release/tsvr serve --db "$smoke/smoke.db" \
-    --addr "127.0.0.1:$port" --workers 2 >"$smoke/serve.log" 2>&1 &
+    --addr "127.0.0.1:$port" --workers 2 \
+    --slowlog-ms 0 --flight-dump "$smoke/flight.ndjson" \
+    >"$smoke/serve.log" 2>&1 &
 serve_pid=$!
 for _ in $(seq 1 50); do
     if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then break; fi
@@ -76,6 +92,15 @@ send '{"op":"feedback","session_id":1,"labels":[[0,true],[1,false]]}'
                                                          expect '"ok":"learned"'
 send '{"op":"page","session_id":1,"n":5}';               expect '"ok":"page"'
 send '{"op":"page","session_id":99}';                    expect '"error":"not_found"'
+# Ops plane: live registry snapshot, latest trace tree, slowlog.
+send '{"op":"stats"}';                                   expect '"ok":"stats"'
+send '{"op":"trace"}';                                   expect '"ok":"trace"'
+send '{"op":"trace","trace_id":999999999}';              expect '"error":"not_found"'
+send '{"op":"slowlog"}';                                 expect '"ok":"slowlog"'
+# The CLI subcommands are thin clients over the same three ops.
+./target/release/tsvr stats --addr "127.0.0.1:$port" | grep -q 'serve.requests'
+./target/release/tsvr trace --addr "127.0.0.1:$port" | grep -q 'serve.latency.'
+./target/release/tsvr slowlog --addr "127.0.0.1:$port" | grep -q 'serve.latency.'
 send '{"op":"shutdown"}';                                expect '"ok":"shutting_down"'
 exec 3<&- 3>&-
 wait "$serve_pid"
