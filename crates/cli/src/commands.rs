@@ -10,7 +10,7 @@ use tsvr_mil::{GroundTruthOracle, Normalization, Oracle, RetrievalSession, Sessi
 use tsvr_sim::Scenario;
 use tsvr_trajectory::checkpoint::FeatureConfig;
 use tsvr_trajectory::{Dataset, WindowConfig};
-use tsvr_viddb::{ClipMeta, FrameCodec, SessionRow, VideoDb};
+use tsvr_viddb::{AnyDb, ClipMeta, FrameCodec, SessionRow, VideoDb};
 
 const USAGE: &str = "usage: tsvr <command> [--flag value ...]
 
@@ -54,6 +54,11 @@ commands:
              latest completed request when --id is omitted)
   slowlog    --addr H:P   (span trees of requests that exceeded the
              server's --slowlog-ms threshold)
+
+--db F accepts a single-file database or a sharded database directory
+(detected automatically). Pass --sharded on the command that creates a
+new database to lay it out as a directory of per-(camera, hour) shard
+logs; verify and compact then report and rewrite per shard.
 
 every command also accepts --metrics-out FILE to dump the process's
 span timings and counters as JSON on exit, and --threads N to size the
@@ -270,9 +275,16 @@ fn slowlog_cmd(args: &Args) -> Result<(), String> {
     }
 }
 
-fn open_db(args: &Args) -> Result<VideoDb, String> {
+/// Opens `--db`: an existing directory (or a fresh one under
+/// `--sharded`) is a [`tsvr_viddb::ShardedDb`]; anything else is the
+/// classic single-file database, created if absent.
+fn open_db(args: &Args) -> Result<AnyDb, String> {
     let path = args.require("db")?;
-    VideoDb::open(Path::new(path)).map_err(|e| format!("open {path}: {e}"))
+    let p = Path::new(path);
+    if args.switch("sharded") && !p.exists() {
+        std::fs::create_dir_all(p).map_err(|e| format!("create {path}: {e}"))?;
+    }
+    AnyDb::open(p).map_err(|e| format!("open {path}: {e}"))
 }
 
 fn scenario_from(args: &Args) -> Result<Scenario, ArgError> {
@@ -321,7 +333,8 @@ fn simulate(args: &Args) -> Result<(), String> {
     );
     if args.switch("archive-video") {
         eprintln!("archiving video frames...");
-        let segments = archive_clip_video(&mut db, clip_id, &clip, FrameCodec::default(), 50)
+        let vdb = db.db_for_clip_mut(clip_id).map_err(|e| e.to_string())?;
+        let segments = archive_clip_video(vdb, clip_id, &clip, FrameCodec::default(), 50)
             .map_err(|e| e.to_string())?;
         println!(
             "archived {segments} video segments ({} bytes total log)",
@@ -388,7 +401,7 @@ fn info(args: &Args) -> Result<(), String> {
 }
 
 /// `--clips 1,2,3`, defaulting to every clip in the database.
-fn clip_ids_from(args: &Args, db: &VideoDb) -> Result<Vec<u64>, String> {
+fn clip_ids_from(args: &Args, db: &AnyDb) -> Result<Vec<u64>, String> {
     match args.get("clips") {
         Some(spec) => spec
             .split(',')
@@ -407,21 +420,22 @@ fn clip_ids_from(args: &Args, db: &VideoDb) -> Result<Vec<u64>, String> {
 /// reshaping — no vision work either way) and, when indexing was asked
 /// for, persisted so the next query is a hit.
 fn indexed_dataset(
-    db: &mut VideoDb,
+    db: &mut AnyDb,
     clip_id: u64,
     use_index: bool,
     rebuild: bool,
 ) -> Result<Dataset, String> {
     let wcfg = WindowConfig::default();
+    let vdb = db.db_for_clip_mut(clip_id).map_err(|e| e.to_string())?;
     if use_index && !rebuild {
-        if let Some(ds) = tsvr_core::load_index(db, clip_id, &wcfg).map_err(|e| e.to_string())? {
+        if let Some(ds) = tsvr_core::load_index(vdb, clip_id, &wcfg).map_err(|e| e.to_string())? {
             return Ok(ds);
         }
     }
-    let bundle = db.load_clip(clip_id).map_err(|e| e.to_string())?;
+    let bundle = vdb.load_clip(clip_id).map_err(|e| e.to_string())?;
     let ds = tsvr_core::dataset_from_bundle(&bundle, wcfg);
     if use_index || rebuild {
-        tsvr_core::build_index(db, clip_id, &ds).map_err(|e| e.to_string())?;
+        tsvr_core::build_index(vdb, clip_id, &ds).map_err(|e| e.to_string())?;
     }
     Ok(ds)
 }
@@ -437,9 +451,10 @@ fn index_cmd(action: &str, args: &Args) -> Result<(), String> {
     match action {
         "build" => {
             for &id in &clip_ids {
-                let bundle = db.load_clip(id).map_err(|e| e.to_string())?;
+                let vdb = db.db_for_clip_mut(id).map_err(|e| e.to_string())?;
+                let bundle = vdb.load_clip(id).map_err(|e| e.to_string())?;
                 let ds = tsvr_core::dataset_from_bundle(&bundle, wcfg);
-                tsvr_core::build_index(&mut db, id, &ds).map_err(|e| e.to_string())?;
+                tsvr_core::build_index(vdb, id, &ds).map_err(|e| e.to_string())?;
                 println!(
                     "indexed clip {id}: {} windows, {} trajectory sequences",
                     ds.windows.len(),
@@ -456,7 +471,8 @@ fn index_cmd(action: &str, args: &Args) -> Result<(), String> {
                 // Raw presence first, so a config-hash mismatch reads
                 // as "stale", not "missing".
                 let present = db.load_index(id).map_err(|e| e.to_string())?.is_some();
-                let status = match tsvr_core::load_index(&mut db, id, &wcfg)
+                let vdb = db.db_for_clip_mut(id).map_err(|e| e.to_string())?;
+                let status = match tsvr_core::load_index(vdb, id, &wcfg)
                     .map_err(|e| e.to_string())?
                 {
                     Some(ds) => format!("fresh ({} windows)", ds.windows.len()),
@@ -591,7 +607,7 @@ fn query(args: &Args) -> Result<(), String> {
 /// feedback history, so the row with the most rounds is the freshest
 /// state; among equals the later append wins.
 fn stored_session_row(
-    db: &mut VideoDb,
+    db: &mut AnyDb,
     clip_id: u64,
     session_id: u64,
 ) -> Result<SessionRow, String> {
@@ -670,7 +686,7 @@ fn resume(args: &Args) -> Result<(), String> {
 /// a terminal).
 #[allow(clippy::too_many_arguments)] // one-shot plumbing from `query`
 fn interactive_query(
-    db: &mut VideoDb,
+    db: &mut AnyDb,
     clip_id: u64,
     bundle: &tsvr_viddb::ClipBundle,
     bags: &[tsvr_mil::Bag],
@@ -929,17 +945,25 @@ fn search(args: &Args) -> Result<(), String> {
             let labels = labels_from_bundle(&bundle, &event);
             parts.push((id, bags, labels));
         }
-        // Deterministic cross-clip preview straight off the index.
-        let clips: Vec<tsvr_core::ClipWindows> = parts
-            .iter()
-            .map(|(id, bags, _)| tsvr_core::ClipWindows {
+        // Deterministic cross-clip preview straight off the index,
+        // scattered one task per shard (byte-identical to the
+        // single-shard path at any thread count).
+        let mut by_shard: std::collections::BTreeMap<String, Vec<tsvr_core::ClipWindows>> =
+            Default::default();
+        for (id, bags, _) in &parts {
+            let shard = db.shard_of_clip(*id).unwrap_or("-").to_string();
+            by_shard.entry(shard).or_default().push(tsvr_core::ClipWindows {
                 clip_id: *id,
                 bags: bags.clone(),
-            })
+            });
+        }
+        let shards: Vec<tsvr_core::ShardWindows> = by_shard
+            .into_iter()
+            .map(|(shard, clips)| tsvr_core::ShardWindows { shard, clips })
             .collect();
         let k = args.num("top", 20)?;
         println!("heuristic top {k} (index-served):");
-        for r in tsvr_core::heuristic_topk(&clips, k) {
+        for r in tsvr_core::sharded_heuristic_topk(&shards, k) {
             println!(
                 "  clip {} window {} score {:.4}",
                 r.clip_id, r.window_index, r.score
@@ -1008,7 +1032,8 @@ fn export(args: &Args) -> Result<(), String> {
     let out = PathBuf::from(args.require("out")?);
     std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
     let frames = db
-        .load_frames(clip_id, from, to)
+        .db_for_clip_mut(clip_id)
+        .and_then(|vdb| vdb.load_frames(clip_id, from, to))
         .map_err(|e| e.to_string())?;
     if frames.is_empty() {
         return Err(format!(
@@ -1036,7 +1061,22 @@ fn compact(args: &Args) -> Result<(), String> {
 /// `compact` to drop the damage for good.
 fn verify(args: &Args) -> Result<(), String> {
     let mut db = open_db(args)?;
-    let report = db.verify().map_err(|e| e.to_string())?;
+    let reports = db.verify().map_err(|e| e.to_string())?;
+    let sharded = matches!(db, AnyDb::Sharded(_));
+    let mut report = tsvr_viddb::VerifyReport::default();
+    for (shard, r) in &reports {
+        if sharded {
+            println!(
+                "shard {shard}: {} records, {} clips intact, {} quarantined",
+                r.records_checked, r.clips_intact, r.clips_quarantined
+            );
+        }
+        report.records_checked += r.records_checked;
+        report.clips_intact += r.clips_intact;
+        report.clips_quarantined += r.clips_quarantined;
+        report.sessions_dropped += r.sessions_dropped;
+        report.segments_dropped += r.segments_dropped;
+    }
     println!(
         "verified {} records: {} clips intact, {} quarantined, {} sessions dropped, {} video segments dropped",
         report.records_checked,
@@ -1061,13 +1101,17 @@ fn verify(args: &Args) -> Result<(), String> {
             region.offset, region.len
         );
     }
-    for q in db.quarantined() {
+    for q in &faults.quarantined_clips {
         println!(
             "  quarantined clip {}: {} (re-ingest to repair, or compact to drop)",
             q.clip_id, q.reason
         );
     }
-    if report.is_clean() && faults.is_clean() {
+    let quarantined_shards = db.quarantined_shards();
+    for (file, reason) in &quarantined_shards {
+        println!("  quarantined shard {file}: {reason} (other shards keep serving)");
+    }
+    if report.is_clean() && faults.is_clean() && quarantined_shards.is_empty() {
         println!("  database is clean");
     } else {
         // Damage found, but the database still serves what survived.
@@ -1289,7 +1333,7 @@ mod tests {
         ])
         .unwrap();
         // Drive the interactive session with canned answers.
-        let mut dbh = VideoDb::open(Path::new(&db)).unwrap();
+        let mut dbh = AnyDb::open(Path::new(&db)).unwrap();
         let bundle = dbh.load_clip(1).unwrap();
         let bags = bags_from_bundle(&bundle, &FeatureConfig::default());
         let event = EventQuery::accidents();

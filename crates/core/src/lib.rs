@@ -43,7 +43,10 @@ pub use index::{
 };
 pub use ingest::{archive_clip_video, bags_from_bundle, bundle_from_clip, labels_from_bundle};
 pub use labels::label_windows;
-pub use multiclip::{heuristic_topk, learner_topk, ClipWindows, MultiClipIndex};
+pub use multiclip::{
+    heuristic_topk, learner_topk, sharded_heuristic_topk, sharded_learner_topk, ClipWindows,
+    MultiClipIndex, ShardWindows,
+};
 pub use pipeline::{
     bags_from_dataset, prepare_clip, run_session, ClipArtifacts, LearnerKind, PipelineOptions,
 };

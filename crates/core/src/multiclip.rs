@@ -167,6 +167,81 @@ pub fn learner_topk<L: Learner + ?Sized>(
     topk.into_sorted()
 }
 
+/// One shard's worth of clips, the unit of parallel scatter-gather:
+/// the query layer builds one `ShardWindows` per healthy
+/// [`tsvr_viddb::ShardedDb`] shard and ranks shards concurrently.
+#[derive(Debug, Clone)]
+pub struct ShardWindows {
+    /// Shard file name (diagnostic only; never affects ranking).
+    pub shard: String,
+    /// The shard's clips, each with its windows as MIL bags.
+    pub clips: Vec<ClipWindows>,
+}
+
+/// Merges per-shard local top-k lists into the global top-k.
+///
+/// This is where the scatter-gather determinism argument lives: any
+/// window in the *global* top `k` is necessarily in its own shard's
+/// local top `k` (removing other shards' windows can only improve its
+/// local rank), so merging locals loses nothing. And [`TopK`] is
+/// insertion-order-insensitive — its tie-break covers the full window
+/// identity `(score, clip_id, window_index)` — so the merge result
+/// does not depend on which shard's list arrives first. Together:
+/// sharded ranking is byte-identical to the single-shard path, at any
+/// thread count and any partition of clips into shards.
+fn merge_local_topk(locals: Vec<Vec<RankedWindow>>, k: usize) -> Vec<RankedWindow> {
+    let mut topk = TopK::new(k);
+    for local in locals {
+        for r in local {
+            topk.push(r.score, r.clip_id, r.window_index);
+        }
+    }
+    topk.into_sorted()
+}
+
+/// Heuristic top-k over sharded clips: shards scatter across threads
+/// via [`tsvr_par::par_map`] (order-preserving), each computes its
+/// local top-k *sequentially* (per-window [`tsvr_mil::heuristic::bag_score`],
+/// so shard-level parallelism is not nested inside bag-level
+/// parallelism), and the locals gather through [`merge_local_topk`].
+/// Byte-identical to [`heuristic_topk`] over the concatenated clips.
+pub fn sharded_heuristic_topk(shards: &[ShardWindows], k: usize) -> Vec<RankedWindow> {
+    let _span = tsvr_obs::span!("query.multiclip.sharded");
+    let locals = tsvr_par::par_map(shards, |_, shard| {
+        let mut topk = TopK::new(k);
+        for clip in &shard.clips {
+            for bag in &clip.bags {
+                topk.push(tsvr_mil::heuristic::bag_score(bag), clip.clip_id, bag.id as u32);
+            }
+        }
+        topk.into_sorted()
+    });
+    merge_local_topk(locals, k)
+}
+
+/// Learner-scored top-k over sharded clips; same scatter-gather shape
+/// and determinism argument as [`sharded_heuristic_topk`]
+/// ([`Learner::score_all`] is bit-identical to per-bag
+/// [`Learner::score`], which each shard applies sequentially).
+/// Byte-identical to [`learner_topk`] over the concatenated clips.
+pub fn sharded_learner_topk<L: Learner + Sync + ?Sized>(
+    shards: &[ShardWindows],
+    learner: &L,
+    k: usize,
+) -> Vec<RankedWindow> {
+    let _span = tsvr_obs::span!("query.multiclip.sharded");
+    let locals = tsvr_par::par_map(shards, |_, shard| {
+        let mut topk = TopK::new(k);
+        for clip in &shard.clips {
+            for bag in &clip.bags {
+                topk.push(learner.score(bag), clip.clip_id, bag.id as u32);
+            }
+        }
+        topk.into_sorted()
+    });
+    merge_local_topk(locals, k)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +413,64 @@ mod tests {
                 .unwrap();
             assert_eq!(r.score.to_bits(), learner.score(bag).to_bits());
         }
+    }
+
+    /// Byte-level equality of two rankings.
+    fn assert_rankings_identical(a: &[RankedWindow], b: &[RankedWindow]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+            assert_eq!((x.clip_id, x.window_index), (y.clip_id, y.window_index));
+        }
+    }
+
+    /// Every way to split the clips into shards must give the same
+    /// bytes as the unsharded path, at one thread and at many.
+    #[test]
+    fn sharded_topk_byte_identical_to_single_shard_at_any_thread_count() {
+        let clips = two_clip_windows();
+        let k = 8;
+        let flat_h = heuristic_topk(&clips, k);
+        let all_bags: Vec<tsvr_mil::Bag> = clips.iter().flat_map(|c| c.bags.clone()).collect();
+        let learner = LearnerKind::paper_weighted_rf().build_for(&all_bags);
+        let flat_l = learner_topk(&clips, &learner, k);
+
+        let partitions: Vec<Vec<ShardWindows>> = vec![
+            // One shard holding everything (the degenerate case).
+            vec![ShardWindows { shard: "s0".into(), clips: clips.clone() }],
+            // One clip per shard.
+            clips
+                .iter()
+                .map(|c| ShardWindows { shard: format!("s{}", c.clip_id), clips: vec![c.clone()] })
+                .collect(),
+            // Reversed shard order — merge must not care.
+            clips
+                .iter()
+                .rev()
+                .map(|c| ShardWindows { shard: format!("s{}", c.clip_id), clips: vec![c.clone()] })
+                .collect(),
+            // An empty shard mixed in.
+            vec![
+                ShardWindows { shard: "empty".into(), clips: vec![] },
+                ShardWindows { shard: "all".into(), clips: clips.clone() },
+            ],
+        ];
+        let saved = tsvr_par::current_threads();
+        for threads in [1, 4] {
+            tsvr_par::set_threads(threads);
+            for shards in &partitions {
+                assert_rankings_identical(&sharded_heuristic_topk(shards, k), &flat_h);
+                assert_rankings_identical(&sharded_learner_topk(shards, &learner, k), &flat_l);
+            }
+        }
+        tsvr_par::set_threads(saved);
+    }
+
+    #[test]
+    fn sharded_topk_of_nothing_is_empty() {
+        assert!(sharded_heuristic_topk(&[], 5).is_empty());
+        let shards = [ShardWindows { shard: "empty".into(), clips: vec![] }];
+        assert!(sharded_heuristic_topk(&shards, 5).is_empty());
     }
 
     #[test]

@@ -17,10 +17,12 @@ use crate::oracle::Oracle;
 
 /// A retrieval learner driven by bag-level relevance feedback.
 ///
-/// `Send` is a supertrait so trained learners can live inside a
-/// concurrent session manager (`tsvr-serve`): every learner here is
-/// plain owned data, so the bound costs implementors nothing.
-pub trait Learner: Send {
+/// `Send + Sync` are supertraits so trained learners can live inside
+/// a concurrent session manager (`tsvr-serve`) and be shared across
+/// scatter-gather query threads (`tsvr-core::multiclip`): every
+/// learner here is plain owned data, so the bounds cost implementors
+/// nothing.
+pub trait Learner: Send + Sync {
     /// Incorporates labeled bags. `feedback` holds `(bag_id, relevant)`
     /// pairs; bags the learner has already seen may repeat.
     fn learn(&mut self, bags: &[Bag], feedback: &[(usize, bool)]);

@@ -58,15 +58,31 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    /// Writes raw bytes with a `u32` length prefix.
-    pub fn put_bytes(&mut self, v: &[u8]) {
-        self.put_u32(v.len() as u32);
-        self.buf.extend_from_slice(v);
+    /// Writes a collection length as a checked `u32` prefix.
+    ///
+    /// A length over `u32::MAX` (or the codec's `MAX_LEN` sanity bound,
+    /// which decode enforces) surfaces as [`DbError::TooLarge`] instead
+    /// of the silent `as u32` truncation that would corrupt the record.
+    pub fn put_len(&mut self, n: usize, context: &'static str) -> Result<()> {
+        match u32::try_from(n) {
+            Ok(v) if (v as u64) <= MAX_LEN => {
+                self.put_u32(v);
+                Ok(())
+            }
+            _ => Err(DbError::TooLarge { context, len: n }),
+        }
     }
 
-    /// Writes a UTF-8 string with a `u32` length prefix.
-    pub fn put_str(&mut self, v: &str) {
-        self.put_bytes(v.as_bytes());
+    /// Writes raw bytes with a checked `u32` length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) -> Result<()> {
+        self.put_len(v.len(), "byte slice")?;
+        self.buf.extend_from_slice(v);
+        Ok(())
+    }
+
+    /// Writes a UTF-8 string with a checked `u32` length prefix.
+    pub fn put_str(&mut self, v: &str) -> Result<()> {
+        self.put_bytes(v.as_bytes())
     }
 
     /// Writes a boolean as one byte.
@@ -172,33 +188,33 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// CRC-32 (IEEE) lookup table, built at first use.
-fn crc_table() -> &'static [u32; 256] {
-    use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, e) in table.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 {
-                    0xEDB88320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-            }
-            *e = c;
+/// CRC-32 (IEEE) lookup table, evaluated at compile time — no lazy
+/// initialization (or its synchronization) on the checksum path.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB88320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
         }
-        table
-    })
-}
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
 
 /// CRC-32 (IEEE 802.3) of a byte slice.
 pub fn crc32(data: &[u8]) -> u32 {
-    let table = crc_table();
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
 }
@@ -230,9 +246,9 @@ mod tests {
     #[test]
     fn string_and_bytes_round_trip() {
         let mut w = Writer::new();
-        w.put_str("tunnel 北上");
-        w.put_bytes(&[1, 2, 3]);
-        w.put_str("");
+        w.put_str("tunnel 北上").unwrap();
+        w.put_bytes(&[1, 2, 3]).unwrap();
+        w.put_str("").unwrap();
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.get_str().unwrap(), "tunnel 北上");
@@ -252,7 +268,7 @@ mod tests {
     #[test]
     fn truncated_string_detected() {
         let mut w = Writer::new();
-        w.put_str("hello");
+        w.put_str("hello").unwrap();
         let mut bytes = w.into_bytes();
         bytes.truncate(bytes.len() - 2);
         let mut r = Reader::new(&bytes);
@@ -262,7 +278,7 @@ mod tests {
     #[test]
     fn invalid_utf8_detected() {
         let mut w = Writer::new();
-        w.put_bytes(&[0xFF, 0xFE, 0xFD]);
+        w.put_bytes(&[0xFF, 0xFE, 0xFD]).unwrap();
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert!(matches!(r.get_str().unwrap_err(), DbError::InvalidUtf8));
@@ -304,10 +320,37 @@ mod tests {
 
     #[test]
     fn crc32_known_vectors() {
-        // Standard test vector.
+        // Standard test vectors — these pin the const table: any change
+        // to its construction that alters the polynomial or bit order
+        // fails here.
         assert_eq!(crc32(b"123456789"), 0xCBF43926);
         assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
         assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    #[test]
+    fn crc_table_first_entries_pinned() {
+        // Spot-check the compile-time table itself against the IEEE
+        // 802.3 reflected polynomial's known first entries.
+        assert_eq!(CRC_TABLE[0], 0);
+        assert_eq!(CRC_TABLE[1], 0x7707_3096);
+        assert_eq!(CRC_TABLE[255], 0x2D02_EF8D);
+    }
+
+    #[test]
+    fn oversized_length_rejected_on_encode() {
+        let mut w = Writer::new();
+        // One past the decode-side sanity bound must fail on encode —
+        // otherwise we could write records our own reader rejects.
+        let err = w.put_len((MAX_LEN + 1) as usize, "rows").unwrap_err();
+        assert!(matches!(err, DbError::TooLarge { context: "rows", len } if len as u64 == MAX_LEN + 1));
+        // Nothing was written by the failed call.
+        assert!(w.is_empty());
+        // A length at the bound encodes fine.
+        w.put_len(3, "rows").unwrap();
+        assert_eq!(w.len(), 4);
     }
 
     #[test]

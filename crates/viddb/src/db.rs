@@ -5,7 +5,10 @@ use crate::codec::{Reader, Writer};
 use crate::error::{DbError, Result};
 use crate::frames::{FrameCodec, StoredFrame};
 use crate::log::{CorruptRegion, Log};
-use crate::record::{ClipBundle, ClipMeta, IndexSegment, SessionRow, INDEX_FORMAT_VERSION, INDEX_MAGIC};
+use crate::record::{
+    ClipBundle, ClipMeta, IndexSegment, SessionRow, INDEX_COMPRESSED_VERSION,
+    INDEX_FORMAT_VERSION, INDEX_MAGIC,
+};
 use crate::storage::Storage;
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -17,6 +20,11 @@ const TAG_SESSION: u8 = 2;
 const TAG_TOMBSTONE: u8 = 3;
 const TAG_VIDEO: u8 = 4;
 const TAG_INDEX: u8 = 5;
+/// Compressed feature-index segment (XOR-delta + bit-packed f64 rows).
+/// A *new* tag rather than a version bump inside tag 5 so archives
+/// written before compression existed still decode byte-for-byte
+/// through the old path.
+const TAG_INDEX_C: u8 = 6;
 
 /// Default number of decoded clip bundles kept in the buffer cache.
 pub const DEFAULT_CACHE_CAPACITY: usize = 8;
@@ -219,6 +227,13 @@ impl VideoDb {
                 let clip_id = r.get_u64()?;
                 self.indexes.insert(clip_id, offset);
             }
+            TAG_INDEX_C => {
+                if r.get_u32()? != INDEX_MAGIC || r.get_u32()? != INDEX_COMPRESSED_VERSION {
+                    return Err(DbError::BadMagic);
+                }
+                let clip_id = r.get_u64()?;
+                self.indexes.insert(clip_id, offset);
+            }
             t => return Err(DbError::UnknownRecordType(t)),
         }
         Ok(())
@@ -235,18 +250,18 @@ impl VideoDb {
         w.put_u8(TAG_CLIP);
         // The metadata is encoded first so the catalog can be rebuilt
         // without decoding whole bundles.
-        bundle.meta.encode(&mut w);
-        w.put_u32(bundle.tracks.len() as u32);
+        bundle.meta.encode(&mut w)?;
+        w.put_len(bundle.tracks.len(), "bundle tracks")?;
         for t in &bundle.tracks {
-            t.encode(&mut w);
+            t.encode(&mut w)?;
         }
-        w.put_u32(bundle.windows.len() as u32);
+        w.put_len(bundle.windows.len(), "bundle windows")?;
         for win in &bundle.windows {
-            win.encode(&mut w);
+            win.encode(&mut w)?;
         }
-        w.put_u32(bundle.incidents.len() as u32);
+        w.put_len(bundle.incidents.len(), "bundle incidents")?;
         for inc in &bundle.incidents {
-            inc.encode(&mut w);
+            inc.encode(&mut w)?;
         }
         let offset = self.log.append(&w.into_bytes())?;
         self.catalog.insert(id, (bundle.meta.clone(), offset));
@@ -352,11 +367,25 @@ impl VideoDb {
             return Err(DbError::ClipNotFound(segment.clip_id));
         }
         let mut w = Writer::new();
-        w.put_u8(TAG_INDEX);
-        segment.encode(&mut w);
+        // New indexes are written compressed (tag 6). Uncompressed tag-5
+        // records from older archives remain readable forever — the tag
+        // selects the decode path.
+        w.put_u8(TAG_INDEX_C);
+        segment.encode_compressed(&mut w)?;
         let offset = self.log.append(&w.into_bytes())?;
         self.indexes.insert(segment.clip_id, offset);
         Ok(())
+    }
+
+    /// Decodes an index record payload, dispatching on the record tag
+    /// (uncompressed tag 5 vs compressed tag 6).
+    fn decode_index_payload(payload: &[u8]) -> Result<IndexSegment> {
+        let mut r = Reader::new(payload);
+        match r.get_u8()? {
+            TAG_INDEX => IndexSegment::decode(&mut r),
+            TAG_INDEX_C => IndexSegment::decode_compressed(&mut r),
+            t => Err(DbError::UnknownRecordType(t)),
+        }
     }
 
     /// Loads the stored feature index of a clip, if one exists.
@@ -371,12 +400,7 @@ impl VideoDb {
         };
         let _span = tsvr_obs::span!("viddb.load_index");
         let decoded = self.log.read(offset).and_then(|payload| {
-            let mut r = Reader::new(&payload);
-            let tag = r.get_u8()?;
-            if tag != TAG_INDEX {
-                return Err(DbError::UnknownRecordType(tag));
-            }
-            let seg = IndexSegment::decode(&mut r)?;
+            let seg = Self::decode_index_payload(&payload)?;
             if seg.clip_id != clip_id {
                 return Err(DbError::BadMagic);
             }
@@ -469,7 +493,7 @@ impl VideoDb {
     pub fn put_session(&mut self, session: &SessionRow) -> Result<()> {
         let mut w = Writer::new();
         w.put_u8(TAG_SESSION);
-        session.encode(&mut w);
+        session.encode(&mut w)?;
         let offset = self.log.append(&w.into_bytes())?;
         self.sessions
             .push((session.session_id, session.clip_id, offset));
@@ -546,8 +570,8 @@ impl VideoDb {
         w.put_u8(TAG_VIDEO);
         w.put_u64(clip_id);
         w.put_u32(start_frame);
-        w.put_u32(frames.len() as u32);
-        w.put_bytes(&payload);
+        w.put_len(frames.len(), "video frames")?;
+        w.put_bytes(&payload)?;
         let offset = self.log.append(&w.into_bytes())?;
         self.video_segments
             .push((clip_id, start_frame, frames.len() as u32, offset));
@@ -676,14 +700,11 @@ impl VideoDb {
         let index_offsets: Vec<(u64, u64)> =
             self.indexes.iter().map(|(&id, &off)| (id, off)).collect();
         for (id, off) in index_offsets {
-            match self.log.read(off).and_then(|p| {
-                let mut r = Reader::new(&p);
-                let tag = r.get_u8()?;
-                if tag != TAG_INDEX {
-                    return Err(DbError::UnknownRecordType(tag));
-                }
-                IndexSegment::decode(&mut r).map(|_| p)
-            }) {
+            match self
+                .log
+                .read(off)
+                .and_then(|p| Self::decode_index_payload(&p).map(|_| p))
+            {
                 Ok(payload) => live.push(payload),
                 Err(e) if e.is_corruption() => {
                     tsvr_obs::counter!("viddb.fault.detected").incr();
@@ -789,14 +810,10 @@ impl VideoDb {
             self.indexes.iter().map(|(&id, &off)| (id, off)).collect();
         for (id, off) in index_offsets {
             report.records_checked += 1;
-            let ok = self.log.read(off).and_then(|p| {
-                let mut r = Reader::new(&p);
-                let tag = r.get_u8()?;
-                if tag != TAG_INDEX {
-                    return Err(DbError::UnknownRecordType(tag));
-                }
-                IndexSegment::decode(&mut r).map(|_| ())
-            });
+            let ok = self
+                .log
+                .read(off)
+                .and_then(|p| Self::decode_index_payload(&p).map(|_| ()));
             match ok {
                 Ok(()) => {}
                 Err(e) if e.is_corruption() => {
@@ -1152,6 +1169,46 @@ mod tests {
         db.delete_clip(1).unwrap();
         assert_eq!(db.index_count(), 0);
         assert_eq!(db.load_index(1).unwrap(), None);
+    }
+
+    #[test]
+    fn legacy_uncompressed_index_records_still_load() {
+        // Archives written before compression existed hold tag-5
+        // records; they must keep loading, verifying, and surviving
+        // compaction unchanged.
+        let mut db = VideoDb::in_memory();
+        db.put_clip(&sample_bundle(1)).unwrap();
+        let seg = sample_index(1);
+        let mut w = Writer::new();
+        w.put_u8(TAG_INDEX);
+        seg.encode(&mut w).unwrap();
+        let off = db.log.append(&w.into_bytes()).unwrap();
+        db.indexes.insert(1, off);
+        assert_eq!(db.load_index(1).unwrap(), Some(seg.clone()));
+        assert!(db.verify().unwrap().is_clean());
+        db.compact().unwrap();
+        assert_eq!(db.load_index(1).unwrap(), Some(seg));
+    }
+
+    #[test]
+    fn compressed_index_smaller_than_uncompressed_for_regular_rows() {
+        // Index features are regular measurement series; the tag-6
+        // record must beat the tag-5 encoding for them.
+        let mut seg = sample_index(1);
+        seg.windows[0].track_ids = (0..32).collect();
+        seg.windows[0].features = (0..32 * 9).map(|i| i as f64 * 0.25).collect();
+        seg.windows[1].track_ids = (0..16).collect();
+        seg.windows[1].features = (0..16 * 9).map(|i| 40.0 + i as f64 * 0.5).collect();
+        let mut wu = Writer::new();
+        seg.encode(&mut wu).unwrap();
+        let mut wc = Writer::new();
+        seg.encode_compressed(&mut wc).unwrap();
+        assert!(
+            wc.len() < wu.len(),
+            "compressed {} >= uncompressed {}",
+            wc.len(),
+            wu.len()
+        );
     }
 
     #[test]

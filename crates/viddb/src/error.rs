@@ -35,6 +35,31 @@ pub enum DbError {
     /// A failed append could not be rolled back; the log refuses
     /// further writes (reads still work) until reopened.
     LogPoisoned,
+    /// A collection handed to the encoder exceeds the `u32` length
+    /// prefix (or the codec's sanity bound). This is a caller mistake
+    /// caught before any bytes hit the log — previously the length was
+    /// cast with `as u32` and silently truncated, corrupting the record.
+    TooLarge {
+        /// What was being encoded.
+        context: &'static str,
+        /// The offending element count.
+        len: usize,
+    },
+    /// An empty payload was handed to [`crate::log::Log::append`].
+    /// Zero-length frames are reserved as a corruption signature: an
+    /// all-zero 8-byte window decodes as a "valid" empty frame (length
+    /// zero plus the CRC-32 of empty input, which is zero), so recovery
+    /// must be able to treat them as damage, never as data.
+    EmptyRecord,
+    /// A shard of a [`crate::shard::ShardedDb`] failed to open and was
+    /// quarantined; operations routed to it fail while the remaining
+    /// shards keep serving.
+    ShardUnavailable {
+        /// Shard file name within the database directory.
+        file: String,
+        /// Why the shard was quarantined (the stringified open error).
+        reason: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -58,6 +83,15 @@ impl fmt::Display for DbError {
             }
             DbError::LogPoisoned => {
                 write!(f, "log poisoned by an unrecoverable append failure; reopen to recover")
+            }
+            DbError::TooLarge { context, len } => {
+                write!(f, "{context} with {len} elements exceeds the u32 length prefix")
+            }
+            DbError::EmptyRecord => {
+                write!(f, "empty record payloads are not supported (zero-length frames are reserved as a corruption signature)")
+            }
+            DbError::ShardUnavailable { file, reason } => {
+                write!(f, "shard {file} is quarantined: {reason}")
             }
         }
     }
@@ -126,6 +160,10 @@ mod tests {
         assert!(!DbError::ClipNotFound(1).is_corruption());
         assert!(!DbError::ClipQuarantined(1).is_corruption());
         assert!(!DbError::LogPoisoned.is_corruption());
+        // TooLarge and EmptyRecord are caller mistakes caught on encode,
+        // not stored-data corruption — they must never trigger quarantine.
+        assert!(!DbError::TooLarge { context: "rows", len: 5 }.is_corruption());
+        assert!(!DbError::EmptyRecord.is_corruption());
     }
 
     #[test]

@@ -90,7 +90,7 @@ impl FrameCodec {
         w.put_u8(self.quant_step);
         w.put_u32(first.width);
         w.put_u32(first.height);
-        w.put_u32(frames.len() as u32);
+        w.put_len(frames.len(), "frame segment")?;
 
         let mut prev: Vec<u8> = Vec::new();
         let mut stream: Vec<u8> = Vec::with_capacity(first.pixels.len());
@@ -103,7 +103,7 @@ impl FrameCodec {
             }
             prev = q;
         }
-        w.put_bytes(&rle_compress(&stream));
+        w.put_bytes(&rle_compress(&stream))?;
         Ok(w.into_bytes())
     }
 
@@ -329,7 +329,7 @@ mod tests {
         w.put_u32(u32::MAX); // width
         w.put_u32(u32::MAX); // height
         w.put_u32(1); // count
-        w.put_bytes(&[1, 0]); // tiny rle stream
+        w.put_bytes(&[1, 0]).unwrap(); // tiny rle stream
         assert!(matches!(
             FrameCodec::decode_segment(&w.into_bytes()).unwrap_err(),
             DbError::LengthOutOfBounds(_)

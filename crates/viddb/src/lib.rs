@@ -22,20 +22,29 @@
 //! * [`frames`] — lossy-quantized, delta-coded, RLE-compressed video
 //!   frame segments, so retrieved Video Sequences can be played back;
 //! * [`cache`] — an LRU buffer cache for decoded clip bundles;
+//! * [`compress`] — XOR-delta + bit-packed compression for the flat
+//!   f64 feature rows of index segments (per-chunk raw fallback, bit-
+//!   exact round trip);
 //! * [`db`] — [`db::VideoDb`]: the log + in-memory catalog + cache, with
 //!   metadata queries (by location, camera, time range) and session
-//!   persistence.
+//!   persistence;
+//! * [`shard`] — [`shard::ShardedDb`]: a directory of independently
+//!   compacted per-`(camera, time-bucket)` [`db::VideoDb`] shards
+//!   behind a manifest log, routing writes by shard key and degrading
+//!   per shard on damage.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod codec;
+pub mod compress;
 pub mod db;
 pub mod error;
 pub mod frames;
 pub mod log;
 pub mod record;
+pub mod shard;
 pub mod storage;
 
 pub use cache::CacheStats;
@@ -45,6 +54,7 @@ pub use frames::{FrameCodec, StoredFrame};
 pub use log::{CorruptRegion, RecoveryReport};
 pub use record::{
     ClipBundle, ClipMeta, IncidentRow, IndexSegment, IndexWindowRow, SequenceRow, SessionRow,
-    TrackRow, WindowRow, INDEX_FORMAT_VERSION, INDEX_MAGIC,
+    TrackRow, WindowRow, INDEX_COMPRESSED_VERSION, INDEX_FORMAT_VERSION, INDEX_MAGIC,
 };
+pub use shard::{AnyDb, ShardId, ShardInfo, ShardedDb, DEFAULT_TIME_BUCKET_SECS, MANIFEST_FILE};
 pub use storage::{FaultHandle, FaultKind, FaultyStorage, FileStorage, MemStorage, OpKind, Storage};

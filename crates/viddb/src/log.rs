@@ -235,6 +235,23 @@ impl Log {
         if self.poisoned {
             return Err(DbError::LogPoisoned);
         }
+        // The frame length prefix is u32 and readers reject anything
+        // over MAX_LEN — refuse such payloads up front instead of
+        // letting `as u32` truncate the prefix and corrupt the frame.
+        if payload.len() as u64 > MAX_LEN {
+            return Err(DbError::TooLarge {
+                context: "record payload",
+                len: payload.len(),
+            });
+        }
+        // Zero-length frames are reserved as a corruption signature: an
+        // all-zero 8-byte window IS a checksum-valid empty frame (len 0,
+        // crc32("") == 0), so recovery treats such frames as damage. A
+        // zero run at a torn tail would otherwise resync onto phantom
+        // empty records instead of being truncated.
+        if payload.is_empty() {
+            return Err(DbError::EmptyRecord);
+        }
         let _span = tsvr_obs::tspan!("viddb.append");
         let offset = self.len;
         let mut framed = Vec::with_capacity(payload.len() + 8);
@@ -285,7 +302,10 @@ impl Log {
         self.read_exact_at(offset, &mut header)?;
         let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as u64;
         let stored_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
-        if len > MAX_LEN || offset + 8 + len > self.len {
+        // len == 0 is reserved: `append` never writes empty frames, so a
+        // zero-length header (which an all-zero window satisfies, since
+        // crc32 of empty input is zero) can only be damage.
+        if len == 0 || len > MAX_LEN || offset + 8 + len > self.len {
             return Err(DbError::ChecksumMismatch { offset });
         }
         let mut payload = vec![0u8; len as usize];
@@ -338,7 +358,7 @@ impl Log {
         let mut header = [0u8; 8];
         self.read_exact_at(offset, &mut header)?;
         let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as u64;
-        if len <= MAX_LEN && offset + 8 + len <= self.len {
+        if (1..=MAX_LEN).contains(&len) && offset + 8 + len <= self.len {
             Ok(Some(offset + 8 + len))
         } else {
             Ok(None)
@@ -620,10 +640,156 @@ mod tests {
     }
 
     #[test]
-    fn empty_payload_round_trips() {
+    fn empty_payload_is_rejected() {
+        // Zero-length frames are reserved as a corruption signature
+        // (see `append`): an all-zero 8-byte window decodes as a
+        // checksum-valid empty frame, so recovery must never have to
+        // distinguish a real empty record from a zero run left by a
+        // torn write.
         let mut log = Log::in_memory();
-        let off = log.append(b"").unwrap();
-        assert_eq!(log.read(off).unwrap(), b"");
+        let before = log.len();
+        assert!(matches!(log.append(b""), Err(DbError::EmptyRecord)));
+        assert_eq!(log.len(), before, "rejected append must not grow the log");
+        // The log still works afterwards.
+        let off = log.append(b"real").unwrap();
+        assert_eq!(log.read(off).unwrap(), b"real");
+        assert_eq!(log.scan().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn tail_tear_over_zero_run_truncates_instead_of_phantom_resync() {
+        // A record whose payload ends in a zero run (ubiquitous in real
+        // records: empty-vec length prefixes, zero u64 fields) is torn
+        // mid-frame. The surviving suffix contains 8-byte windows that
+        // are all zero — each one a checksum-valid *empty* frame (len 0,
+        // crc32("") == 0). Resync must not chain through those phantom
+        // records and report a mid-log corrupt region; the damage is a
+        // torn tail and must be truncated.
+        let path = temp_path("zero-run-tear");
+        {
+            let mut log = Log::open(&path).unwrap();
+            let mut payload = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+            payload.extend_from_slice(&[0u8; 24]);
+            log.append(&payload).unwrap();
+            log.sync().unwrap();
+        }
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 4).unwrap();
+        drop(f);
+
+        let mut log = Log::open(&path).unwrap();
+        let report = log.recovery_report().clone();
+        assert!(
+            report.regions.is_empty(),
+            "tail tear misclassified as mid-log corruption: {report:?}"
+        );
+        assert!(report.truncated_tail > 0, "torn tail bytes must be counted");
+        assert_eq!(log.scan().unwrap().len(), 0, "no phantom records may survive");
+        // The truncated log accepts new records cleanly.
+        let off = log.append(b"after recovery").unwrap();
+        assert_eq!(log.read(off).unwrap(), b"after recovery");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // ---- resync tail-bound regression tests (satellite 3) ----------------
+    //
+    // The resync window is bounded by `self.len.saturating_sub(8)`. That
+    // bound is correct — a valid record header needs 8 bytes, so no
+    // resync *candidate* can start past len-8 — but corruption *within*
+    // the last 8 bytes of the file exercises the edge the bound guards.
+    // Two cases pin the behavior:
+
+    #[test]
+    fn trailing_record_corrupt_payload_near_eof_is_quarantined() {
+        // Flip a payload byte of the FINAL record, inside the last 8
+        // bytes of the file. The record's length field is intact, so
+        // header_plausible yields `next == len` and the `cand ==
+        // self.len` arm quarantines exactly the damaged record — the
+        // earlier record must survive and nothing may be truncated.
+        let path = temp_path("tail-payload");
+        let (first_off, tail_off, file_len);
+        {
+            let mut log = Log::open(&path).unwrap();
+            first_off = log.append(b"earlier record that must survive").unwrap();
+            tail_off = log.append(b"tail").unwrap();
+            file_len = log.len();
+            log.sync().unwrap();
+        }
+        {
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            // Last payload byte of the final record — within 8 bytes of EOF.
+            f.seek(SeekFrom::Start(file_len - 1)).unwrap();
+            f.write_all(b"\xff").unwrap();
+        }
+        {
+            let mut log = Log::open(&path).unwrap();
+            let report = log.recovery_report().clone();
+            assert_eq!(report.truncated_tail, 0, "tail must be quarantined, not truncated");
+            assert_eq!(report.regions.len(), 1);
+            assert_eq!(report.regions[0].offset, tail_off);
+            assert_eq!(report.regions[0].len, file_len - tail_off);
+            let all = log.scan().unwrap();
+            assert_eq!(all.len(), 1, "record before the damage must survive");
+            assert_eq!(all[0].0, first_off);
+            assert_eq!(all[0].1, b"earlier record that must survive");
+            // The log keeps accepting appends after the damaged tail.
+            log.append(b"new record").unwrap();
+            assert_eq!(log.scan().unwrap().len(), 2);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn trailing_record_corrupt_header_near_eof_is_torn_tail() {
+        // Corrupt the FINAL record's length field so the frame no
+        // longer fits the file. No plausible resync candidate exists at
+        // or before len-8, which is indistinguishable from a torn
+        // write — the record is truncated away (standard WAL rule) and
+        // everything before it survives.
+        let path = temp_path("tail-header");
+        let (first_off, tail_off);
+        {
+            let mut log = Log::open(&path).unwrap();
+            first_off = log.append(b"earlier record that must survive").unwrap();
+            tail_off = log.append(b"x").unwrap(); // 9-byte frame: header ends within 8 bytes of EOF
+            log.sync().unwrap();
+        }
+        {
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(tail_off)).unwrap();
+            f.write_all(&u32::MAX.to_le_bytes()).unwrap(); // hostile length
+        }
+        {
+            let mut log = Log::open(&path).unwrap();
+            let report = log.recovery_report().clone();
+            assert_eq!(report.regions.len(), 0);
+            assert_eq!(report.truncated_tail, 9, "damaged final frame truncated");
+            assert_eq!(log.len(), tail_off);
+            let all = log.scan().unwrap();
+            assert_eq!(all.len(), 1);
+            assert_eq!(all[0].0, first_off);
+            log.append(b"new record").unwrap();
+            assert_eq!(log.scan().unwrap().len(), 2);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn oversized_payload_rejected_before_framing() {
+        // MAX_LEN + 1 bytes would truncate the u32 length prefix (or be
+        // rejected by every reader); append must refuse up front and
+        // leave the log untouched.
+        let mut log = Log::in_memory();
+        log.append(b"keep").unwrap();
+        let before = log.len();
+        let huge = vec![0u8; (MAX_LEN + 1) as usize];
+        assert!(matches!(
+            log.append(&huge).unwrap_err(),
+            DbError::TooLarge { context: "record payload", .. }
+        ));
+        assert_eq!(log.len(), before);
+        assert!(!log.is_poisoned());
         assert_eq!(log.scan().unwrap().len(), 1);
     }
 }

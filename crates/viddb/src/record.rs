@@ -100,6 +100,12 @@ pub const INDEX_MAGIC: u32 = u32::from_le_bytes(*b"TSIX");
 /// old segments are rejected (and rebuilt) instead of misdecoded.
 pub const INDEX_FORMAT_VERSION: u32 = 1;
 
+/// Format version of *compressed* `TSIX` segments (XOR-delta +
+/// bit-packed feature rows, stored under their own record tag). Kept
+/// distinct from [`INDEX_FORMAT_VERSION`] so a compressed payload can
+/// never be misread through the uncompressed path or vice versa.
+pub const INDEX_COMPRESSED_VERSION: u32 = 2;
+
 /// One window's worth of precomputed retrieval features inside an index
 /// segment: the frame span, the per-trajectory-sequence track ids, and
 /// the flat concatenation of their α feature vectors.
@@ -159,15 +165,16 @@ pub struct ClipBundle {
 
 impl ClipMeta {
     /// Serializes the record.
-    pub fn encode(&self, w: &mut Writer) {
+    pub fn encode(&self, w: &mut Writer) -> Result<()> {
         w.put_u64(self.clip_id);
-        w.put_str(&self.name);
-        w.put_str(&self.location);
-        w.put_str(&self.camera);
+        w.put_str(&self.name)?;
+        w.put_str(&self.location)?;
+        w.put_str(&self.camera)?;
         w.put_u64(self.start_time);
         w.put_u32(self.frame_count);
         w.put_u32(self.width);
         w.put_u32(self.height);
+        Ok(())
     }
 
     /// Deserializes the record.
@@ -187,14 +194,15 @@ impl ClipMeta {
 
 impl TrackRow {
     /// Serializes the record.
-    pub fn encode(&self, w: &mut Writer) {
+    pub fn encode(&self, w: &mut Writer) -> Result<()> {
         w.put_u64(self.track_id);
         w.put_u32(self.start_frame);
-        w.put_u32(self.centroids.len() as u32);
+        w.put_len(self.centroids.len(), "track centroids")?;
         for &(x, y) in &self.centroids {
             w.put_u32(x.to_bits());
             w.put_u32(y.to_bits());
         }
+        Ok(())
     }
 
     /// Deserializes the record.
@@ -217,14 +225,15 @@ impl TrackRow {
 }
 
 impl SequenceRow {
-    fn encode(&self, w: &mut Writer) {
+    fn encode(&self, w: &mut Writer) -> Result<()> {
         w.put_u64(self.track_id);
-        w.put_u32(self.alphas.len() as u32);
+        w.put_len(self.alphas.len(), "sequence alphas")?;
         for a in &self.alphas {
             for &v in a {
                 w.put_f64(v);
             }
         }
+        Ok(())
     }
 
     fn decode(r: &mut Reader) -> Result<SequenceRow> {
@@ -240,14 +249,15 @@ impl SequenceRow {
 
 impl WindowRow {
     /// Serializes the record.
-    pub fn encode(&self, w: &mut Writer) {
+    pub fn encode(&self, w: &mut Writer) -> Result<()> {
         w.put_u32(self.window_index);
         w.put_u32(self.start_frame);
         w.put_u32(self.end_frame);
-        w.put_u32(self.sequences.len() as u32);
+        w.put_len(self.sequences.len(), "window sequences")?;
         for s in &self.sequences {
-            s.encode(w);
+            s.encode(w)?;
         }
+        Ok(())
     }
 
     /// Deserializes the record.
@@ -271,14 +281,15 @@ impl WindowRow {
 
 impl IncidentRow {
     /// Serializes the record.
-    pub fn encode(&self, w: &mut Writer) {
-        w.put_str(&self.kind);
+    pub fn encode(&self, w: &mut Writer) -> Result<()> {
+        w.put_str(&self.kind)?;
         w.put_u32(self.start_frame);
         w.put_u32(self.end_frame);
-        w.put_u32(self.vehicle_ids.len() as u32);
+        w.put_len(self.vehicle_ids.len(), "incident vehicle ids")?;
         for &id in &self.vehicle_ids {
             w.put_u64(id);
         }
+        Ok(())
     }
 
     /// Deserializes the record.
@@ -301,19 +312,20 @@ impl IncidentRow {
 }
 
 impl IndexWindowRow {
-    fn encode(&self, w: &mut Writer) {
+    fn encode(&self, w: &mut Writer) -> Result<()> {
         w.put_u32(self.window_index);
         w.put_u64(self.start_checkpoint);
         w.put_u64(self.start_frame);
         w.put_u64(self.end_frame);
-        w.put_u32(self.track_ids.len() as u32);
+        w.put_len(self.track_ids.len(), "index track ids")?;
         for &id in &self.track_ids {
             w.put_u64(id);
         }
-        w.put_u32(self.features.len() as u32);
+        w.put_len(self.features.len(), "index features")?;
         for &v in &self.features {
             w.put_f64(v);
         }
+        Ok(())
     }
 
     fn decode(r: &mut Reader, feature_dim: u32) -> Result<IndexWindowRow> {
@@ -349,16 +361,17 @@ impl IndexWindowRow {
 
 impl IndexSegment {
     /// Serializes the segment, magic + format version first.
-    pub fn encode(&self, w: &mut Writer) {
+    pub fn encode(&self, w: &mut Writer) -> Result<()> {
         w.put_u32(INDEX_MAGIC);
         w.put_u32(INDEX_FORMAT_VERSION);
         w.put_u64(self.clip_id);
         w.put_u64(self.config_hash);
         w.put_u32(self.feature_dim);
-        w.put_u32(self.windows.len() as u32);
+        w.put_len(self.windows.len(), "index windows")?;
         for win in &self.windows {
-            win.encode(w);
+            win.encode(w)?;
         }
+        Ok(())
     }
 
     /// Deserializes a segment. A wrong magic or an unknown format
@@ -389,25 +402,101 @@ impl IndexSegment {
     }
 }
 
+impl IndexSegment {
+    /// Serializes the segment with compressed feature rows: identical
+    /// header and per-window layout to [`IndexSegment::encode`], except
+    /// the format version is [`INDEX_COMPRESSED_VERSION`] and each
+    /// window's flat f64 matrix is a length-prefixed
+    /// [`crate::compress`] buffer instead of raw 8-byte values.
+    pub fn encode_compressed(&self, w: &mut Writer) -> Result<()> {
+        w.put_u32(INDEX_MAGIC);
+        w.put_u32(INDEX_COMPRESSED_VERSION);
+        w.put_u64(self.clip_id);
+        w.put_u64(self.config_hash);
+        w.put_u32(self.feature_dim);
+        w.put_len(self.windows.len(), "index windows")?;
+        for win in &self.windows {
+            w.put_u32(win.window_index);
+            w.put_u64(win.start_checkpoint);
+            w.put_u64(win.start_frame);
+            w.put_u64(win.end_frame);
+            w.put_len(win.track_ids.len(), "index track ids")?;
+            for &id in &win.track_ids {
+                w.put_u64(id);
+            }
+            w.put_bytes(&crate::compress::compress_f64s(&win.features)?)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a compressed segment. Decompressed feature rows are
+    /// bit-exact; shape mismatches, bad magic, and corrupt compressed
+    /// streams all fail as corruption (so the database drops and
+    /// rebuilds the segment).
+    pub fn decode_compressed(r: &mut Reader) -> Result<IndexSegment> {
+        if r.get_u32()? != INDEX_MAGIC {
+            return Err(DbError::BadMagic);
+        }
+        if r.get_u32()? != INDEX_COMPRESSED_VERSION {
+            return Err(DbError::BadMagic);
+        }
+        let clip_id = r.get_u64()?;
+        let config_hash = r.get_u64()?;
+        let feature_dim = r.get_u32()?;
+        let n = r.get_len_bounded(32)?; // fixed window header alone is 32 bytes
+        let mut windows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let window_index = r.get_u32()?;
+            let start_checkpoint = r.get_u64()?;
+            let start_frame = r.get_u64()?;
+            let end_frame = r.get_u64()?;
+            let t = r.get_len_bounded(8)?; // u64 per track id
+            let mut track_ids = Vec::with_capacity(t);
+            for _ in 0..t {
+                track_ids.push(r.get_u64()?);
+            }
+            let features = crate::compress::decompress_f64s(r.get_bytes()?)?;
+            if features.len() != t.saturating_mul(feature_dim as usize) {
+                return Err(DbError::LengthOutOfBounds(features.len() as u64));
+            }
+            windows.push(IndexWindowRow {
+                window_index,
+                start_checkpoint,
+                start_frame,
+                end_frame,
+                track_ids,
+                features,
+            });
+        }
+        Ok(IndexSegment {
+            clip_id,
+            config_hash,
+            feature_dim,
+            windows,
+        })
+    }
+}
+
 impl SessionRow {
     /// Serializes the record.
-    pub fn encode(&self, w: &mut Writer) {
+    pub fn encode(&self, w: &mut Writer) -> Result<()> {
         w.put_u64(self.session_id);
         w.put_u64(self.clip_id);
-        w.put_str(&self.query);
-        w.put_str(&self.learner);
-        w.put_u32(self.feedback.len() as u32);
+        w.put_str(&self.query)?;
+        w.put_str(&self.learner)?;
+        w.put_len(self.feedback.len(), "session rounds")?;
         for round in &self.feedback {
-            w.put_u32(round.len() as u32);
+            w.put_len(round.len(), "session round items")?;
             for &(win, rel) in round {
                 w.put_u32(win);
                 w.put_bool(rel);
             }
         }
-        w.put_u32(self.accuracies.len() as u32);
+        w.put_len(self.accuracies.len(), "session accuracies")?;
         for &a in &self.accuracies {
             w.put_f64(a);
         }
+        Ok(())
     }
 
     /// Deserializes the record.
@@ -525,11 +614,11 @@ mod tests {
 
     fn round_trip<T: PartialEq + std::fmt::Debug>(
         v: &T,
-        enc: impl Fn(&T, &mut Writer),
+        enc: impl Fn(&T, &mut Writer) -> Result<()>,
         dec: impl Fn(&mut Reader) -> Result<T>,
     ) {
         let mut w = Writer::new();
-        enc(v, &mut w);
+        enc(v, &mut w).unwrap();
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         let back = dec(&mut r).unwrap();
@@ -601,7 +690,7 @@ mod tests {
     fn index_segment_rejects_wrong_magic_and_version() {
         let seg = test_fixtures::sample_index(9);
         let mut w = Writer::new();
-        seg.encode(&mut w);
+        seg.encode(&mut w).unwrap();
         let bytes = w.into_bytes();
 
         let mut bad_magic = bytes.clone();
@@ -624,7 +713,7 @@ mod tests {
         let mut seg = test_fixtures::sample_index(9);
         seg.windows[0].features.pop(); // 17 values for 2 × 9 slots
         let mut w = Writer::new();
-        seg.encode(&mut w);
+        seg.encode(&mut w).unwrap();
         let bytes = w.into_bytes();
         let err = IndexSegment::decode(&mut Reader::new(&bytes)).unwrap_err();
         assert!(err.is_corruption(), "shape mismatch not corruption: {err:?}");
@@ -634,7 +723,7 @@ mod tests {
     fn truncated_index_segment_fails_cleanly() {
         let seg = test_fixtures::sample_index(9);
         let mut w = Writer::new();
-        seg.encode(&mut w);
+        seg.encode(&mut w).unwrap();
         let bytes = w.into_bytes();
         for cut in [0usize, 3, 8, 20, bytes.len() / 2, bytes.len() - 1] {
             let mut r = Reader::new(&bytes[..cut]);
@@ -649,11 +738,95 @@ mod tests {
     fn truncated_record_fails_cleanly() {
         let b = sample_bundle(9);
         let mut w = Writer::new();
-        b.windows[0].encode(&mut w);
+        b.windows[0].encode(&mut w).unwrap();
         let bytes = w.into_bytes();
         for cut in [1usize, 5, bytes.len() / 2, bytes.len() - 1] {
             let mut r = Reader::new(&bytes[..cut]);
             assert!(WindowRow::decode(&mut r).is_err(), "cut at {cut} succeeded");
         }
+    }
+
+    #[test]
+    fn compressed_index_segment_round_trips_bit_exact() {
+        let seg = test_fixtures::sample_index(9);
+        round_trip(&seg, IndexSegment::encode_compressed, IndexSegment::decode_compressed);
+        let empty = IndexSegment {
+            clip_id: 1,
+            config_hash: 7,
+            feature_dim: 9,
+            windows: vec![],
+        };
+        round_trip(&empty, IndexSegment::encode_compressed, IndexSegment::decode_compressed);
+        // NaN payloads and signed zeros in feature rows survive bitwise.
+        let mut special = test_fixtures::sample_index(2);
+        special.windows[1].features = vec![
+            f64::from_bits(0x7ff8_0000_dead_beef),
+            -0.0,
+            f64::NEG_INFINITY,
+            5e-324,
+            0.0,
+            1.5,
+            -2.25,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+        ];
+        let mut w = Writer::new();
+        special.encode_compressed(&mut w).unwrap();
+        let back = IndexSegment::decode_compressed(&mut Reader::new(&w.into_bytes())).unwrap();
+        for (a, b) in special.windows[1].features.iter().zip(&back.windows[1].features) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn compressed_and_uncompressed_cannot_cross_decode() {
+        let seg = test_fixtures::sample_index(9);
+        let mut wc = Writer::new();
+        seg.encode_compressed(&mut wc).unwrap();
+        let compressed = wc.into_bytes();
+        let mut wu = Writer::new();
+        seg.encode(&mut wu).unwrap();
+        let uncompressed = wu.into_bytes();
+        // The version field firewalls the two framings.
+        assert!(matches!(
+            IndexSegment::decode(&mut Reader::new(&compressed)),
+            Err(DbError::BadMagic)
+        ));
+        assert!(matches!(
+            IndexSegment::decode_compressed(&mut Reader::new(&uncompressed)),
+            Err(DbError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncated_compressed_segment_fails_cleanly() {
+        let seg = test_fixtures::sample_index(9);
+        let mut w = Writer::new();
+        seg.encode_compressed(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        for cut in [0usize, 3, 8, 20, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(
+                IndexSegment::decode_compressed(&mut r).is_err(),
+                "cut at {cut} succeeded"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_collection_fails_typed_not_truncated() {
+        // A centroid vector whose length exceeds the u32 prefix would
+        // previously have been silently truncated by `as u32`; the
+        // checked encoder must refuse with TooLarge before any bytes
+        // are framed. Exercised via put_len directly — allocating 2^32
+        // centroids is not practical in a unit test, and put_len is the
+        // single choke point every record encoder now routes through.
+        let mut w = Writer::new();
+        let err = w.put_len(u32::MAX as usize + 1, "track centroids").unwrap_err();
+        assert!(matches!(
+            err,
+            DbError::TooLarge { context: "track centroids", .. }
+        ));
+        assert!(!err.is_corruption());
     }
 }

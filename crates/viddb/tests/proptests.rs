@@ -55,8 +55,8 @@ fn scalar_codec_round_trip() {
         w.put_u32(b);
         w.put_u64(c);
         w.put_f64(d);
-        w.put_str(&s);
-        w.put_bytes(&blob);
+        w.put_str(&s).unwrap();
+        w.put_bytes(&blob).unwrap();
         let buf = w.into_bytes();
         let mut r = Reader::new(&buf);
         assert_eq!(r.get_u8().unwrap(), a, "case {case}");
@@ -119,7 +119,7 @@ fn track_row_round_trips() {
                 .collect(),
         };
         let mut w = Writer::new();
-        row.encode(&mut w);
+        row.encode(&mut w).unwrap();
         let buf = w.into_bytes();
         let mut r = Reader::new(&buf);
         assert_eq!(TrackRow::decode(&mut r).unwrap(), row, "case {case}");
@@ -140,7 +140,7 @@ fn clip_meta_round_trips() {
             height: 240,
         };
         let mut w = Writer::new();
-        meta.encode(&mut w);
+        meta.encode(&mut w).unwrap();
         let buf = w.into_bytes();
         assert_eq!(
             ClipMeta::decode(&mut Reader::new(&buf)).unwrap(),
@@ -166,7 +166,7 @@ fn incident_and_session_rows_round_trip() {
             vehicle_ids: ids,
         };
         let mut w = Writer::new();
-        inc.encode(&mut w);
+        inc.encode(&mut w).unwrap();
         let buf = w.into_bytes();
         assert_eq!(
             IncidentRow::decode(&mut Reader::new(&buf)).unwrap(),
@@ -183,7 +183,7 @@ fn incident_and_session_rows_round_trip() {
             accuracies: accs,
         };
         let mut w = Writer::new();
-        ses.encode(&mut w);
+        ses.encode(&mut w).unwrap();
         let buf = w.into_bytes();
         assert_eq!(
             SessionRow::decode(&mut Reader::new(&buf)).unwrap(),
@@ -198,7 +198,9 @@ fn log_round_trips_arbitrary_records() {
     check::cases(96, |case, rng| {
         let records: Vec<Vec<u8>> = (0..rng.uniform_usize(20))
             .map(|_| {
-                let len = rng.uniform_usize(80);
+                // Frames are non-empty by contract (zero-length frames
+                // are reserved as a corruption signature).
+                let len = check::len_in(rng, 1, 80);
                 bytes(rng, len)
             })
             .collect();
@@ -235,7 +237,7 @@ fn log_survives_any_single_bit_flip() {
     check::cases(96, |case, rng| {
         let records: Vec<Vec<u8>> = (0..check::len_in(rng, 1, 10))
             .map(|_| {
-                let len = check::len_in(rng, 0, 60);
+                let len = check::len_in(rng, 1, 60);
                 bytes(rng, len)
             })
             .collect();
@@ -272,7 +274,7 @@ fn log_recovers_exact_record_prefix_under_truncation() {
     check::cases(96, |case, rng| {
         let records: Vec<Vec<u8>> = (0..check::len_in(rng, 1, 8))
             .map(|_| {
-                let len = check::len_in(rng, 0, 50);
+                let len = check::len_in(rng, 1, 50);
                 bytes(rng, len)
             })
             .collect();
@@ -325,7 +327,7 @@ fn corrupted_record_bytes_never_panic_decoders() {
                 .collect(),
         };
         let mut w = Writer::new();
-        row.encode(&mut w);
+        row.encode(&mut w).unwrap();
         let clean = w.into_bytes();
 
         // Bit flip.
@@ -351,7 +353,7 @@ fn corrupted_record_bytes_never_panic_decoders() {
             accuracies: check::vec_f64(rng, 3, 0.0, 1.0),
         };
         let mut w = Writer::new();
-        ses.encode(&mut w);
+        ses.encode(&mut w).unwrap();
         let mut enc = w.into_bytes();
         let byte = rng.uniform_usize(enc.len());
         enc[byte] ^= 1 << rng.uniform_u32(8);

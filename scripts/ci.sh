@@ -20,6 +20,14 @@ TSVR_THREADS=1 cargo test -q --workspace
 echo "==> crash-consistency suite (TSVR_CRASH_FAST=1)"
 TSVR_CRASH_FAST=1 cargo test -q --test crash_consistency
 
+# Sharded crash sweep: a crash at every op boundary of a cross-shard
+# workload (torn tail on a rotating victim file, manifest included)
+# must leave every shard independently recoverable. Fast mode thins the
+# sweep to every 3rd crash point; the full sweep runs with the
+# workspace tests above.
+echo "==> sharded crash sweep (TSVR_CRASH_FAST=1)"
+TSVR_CRASH_FAST=1 cargo test -q -p tsvr-viddb --test shard_crash
+
 # The smoke run exercises the bench end-to-end but writes its JSON in a
 # scratch directory so it cannot clobber a committed paper-scale
 # BENCH_parallel.json.
@@ -34,6 +42,19 @@ repo="$PWD"
 echo "==> index bench smoke run (TSVR_BENCH_FAST=1)"
 (cd "$(mktemp -d)" && TSVR_BENCH_FAST=1 cargo run --release -q \
     --manifest-path "$repo/Cargo.toml" -p tsvr-bench --bin index)
+
+# Shard bench smoke: proves the scatter-gather byte-identity assertion
+# (sharded vs flat path, 1 vs N threads) and the compressed index
+# codec's bit-exact round trip end to end; the committed paper-scale
+# BENCH_shard.json stays untouched and is sanity-checked below.
+echo "==> shard bench smoke run (TSVR_BENCH_FAST=1)"
+shard_tmp="$(mktemp -d)"
+(cd "$shard_tmp" && TSVR_BENCH_FAST=1 cargo run --release -q \
+    --manifest-path "$repo/Cargo.toml" -p tsvr-bench --bin shard)
+grep -q '"pass":true' "$shard_tmp/BENCH_shard.json"
+grep -q '"rankings_byte_identical":true' BENCH_shard.json
+grep -q '"compression_bit_exact":true' BENCH_shard.json
+grep -q '"pass":true' BENCH_shard.json
 
 # Serve bench smoke: proves the TCP fan-out and the byte-identity
 # assertion against the single-threaded in-process path end to end.
