@@ -15,8 +15,12 @@ use tsvr_viddb::{AnyDb, ClipMeta, FrameCodec, SessionRow, VideoDb};
 const USAGE: &str = "usage: tsvr <command> [--flag value ...]
 
 commands:
-  simulate   --db F --scenario tunnel|intersection|tunnel-small --seed N --clip-id N
-             [--frames N] [--location L] [--camera C] [--archive-video]
+  simulate   --db F --scenario tunnel|intersection|tunnel-small|<fleet> --seed N
+             --clip-id N [--frames N] [--location L] [--camera C] [--archive-video]
+  sim        --list | --scenario <fleet-name> [--seed N]
+             (the scenario fleet: list the hard retrieval-quality
+             scenarios, or dry-run one and print its incident log
+             without touching a database)
   list       --db F [--location L] [--camera C]
   info       --db F --clip-id N
   query      --db F --clip-id N [--event accident|u_turn|speeding]
@@ -96,6 +100,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     }
     let result = match cmd.as_str() {
         "simulate" => simulate(&args),
+        "sim" => sim_fleet(&args),
         "list" => list(&args),
         "info" => info(&args),
         "query" => query(&args),
@@ -293,7 +298,10 @@ fn scenario_from(args: &Args) -> Result<Scenario, ArgError> {
         "tunnel" => Scenario::tunnel_paper(seed),
         "intersection" => Scenario::intersection_paper(seed),
         "tunnel-small" => Scenario::tunnel_small(seed),
-        other => return Err(format!("unknown scenario {other:?}")),
+        // Fall through to the fleet registry: any member name is a
+        // valid scenario everywhere a preset is (`tsvr sim --list`).
+        other => tsvr_sim::fleet::scenario(other, seed)
+            .ok_or_else(|| format!("unknown scenario {other:?} (tsvr sim --list)"))?,
     };
     if let Some(frames) = args.get("frames") {
         s.total_frames = frames
@@ -301,6 +309,71 @@ fn scenario_from(args: &Args) -> Result<Scenario, ArgError> {
             .map_err(|_| format!("--frames: cannot parse {frames:?}"))?;
     }
     Ok(s)
+}
+
+/// `tsvr sim` — the scenario-fleet front door: list the registry or
+/// dry-run one member (simulation only, no vision/database) and print
+/// its ground-truth incident log.
+fn sim_fleet(args: &Args) -> Result<(), String> {
+    if args.switch("list") || args.get("scenario").is_none() {
+        println!("{:<18}{:<18}{:<9}summary", "scenario", "target", "cameras");
+        for m in tsvr_sim::fleet::members() {
+            println!(
+                "{:<18}{:<18}{:<9}{}",
+                m.name,
+                m.target.name(),
+                m.cameras,
+                m.summary
+            );
+        }
+        return Ok(());
+    }
+    let name = args.require("scenario")?;
+    let seed = args.num::<u64>("seed", 2007)?;
+    let member = tsvr_sim::fleet::member(name)
+        .ok_or_else(|| format!("unknown fleet scenario {name:?} (tsvr sim --list)"))?;
+    let scenario = tsvr_sim::fleet::scenario(name, seed).expect("member implies scenario");
+    eprintln!(
+        "running {name} ({} frames, seed {seed}, target {})...",
+        scenario.total_frames,
+        member.target.name()
+    );
+    let out = tsvr_sim::World::run(scenario);
+    println!(
+        "{name}: {} frames, {} incidents",
+        out.frames.len(),
+        out.incidents.len()
+    );
+    println!("{:<18}{:>8}{:>8}  vehicles", "kind", "start", "end");
+    for rec in &out.incidents {
+        let ids: Vec<String> = rec.vehicle_ids.iter().map(|id| id.to_string()).collect();
+        println!(
+            "{:<18}{:>8}{:>8}  {}",
+            rec.kind.name(),
+            rec.start_frame,
+            rec.end_frame,
+            ids.join(",")
+        );
+    }
+    let targets = out
+        .incidents
+        .iter()
+        .filter(|r| r.kind == member.target)
+        .count();
+    if member.cameras > 1 {
+        let cut = tsvr_sim::fleet::handoff_split_frame(&out, member.target);
+        println!(
+            "camera boundary at frame {cut} ({} target incident(s) span it)",
+            targets
+        );
+    }
+    if targets == 0 {
+        return Err(format!(
+            "target {} never triggered at seed {seed}",
+            member.target.name()
+        ));
+    }
+    Ok(())
 }
 
 fn simulate(args: &Args) -> Result<(), String> {
@@ -513,11 +586,9 @@ fn learner_from(args: &Args) -> Result<LearnerKind, String> {
 }
 
 fn event_from(args: &Args) -> Result<EventQuery, String> {
-    Ok(match args.get("event").unwrap_or("accident") {
-        "accident" => EventQuery::accidents(),
-        "u_turn" => EventQuery::u_turns(),
-        "speeding" => EventQuery::speeding(),
-        other => return Err(format!("unknown event {other:?}")),
+    let name = args.get("event").unwrap_or("accident");
+    EventQuery::from_name(name).ok_or_else(|| {
+        format!("unknown event {name:?} (accident or any incident kind name, e.g. u_turn, wrong_way)")
     })
 }
 
@@ -652,11 +723,7 @@ fn resume(args: &Args) -> Result<(), String> {
 
     let bundle = db.load_clip(clip_id).map_err(|e| e.to_string())?;
     let bags = bags_from_bundle(&bundle, &FeatureConfig::default());
-    let event = match row.query.as_str() {
-        "u_turn" => EventQuery::u_turns(),
-        "speeding" => EventQuery::speeding(),
-        _ => EventQuery::accidents(),
-    };
+    let event = EventQuery::from_name(&row.query).unwrap_or_else(EventQuery::accidents);
     let oracle = GroundTruthOracle::new(labels_from_bundle(&bundle, &event));
     let top_n = args.num("top", 20)?;
     let rounds = args.num("rounds", 2)?;
@@ -1230,6 +1297,55 @@ mod tests {
         // A post-compaction verify must still find a clean database.
         run(&["verify", "--db", &db]).unwrap();
         let _ = std::fs::remove_dir_all(&out);
+        let _ = std::fs::remove_file(&db);
+    }
+
+    #[test]
+    fn sim_lists_and_runs_fleet_members() {
+        // Bare `sim` and `sim --list` both print the registry.
+        run(&["sim"]).unwrap();
+        run(&["sim", "--list"]).unwrap();
+        // A dry run of a fleet member succeeds and needs no --db.
+        run(&["sim", "--scenario", "wrong_way", "--seed", "2007"]).unwrap();
+        // The handoff member reports its camera boundary.
+        run(&["sim", "--scenario", "handoff", "--seed", "2007"]).unwrap();
+        assert!(run(&["sim", "--scenario", "ufo_landing"]).is_err());
+    }
+
+    #[test]
+    fn fleet_members_simulate_into_a_db_and_answer_their_query() {
+        let db = temp_db("fleet");
+        run(&[
+            "simulate",
+            "--db",
+            &db,
+            "--scenario",
+            "pedestrian",
+            "--seed",
+            "2007",
+            "--clip-id",
+            "9",
+        ])
+        .unwrap();
+        // The fleet member's target kind is a valid --event name.
+        run(&[
+            "query",
+            "--db",
+            &db,
+            "--clip-id",
+            "9",
+            "--event",
+            "pedestrian",
+            "--rounds",
+            "1",
+            "--top",
+            "5",
+        ])
+        .unwrap();
+        assert!(run(&[
+            "query", "--db", &db, "--clip-id", "9", "--event", "warp_drive",
+        ])
+        .is_err());
         let _ = std::fs::remove_file(&db);
     }
 

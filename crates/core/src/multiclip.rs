@@ -207,6 +207,7 @@ fn merge_local_topk(locals: Vec<Vec<RankedWindow>>, k: usize) -> Vec<RankedWindo
 /// Byte-identical to [`heuristic_topk`] over the concatenated clips.
 pub fn sharded_heuristic_topk(shards: &[ShardWindows], k: usize) -> Vec<RankedWindow> {
     let _span = tsvr_obs::span!("query.multiclip.sharded");
+    tsvr_obs::counter!("query.scatter.shards").add(shards.len() as u64);
     let locals = tsvr_par::par_map(shards, |_, shard| {
         let mut topk = TopK::new(k);
         for clip in &shard.clips {
@@ -230,6 +231,7 @@ pub fn sharded_learner_topk<L: Learner + Sync + ?Sized>(
     k: usize,
 ) -> Vec<RankedWindow> {
     let _span = tsvr_obs::span!("query.multiclip.sharded");
+    tsvr_obs::counter!("query.scatter.shards").add(shards.len() as u64);
     let locals = tsvr_par::par_map(shards, |_, shard| {
         let mut topk = TopK::new(k);
         for clip in &shard.clips {

@@ -49,12 +49,21 @@ impl ClipArtifacts {
 /// extraction → bag construction for one scenario.
 pub fn prepare_clip(scenario: &Scenario, opts: &PipelineOptions) -> ClipArtifacts {
     let _span = tsvr_obs::tspan!("core.prepare_clip");
-    let sim = World::run(scenario.clone());
-    let vision = tsvr_vision::pipeline::process(&sim, scenario.kind, &opts.vision);
+    prepare_sim(World::run(scenario.clone()), scenario.kind, opts)
+}
+
+/// Runs the downstream half of [`prepare_clip`] on an already-simulated
+/// recording: rendering → segmentation/tracking → feature extraction →
+/// bag construction. This is the entry point for recordings that are
+/// not one whole `World::run` output — e.g. the per-camera halves of a
+/// multi-camera handoff split ([`tsvr_sim::SimOutput::split_at`]).
+pub fn prepare_sim(sim: SimOutput, kind: ScenarioKind, opts: &PipelineOptions) -> ClipArtifacts {
+    let _span = tsvr_obs::tspan!("core.prepare_sim");
+    let vision = tsvr_vision::pipeline::process(&sim, kind, &opts.vision);
     let dataset = Dataset::build(&vision.tracks, opts.window);
     let bags = bags_from_dataset(&dataset);
     ClipArtifacts {
-        kind: scenario.kind,
+        kind,
         sim,
         vision,
         dataset,

@@ -49,6 +49,25 @@ impl EventQuery {
         }
     }
 
+    /// A single-kind query targeting one incident kind (the fleet
+    /// members' queries: each scenario is retrieved by its own target).
+    pub fn for_kind(kind: IncidentKind) -> EventQuery {
+        EventQuery {
+            name: kind.name(),
+            kinds: vec![kind],
+        }
+    }
+
+    /// Parses a query name: the named composites (`accident`) first,
+    /// then any single [`IncidentKind`] name (`u_turn`, `wrong_way`,
+    /// `near_miss_brake`, ...).
+    pub fn from_name(name: &str) -> Option<EventQuery> {
+        match name {
+            "accident" => Some(EventQuery::accidents()),
+            other => IncidentKind::from_name(other).map(EventQuery::for_kind),
+        }
+    }
+
     /// Whether an incident kind matches this query.
     pub fn matches(&self, kind: IncidentKind) -> bool {
         self.kinds.contains(&kind)
@@ -197,6 +216,45 @@ mod tests {
         assert!(s.kinds.iter().all(|&k| !a.matches(k)));
         assert!(u.matches(IncidentKind::UTurn));
         assert!(s.matches(IncidentKind::Speeding));
+    }
+
+    #[test]
+    fn query_names_round_trip_through_from_name() {
+        assert_eq!(EventQuery::from_name("accident"), Some(EventQuery::accidents()));
+        assert_eq!(EventQuery::from_name("u_turn"), Some(EventQuery::u_turns()));
+        assert_eq!(EventQuery::from_name("speeding"), Some(EventQuery::speeding()));
+        assert_eq!(EventQuery::from_name("warp_drive"), None);
+        // Every incident kind — including the fleet kinds — is queryable
+        // by name, and the query is the single-kind query.
+        for k in IncidentKind::ALL {
+            let q = EventQuery::from_name(k.name());
+            if k.is_accident() {
+                assert!(q.is_some());
+            } else {
+                assert_eq!(q, Some(EventQuery::for_kind(k)));
+                assert_eq!(q.unwrap().name, k.name());
+            }
+        }
+    }
+
+    #[test]
+    fn topk_order_matches_mil_rank_with_ties() {
+        // Single-clip pin: TopK's (score desc, clip id, window index)
+        // order must coincide with `mil::metrics::rank_with_ties`'s
+        // index tie-break, so a precision@k computed over a mil ranking
+        // agrees with what the TopK-served query path would return for
+        // the same scores.
+        let scores = [0.4, f64::NAN, 0.9, 0.4, 0.4, 0.2, 0.9];
+        let mut tk = TopK::new(scores.len());
+        for (w, &s) in scores.iter().enumerate() {
+            tk.push(s, 0, w as u32);
+        }
+        let topk_order: Vec<usize> = tk
+            .into_sorted()
+            .iter()
+            .map(|r| r.window_index as usize)
+            .collect();
+        assert_eq!(topk_order, tsvr_mil::metrics::rank_with_ties(&scores));
     }
 
     #[test]

@@ -22,6 +22,43 @@ pub fn accuracy_at(ranking: &[usize], labels: &[bool], n: usize) -> f64 {
     hits as f64 / n as f64
 }
 
+/// Precision@n: fraction of the *returned* results in the top `n` that
+/// are relevant. Unlike [`accuracy_at`] the denominator is the number
+/// of results actually returned (`min(n, ranking.len())`), so a short
+/// result list is not penalized for empty slots.
+pub fn precision_at(ranking: &[usize], labels: &[bool], n: usize) -> f64 {
+    let page = ranking.len().min(n);
+    if page == 0 {
+        return 0.0;
+    }
+    let hits = ranking
+        .iter()
+        .take(n)
+        .filter(|&&b| labels.get(b).copied().unwrap_or(false))
+        .count();
+    hits as f64 / page as f64
+}
+
+/// Ranks indices `0..scores.len()` by descending score with the same
+/// deterministic order as `core::query::TopK`: comparison is total
+/// ([`f64::total_cmp`] with NaN demoted to `-inf`), and exact score
+/// ties break toward the *lower* index. A top-`k` prefix of this
+/// ranking therefore never depends on input order or thread count —
+/// precision@k straddling a tie is well-defined and reproducible.
+pub fn rank_with_ties(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    let key = |i: usize| {
+        let s = scores[i];
+        if s.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            s
+        }
+    };
+    idx.sort_by(|&a, &b| key(b).total_cmp(&key(a)).then(a.cmp(&b)));
+    idx
+}
+
 /// Recall@n: fraction of all relevant bags that appear in the top `n`.
 pub fn recall_at(ranking: &[usize], labels: &[bool], n: usize) -> f64 {
     let total_relevant = labels.iter().filter(|&&l| l).count();
@@ -127,5 +164,49 @@ mod tests {
     fn out_of_range_bags_count_as_irrelevant() {
         let l = labels();
         assert_eq!(accuracy_at(&[100, 101], &l, 2), 0.0);
+    }
+
+    #[test]
+    fn precision_divides_by_returned_page() {
+        let l = labels();
+        assert_eq!(precision_at(&[0, 2], &l, 4), 1.0); // 2 hits / 2 returned
+        assert_eq!(precision_at(&[0, 1, 2, 3], &l, 4), 0.5);
+        assert_eq!(precision_at(&[], &l, 4), 0.0);
+        assert_eq!(precision_at(&[0], &l, 0), 0.0);
+    }
+
+    #[test]
+    fn rank_with_ties_breaks_toward_lower_index() {
+        // Three-way tie at 0.5: indices must come out ascending, so a
+        // top-2 prefix that straddles the tie is deterministic.
+        let ranking = rank_with_ties(&[0.5, 0.9, 0.5, 0.5, 0.1]);
+        assert_eq!(ranking, vec![1, 0, 2, 3, 4]);
+        let l = [false, true, true, false, false];
+        assert_eq!(precision_at(&ranking, &l, 2), 0.5);
+    }
+
+    #[test]
+    fn rank_with_ties_demotes_nan_without_panicking() {
+        let ranking = rank_with_ties(&[f64::NAN, 0.2, f64::NAN, 0.7]);
+        assert_eq!(ranking, vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn rank_with_ties_matches_session_rank_scores() {
+        // The session-level ranker must share this ordering exactly
+        // (bag ids there are the indices here).
+        let scores = [0.4, 0.4, f64::NAN, 0.8, 0.4];
+        let bags: Vec<crate::bag::Bag> = (0..scores.len())
+            .map(|i| {
+                crate::bag::Bag::new(
+                    i,
+                    vec![crate::bag::Instance::new(i as u64, vec![vec![0.0; 3]])],
+                )
+            })
+            .collect();
+        assert_eq!(
+            rank_with_ties(&scores),
+            crate::session::rank_scores(&bags, &scores)
+        );
     }
 }

@@ -29,6 +29,26 @@ pub enum IncidentKind {
     /// A vehicle exceeds the desired speed substantially (distractor /
     /// alternative query target).
     Speeding,
+    /// Near-miss, low risk grade: a leader brakes to a crawl and the
+    /// follower resolves the conflict by braking hard — no contact,
+    /// both resume (Kataoka-style near-miss taxonomy).
+    NearMissBrake,
+    /// Near-miss, high risk grade: the follower resolves the conflict
+    /// by swerving around the braking leader at speed.
+    NearMissSwerve,
+    /// Occlusion-heavy merge: a vehicle cuts laterally into the
+    /// adjacent lane just ahead of another, the two footprints passing
+    /// close enough that the segmenter sees merged/occluded blobs.
+    OcclusionMerge,
+    /// Stop-and-go shockwave: the platoon leader pulses to a crawl and
+    /// back, propagating a braking wave through its followers.
+    Shockwave,
+    /// Wrong-way driver: a vehicle turns around and travels against the
+    /// flow until it leaves the scene.
+    WrongWay,
+    /// Pedestrian incursion: a pedestrian-scale mover crosses the
+    /// roadway while an approaching vehicle brakes for it.
+    Pedestrian,
 }
 
 impl IncidentKind {
@@ -55,8 +75,30 @@ impl IncidentKind {
             IncidentKind::SideCollision => 35,
             IncidentKind::UTurn => 30,
             IncidentKind::Speeding => 80,
+            IncidentKind::NearMissBrake => 25,
+            IncidentKind::NearMissSwerve => 25,
+            IncidentKind::OcclusionMerge => 30,
+            IncidentKind::Shockwave => 55,
+            IncidentKind::WrongWay => 60,
+            IncidentKind::Pedestrian => 40,
         }
     }
+
+    /// Every kind, in a stable order (registry/driver convenience).
+    pub const ALL: [IncidentKind; 12] = [
+        IncidentKind::WallCrash,
+        IncidentKind::SuddenStop,
+        IncidentKind::RearEndCrash,
+        IncidentKind::SideCollision,
+        IncidentKind::UTurn,
+        IncidentKind::Speeding,
+        IncidentKind::NearMissBrake,
+        IncidentKind::NearMissSwerve,
+        IncidentKind::OcclusionMerge,
+        IncidentKind::Shockwave,
+        IncidentKind::WrongWay,
+        IncidentKind::Pedestrian,
+    ];
 
     /// Parses a name produced by [`IncidentKind::name`].
     pub fn from_name(name: &str) -> Option<IncidentKind> {
@@ -67,6 +109,12 @@ impl IncidentKind {
             "side_collision" => IncidentKind::SideCollision,
             "u_turn" => IncidentKind::UTurn,
             "speeding" => IncidentKind::Speeding,
+            "near_miss_brake" => IncidentKind::NearMissBrake,
+            "near_miss_swerve" => IncidentKind::NearMissSwerve,
+            "occlusion_merge" => IncidentKind::OcclusionMerge,
+            "shockwave" => IncidentKind::Shockwave,
+            "wrong_way" => IncidentKind::WrongWay,
+            "pedestrian" => IncidentKind::Pedestrian,
             _ => return None,
         })
     }
@@ -80,6 +128,12 @@ impl IncidentKind {
             IncidentKind::SideCollision => "side_collision",
             IncidentKind::UTurn => "u_turn",
             IncidentKind::Speeding => "speeding",
+            IncidentKind::NearMissBrake => "near_miss_brake",
+            IncidentKind::NearMissSwerve => "near_miss_swerve",
+            IncidentKind::OcclusionMerge => "occlusion_merge",
+            IncidentKind::Shockwave => "shockwave",
+            IncidentKind::WrongWay => "wrong_way",
+            IncidentKind::Pedestrian => "pedestrian",
         }
     }
 }
@@ -171,30 +225,34 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let kinds = [
-            IncidentKind::WallCrash,
-            IncidentKind::SuddenStop,
-            IncidentKind::RearEndCrash,
-            IncidentKind::SideCollision,
-            IncidentKind::UTurn,
-            IncidentKind::Speeding,
-        ];
-        let names: std::collections::HashSet<_> = kinds.iter().map(|k| k.name()).collect();
-        assert_eq!(names.len(), kinds.len());
+        let names: std::collections::HashSet<_> =
+            IncidentKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), IncidentKind::ALL.len());
     }
 
     #[test]
     fn name_round_trips() {
-        for k in [
-            IncidentKind::WallCrash,
-            IncidentKind::SuddenStop,
-            IncidentKind::RearEndCrash,
-            IncidentKind::SideCollision,
-            IncidentKind::UTurn,
-            IncidentKind::Speeding,
-        ] {
+        for k in IncidentKind::ALL {
             assert_eq!(IncidentKind::from_name(k.name()), Some(k));
         }
         assert_eq!(IncidentKind::from_name("ufo_landing"), None);
+    }
+
+    #[test]
+    fn fleet_kinds_are_not_accidents() {
+        // Near-misses resolve without contact; the other fleet kinds
+        // are anomalies, not collisions. Keeping them out of the
+        // accident class preserves the paper query's semantics.
+        for k in [
+            IncidentKind::NearMissBrake,
+            IncidentKind::NearMissSwerve,
+            IncidentKind::OcclusionMerge,
+            IncidentKind::Shockwave,
+            IncidentKind::WrongWay,
+            IncidentKind::Pedestrian,
+        ] {
+            assert!(!k.is_accident(), "{k:?} must not be an accident");
+            assert!(k.nominal_duration() >= 15);
+        }
     }
 }

@@ -27,6 +27,9 @@
 //!   truth event log;
 //! * [`scenario`] — scenario configuration and the two paper-calibrated
 //!   presets;
+//! * [`fleet`] — the named registry of hard retrieval-quality scenarios
+//!   (near-misses, occluded merges, shockwaves, wrong-way drivers,
+//!   pedestrian incursions, multi-camera handoffs);
 //! * [`world`] — the frame-stepped simulation engine producing per-frame
 //!   vehicle observations.
 
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod fleet;
 pub mod geometry;
 pub mod idm;
 pub mod incident;
@@ -43,8 +47,9 @@ pub mod scenario;
 pub mod signal;
 pub mod world;
 
+pub use fleet::FleetMember;
 pub use geometry::{Aabb, Vec2};
 pub use incident::{IncidentKind, IncidentRecord};
 pub use rng::Pcg32;
 pub use scenario::{Scenario, ScenarioKind};
-pub use world::{FrameObservation, VehicleClass, VehicleObs, World};
+pub use world::{FrameObservation, SimOutput, VehicleClass, VehicleObs, World};

@@ -16,6 +16,25 @@ pub struct Pcg32 {
 
 const PCG_MULT: u64 = 6364136223846793005;
 
+/// The stream id [`Pcg32::seeded`] uses — the stream every scenario ran
+/// on before per-scenario streams existed. The paper-calibrated presets
+/// pin this stream so their worlds replay byte-identically forever.
+pub const DEFAULT_STREAM: u64 = 0xda3e39cb94b95bdb;
+
+/// Derives an independent RNG stream id from a scenario name (FNV-1a
+/// 64). Fleet scenarios key their stream on their own name, so adding a
+/// new fleet member — or reordering the registry — can never perturb
+/// another scenario's trajectories: the (seed, name) pair alone fixes
+/// the world.
+pub fn split_stream(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 impl Pcg32 {
     /// Creates a generator from a seed and a stream id. Distinct stream
     /// ids yield independent sequences for the same seed.
@@ -32,7 +51,7 @@ impl Pcg32 {
 
     /// Creates a generator from a seed on the default stream.
     pub fn seeded(seed: u64) -> Self {
-        Self::new(seed, 0xda3e39cb94b95bdb)
+        Self::new(seed, DEFAULT_STREAM)
     }
 
     /// Next raw 32-bit output.
@@ -211,6 +230,34 @@ mod tests {
         let mut rng = Pcg32::seeded(8);
         assert!((0..100).all(|_| rng.chance(1.5)));
         assert!((0..100).all(|_| !rng.chance(-0.5)));
+    }
+
+    #[test]
+    fn split_streams_are_distinct_and_stable() {
+        // The derivation is pure: same name, same stream, forever.
+        assert_eq!(split_stream("near_miss_brake"), split_stream("near_miss_brake"));
+        // Distinct fleet names land on distinct streams (and none on the
+        // legacy default stream, which the presets reserve).
+        let names = [
+            "near_miss_brake",
+            "near_miss_swerve",
+            "occlusion_merge",
+            "shockwave",
+            "wrong_way",
+            "pedestrian",
+            "handoff",
+        ];
+        let streams: std::collections::HashSet<u64> =
+            names.iter().map(|n| split_stream(n)).collect();
+        assert_eq!(streams.len(), names.len());
+        assert!(!streams.contains(&DEFAULT_STREAM));
+        // Same seed, different stream: independent sequences.
+        for name in names {
+            let mut a = Pcg32::new(2007, split_stream(name));
+            let mut b = Pcg32::new(2007, DEFAULT_STREAM);
+            let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+            assert!(same < 4, "stream for {name} shadows the default stream");
+        }
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub struct Scenario {
     /// Std-dev of the per-frame lateral drift random walk (px), the
     /// source of normal-driving heading noise.
     pub lateral_jitter: f64,
+    /// PCG32 stream id the world's RNG runs on. Fleet scenarios derive
+    /// this from their name via [`crate::rng::split_stream`], so each
+    /// member's trajectories are independent of every other member at
+    /// the same seed. The paper presets pin the legacy
+    /// [`crate::rng::DEFAULT_STREAM`] so their worlds replay
+    /// byte-identically to every earlier release.
+    pub rng_stream: u64,
 }
 
 impl Scenario {
@@ -106,6 +113,7 @@ impl Scenario {
             incidents,
             crash_hold_frames: 45,
             lateral_jitter: 0.18,
+            rng_stream: crate::rng::DEFAULT_STREAM,
         }
     }
 
@@ -139,6 +147,7 @@ impl Scenario {
             incidents,
             crash_hold_frames: 40,
             lateral_jitter: 0.15,
+            rng_stream: crate::rng::DEFAULT_STREAM,
         }
     }
 

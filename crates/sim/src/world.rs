@@ -88,6 +88,59 @@ pub struct SimOutput {
     pub incidents: Vec<IncidentRecord>,
 }
 
+impl SimOutput {
+    /// Splits one recording at a frame boundary into two clips, as if
+    /// two cameras with adjacent (non-overlapping) coverage filmed the
+    /// same scene — the multi-camera handoff substrate. Frames of the
+    /// second clip are re-based to start at 0, and each ground-truth
+    /// record is carried into every clip whose span it overlaps, with
+    /// its frame span clamped to that clip (so an incident straddling
+    /// the boundary is ground truth on *both* sides of the handoff).
+    pub fn split_at(&self, frame: u32) -> (SimOutput, SimOutput) {
+        let cut = (frame as usize).min(self.frames.len());
+        let first_frames: Vec<FrameObservation> = self.frames[..cut].to_vec();
+        let second_frames: Vec<FrameObservation> = self.frames[cut..]
+            .iter()
+            .map(|f| FrameObservation {
+                frame: f.frame - cut as u32,
+                vehicles: f.vehicles.clone(),
+            })
+            .collect();
+        let cut = cut as u32;
+        let mut first_inc = Vec::new();
+        let mut second_inc = Vec::new();
+        for rec in &self.incidents {
+            if rec.start_frame < cut {
+                first_inc.push(IncidentRecord {
+                    end_frame: rec.end_frame.min(cut.saturating_sub(1)),
+                    ..rec.clone()
+                });
+            }
+            if rec.end_frame >= cut {
+                second_inc.push(IncidentRecord {
+                    start_frame: rec.start_frame.max(cut) - cut,
+                    end_frame: rec.end_frame - cut,
+                    ..rec.clone()
+                });
+            }
+        }
+        (
+            SimOutput {
+                width: self.width,
+                height: self.height,
+                frames: first_frames,
+                incidents: first_inc,
+            },
+            SimOutput {
+                width: self.width,
+                height: self.height,
+                frames: second_frames,
+                incidents: second_inc,
+            },
+        )
+    }
+}
+
 /// How a vehicle's pose is driven.
 #[derive(Debug, Clone)]
 enum Mode {
@@ -133,6 +186,43 @@ enum Maneuver {
     Speeding {
         factor: f64,
         frames_left: u32,
+    },
+    /// Brake at `decel` to a crawl, hold the crawl for `hold` frames,
+    /// then release back to normal IDM driving. Unlike [`Maneuver::Stopping`]
+    /// the vehicle never becomes a wreck — this is the near-miss leader
+    /// and the pedestrian-yield behaviour.
+    BrakeRelease {
+        decel: f64,
+        hold: u32,
+    },
+    /// Hold speed ignoring the leader until the gap falls below
+    /// `trigger_gap`, then brake-and-release — the near-miss follower
+    /// whose late reaction still resolves the conflict without contact.
+    LateBrake {
+        trigger_gap: f64,
+        decel: f64,
+        hold: u32,
+    },
+    /// Veer laterally to `out_lat` at `lat_rate`, hold for `hold`
+    /// frames, then steer back to the centerline (evasive swerve).
+    Swerve {
+        lat_rate: f64,
+        out_lat: f64,
+        hold: u32,
+        returning: bool,
+    },
+    /// Steer the lateral offset back to the centerline at `lat_rate`
+    /// after a cut-in to an adjacent lane (occlusion-heavy merge).
+    MergeIn {
+        lat_rate: f64,
+    },
+    /// Pulse between a crawl and cruise `cycles` times — the stop-and-go
+    /// shockwave leader. `phase`: 0 = braking, 1 = crawling, 2 =
+    /// re-accelerating.
+    StopAndGo {
+        cycles: u32,
+        phase: u8,
+        timer: u32,
     },
 }
 
@@ -188,7 +278,7 @@ impl World {
     pub fn new(scenario: Scenario) -> World {
         let network = scenario.network();
         let signal = scenario.signal();
-        let mut rng = Pcg32::seeded(scenario.seed);
+        let mut rng = Pcg32::new(scenario.seed, scenario.rng_stream);
         let next_spawn = (0..network.lane_count())
             .map(|_| rng.exponential(1.0 / scenario.mean_spawn_interval).round() as u32)
             .collect();
@@ -296,6 +386,12 @@ impl World {
             IncidentKind::SideCollision => self.trigger_side_collision(),
             IncidentKind::UTurn => self.trigger_u_turn(),
             IncidentKind::Speeding => self.trigger_speeding(),
+            IncidentKind::NearMissBrake => self.trigger_near_miss_brake(),
+            IncidentKind::NearMissSwerve => self.trigger_near_miss_swerve(),
+            IncidentKind::OcclusionMerge => self.trigger_occlusion_merge(),
+            IncidentKind::Shockwave => self.trigger_shockwave(),
+            IncidentKind::WrongWay => self.trigger_wrong_way(),
+            IncidentKind::Pedestrian => self.trigger_pedestrian(),
         }
     }
 
@@ -400,9 +496,17 @@ impl World {
         true
     }
 
-    fn trigger_rear_end(&mut self) -> bool {
-        // Find a (leader, follower) pair on the same lane with a medium
-        // gap, both driving normally and at speed.
+    /// Finds a (leader, follower) pair on a shared lane whose gap lies
+    /// in `(min_gap, max_gap)`, both driving normally at or above
+    /// `min_speed`; the closest qualifying pair wins. Shared by the
+    /// rear-end crash and near-miss triggers — the same geometry with
+    /// different resolutions.
+    fn following_pair(
+        &self,
+        min_gap: f64,
+        max_gap: f64,
+        min_speed: f64,
+    ) -> Option<(usize, usize)> {
         let snapshot: Vec<(usize, LaneId, f64, f64)> = self
             .vehicles
             .iter()
@@ -416,15 +520,15 @@ impl World {
             .collect();
         let mut best: Option<(usize, usize, f64)> = None;
         for &(fi, fl, fs, fv) in &snapshot {
-            if fv < 1.5 {
+            if fv < min_speed {
                 continue;
             }
             for &(li, ll, ls, lv) in &snapshot {
-                if li == fi || ll != fl || ls <= fs || lv < 1.5 {
+                if li == fi || ll != fl || ls <= fs || lv < min_speed {
                     continue;
                 }
                 let gap = ls - fs;
-                if (20.0..90.0).contains(&gap) {
+                if (min_gap..max_gap).contains(&gap) {
                     match best {
                         Some((_, _, g)) if g <= gap => {}
                         _ => best = Some((li, fi, gap)),
@@ -432,7 +536,13 @@ impl World {
                 }
             }
         }
-        let Some((li, fi, _)) = best else {
+        best.map(|(li, fi, _)| (li, fi))
+    }
+
+    fn trigger_rear_end(&mut self) -> bool {
+        // A (leader, follower) pair on the same lane with a medium gap,
+        // both driving normally and at speed.
+        let Some((li, fi)) = self.following_pair(20.0, 90.0, 1.5) else {
             return false;
         };
         let (lid, fid) = (self.vehicles[li].id, self.vehicles[fi].id);
@@ -550,6 +660,240 @@ impl World {
         };
         let id = v.id;
         self.record(IncidentKind::Speeding, vec![id]);
+        true
+    }
+
+    fn trigger_near_miss_brake(&mut self) -> bool {
+        // Wider gap than the rear-end crash: the follower reacts late
+        // but still has room to resolve by braking alone.
+        let Some((li, fi)) = self.following_pair(35.0, 110.0, 1.5) else {
+            return false;
+        };
+        let (lid, fid) = (self.vehicles[li].id, self.vehicles[fi].id);
+        self.vehicles[li].maneuver = Maneuver::BrakeRelease {
+            decel: 0.9,
+            hold: 22,
+        };
+        self.vehicles[fi].maneuver = Maneuver::LateBrake {
+            trigger_gap: 14.0,
+            decel: 1.1,
+            hold: 10,
+        };
+        self.vehicles[fi].speed = self.vehicles[fi].speed.max(2.0);
+        self.record(IncidentKind::NearMissBrake, vec![lid, fid]);
+        true
+    }
+
+    fn trigger_near_miss_swerve(&mut self) -> bool {
+        let Some((li, fi)) = self.following_pair(30.0, 100.0, 1.5) else {
+            return false;
+        };
+        let Mode::Lane { lane, .. } = self.vehicles[fi].mode else {
+            return false;
+        };
+        let (lid, fid) = (self.vehicles[li].id, self.vehicles[fi].id);
+        self.vehicles[li].maneuver = Maneuver::BrakeRelease {
+            decel: 0.9,
+            hold: 26,
+        };
+        // Swerve toward the road center, away from the nearer wall
+        // (positive lat is +y for the tunnel's +x heading).
+        let lane_y = self.network.lane(lane).position(0.0).y;
+        let out_lat = if lane_y < 120.0 { 10.0 } else { -10.0 };
+        self.vehicles[fi].maneuver = Maneuver::Swerve {
+            lat_rate: 1.1,
+            out_lat,
+            hold: 16,
+            returning: false,
+        };
+        self.vehicles[fi].speed = self.vehicles[fi].speed.max(2.2);
+        self.record(IncidentKind::NearMissSwerve, vec![lid, fid]);
+        true
+    }
+
+    fn trigger_occlusion_merge(&mut self) -> bool {
+        if self.scenario.kind != ScenarioKind::Tunnel {
+            return false;
+        }
+        // A vehicle slightly ahead of one in the adjacent lane cuts in
+        // just in front of it; during the lateral transit their blobs
+        // pass close enough to merge in the segmenter.
+        let snapshot: Vec<(usize, LaneId, f64)> = self
+            .vehicles
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| match (&v.mode, &v.maneuver) {
+                (Mode::Lane { lane, s, .. }, Maneuver::None)
+                    if v.hold_left.is_none() && v.speed > 1.2 =>
+                {
+                    Some((i, *lane, *s))
+                }
+                _ => None,
+            })
+            .collect();
+        let mut best: Option<(usize, usize, f64)> = None;
+        for &(ai, al, as_) in &snapshot {
+            for &(bi, bl, bs) in &snapshot {
+                if ai == bi || al == bl {
+                    continue;
+                }
+                let gap = as_ - bs;
+                if (5.0..45.0).contains(&gap) {
+                    match best {
+                        Some((_, _, g)) if g <= gap => {}
+                        _ => best = Some((ai, bi, gap)),
+                    }
+                }
+            }
+        }
+        let Some((ai, bi, _)) = best else {
+            return false;
+        };
+        let (aid, bid) = (self.vehicles[ai].id, self.vehicles[bi].id);
+        let Mode::Lane { lane: al, .. } = self.vehicles[ai].mode else {
+            return false;
+        };
+        let Mode::Lane { lane: bl, .. } = self.vehicles[bi].mode else {
+            return false;
+        };
+        let ya = self.network.lane(al).position(0.0).y;
+        let yb = self.network.lane(bl).position(0.0).y;
+        if let Mode::Lane { lane, lat, .. } = &mut self.vehicles[ai].mode {
+            // Re-home onto the target lane at the physical y it already
+            // occupies, then steer the offset back to the centerline.
+            *lane = bl;
+            *lat = ya - yb;
+        }
+        self.vehicles[ai].maneuver = Maneuver::MergeIn { lat_rate: 2.2 };
+        self.record(IncidentKind::OcclusionMerge, vec![aid, bid]);
+        true
+    }
+
+    fn trigger_shockwave(&mut self) -> bool {
+        // The leader with the largest platoon behind it: the wave needs
+        // followers to propagate through.
+        let cands = self.candidates();
+        let mut best: Option<(usize, Vec<u64>)> = None;
+        for &i in &cands {
+            let Mode::Lane { lane, s, .. } = self.vehicles[i].mode else {
+                continue;
+            };
+            let followers: Vec<u64> = self
+                .vehicles
+                .iter()
+                .filter(|o| match &o.mode {
+                    Mode::Lane {
+                        lane: ol, s: os, ..
+                    } => *ol == lane && *os < s && s - *os <= 160.0,
+                    Mode::Free { .. } => false,
+                })
+                .map(|o| o.id)
+                .collect();
+            match &best {
+                Some((_, f)) if f.len() >= followers.len() => {}
+                _ => best = Some((i, followers)),
+            }
+        }
+        let Some((i, followers)) = best else {
+            return false;
+        };
+        if followers.is_empty() {
+            return false;
+        }
+        let mut ids = vec![self.vehicles[i].id];
+        ids.extend(followers);
+        self.vehicles[i].maneuver = Maneuver::StopAndGo {
+            cycles: 2,
+            phase: 0,
+            timer: 0,
+        };
+        self.record(IncidentKind::Shockwave, ids);
+        true
+    }
+
+    fn trigger_wrong_way(&mut self) -> bool {
+        let cands = self.candidates();
+        let Some(&idx) = cands.first() else {
+            return false;
+        };
+        let v = &mut self.vehicles[idx];
+        let Mode::Lane { lane, s, lat } = v.mode else {
+            return false;
+        };
+        let l = self.network.lane(lane);
+        let pos = l.offset_position(s, lat);
+        let heading = l.heading(s).angle();
+        // Turn around faster than a leisurely U-turn, then keep driving
+        // against the flow until leaving the scene (the `Free` despawn
+        // margin removes it past the image edge).
+        v.mode = Mode::Free { pos, heading };
+        v.speed = v.speed.clamp(1.8, 2.6);
+        v.maneuver = Maneuver::UTurn {
+            rate: std::f64::consts::PI / 14.0,
+            remaining: std::f64::consts::PI,
+        };
+        let id = v.id;
+        self.record(IncidentKind::WrongWay, vec![id]);
+        true
+    }
+
+    fn trigger_pedestrian(&mut self) -> bool {
+        if self.scenario.kind != ScenarioKind::Tunnel {
+            return false;
+        }
+        // An approaching vehicle with road ahead of it yields to the
+        // crossing pedestrian.
+        let Some(idx) = self
+            .vehicles
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| {
+                matches!(v.maneuver, Maneuver::None)
+                    && v.hold_left.is_none()
+                    && v.speed > 1.5
+                    && match &v.mode {
+                        Mode::Lane { .. } => {
+                            let c = self.center_of(v);
+                            (60.0..200.0).contains(&c.x)
+                        }
+                        Mode::Free { .. } => false,
+                    }
+            })
+            .map(|(i, _)| i)
+            .next()
+        else {
+            return false;
+        };
+        let veh_x = self.center_of(&self.vehicles[idx]).x;
+        let vid = self.vehicles[idx].id;
+        self.vehicles[idx].maneuver = Maneuver::BrakeRelease {
+            decel: 0.55,
+            hold: 30,
+        };
+        // A pedestrian-scale mover entering at the top wall and crossing
+        // the roadway ahead of the yielding vehicle. Class is nominal
+        // (the vision classifier will see a blob far below car size).
+        let ped_id = self.next_id;
+        self.next_id += 1;
+        let mut idm = self.scenario.idm;
+        idm.desired_speed = 1.2;
+        idm.max_accel = 0.05;
+        self.vehicles.push(Vehicle {
+            id: ped_id,
+            class: VehicleClass::Car,
+            half_len: 2.5,
+            half_wid: 2.0,
+            idm,
+            mode: Mode::Free {
+                pos: Vec2::new((veh_x + 55.0).min(290.0), TUNNEL_WALL_TOP - 4.0),
+                heading: std::f64::consts::FRAC_PI_2,
+            },
+            speed: 1.2,
+            maneuver: Maneuver::None,
+            hold_left: None,
+            prev_center: None,
+        });
+        self.record(IncidentKind::Pedestrian, vec![ped_id, vid]);
         true
     }
 
@@ -761,6 +1105,146 @@ impl World {
                             frames_left: frames_left - 1,
                         }
                     };
+                }
+                Maneuver::BrakeRelease { decel, hold } => {
+                    if v.speed > 0.35 {
+                        v.speed = (v.speed - decel).max(0.3);
+                    } else if hold > 0 {
+                        v.maneuver = Maneuver::BrakeRelease {
+                            decel,
+                            hold: hold - 1,
+                        };
+                    } else {
+                        v.maneuver = Maneuver::None;
+                    }
+                    if let Mode::Lane { s, .. } = &mut v.mode {
+                        *s += v.speed;
+                    } else if let Mode::Free { pos, heading } = &mut v.mode {
+                        *pos = *pos + Vec2::new(heading.cos(), heading.sin()) * v.speed;
+                    }
+                }
+                Maneuver::LateBrake {
+                    trigger_gap,
+                    decel,
+                    hold,
+                } => {
+                    let gap = plan.leader.map(|l| l.gap).unwrap_or(f64::INFINITY);
+                    if gap <= trigger_gap {
+                        v.speed = (v.speed - decel).max(0.3);
+                        v.maneuver = Maneuver::BrakeRelease { decel, hold };
+                    }
+                    if let Mode::Lane { s, .. } = &mut v.mode {
+                        *s += v.speed;
+                    }
+                }
+                Maneuver::Swerve {
+                    lat_rate,
+                    out_lat,
+                    hold,
+                    returning,
+                } => {
+                    if let Mode::Lane { s, lat, .. } = &mut v.mode {
+                        *s += v.speed;
+                        let step = lat_rate * out_lat.signum();
+                        if !returning {
+                            *lat += step;
+                            let reached = (out_lat >= 0.0 && *lat >= out_lat)
+                                || (out_lat < 0.0 && *lat <= out_lat);
+                            if reached {
+                                *lat = out_lat;
+                                v.maneuver = if hold > 0 {
+                                    Maneuver::Swerve {
+                                        lat_rate,
+                                        out_lat,
+                                        hold: hold - 1,
+                                        returning: false,
+                                    }
+                                } else {
+                                    Maneuver::Swerve {
+                                        lat_rate,
+                                        out_lat,
+                                        hold: 0,
+                                        returning: true,
+                                    }
+                                };
+                            }
+                        } else {
+                            *lat -= step;
+                            let back = (out_lat >= 0.0 && *lat <= 0.0)
+                                || (out_lat < 0.0 && *lat >= 0.0);
+                            if back {
+                                *lat = 0.0;
+                                v.maneuver = Maneuver::None;
+                            }
+                        }
+                    }
+                }
+                Maneuver::MergeIn { lat_rate } => {
+                    if let Mode::Lane { s, lat, .. } = &mut v.mode {
+                        *s += v.speed;
+                        if lat.abs() <= lat_rate {
+                            *lat = 0.0;
+                            v.maneuver = Maneuver::None;
+                        } else {
+                            *lat -= lat_rate * lat.signum();
+                        }
+                    }
+                }
+                Maneuver::StopAndGo {
+                    cycles,
+                    phase,
+                    timer,
+                } => {
+                    let mut next = Maneuver::StopAndGo {
+                        cycles,
+                        phase,
+                        timer,
+                    };
+                    match phase {
+                        0 => {
+                            v.speed = (v.speed - 0.5).max(0.3);
+                            if v.speed <= 0.35 {
+                                next = Maneuver::StopAndGo {
+                                    cycles,
+                                    phase: 1,
+                                    timer: 12,
+                                };
+                            }
+                        }
+                        1 => {
+                            next = if timer > 0 {
+                                Maneuver::StopAndGo {
+                                    cycles,
+                                    phase: 1,
+                                    timer: timer - 1,
+                                }
+                            } else {
+                                Maneuver::StopAndGo {
+                                    cycles,
+                                    phase: 2,
+                                    timer: 0,
+                                }
+                            };
+                        }
+                        _ => {
+                            v.speed = (v.speed + 0.2).min(v.idm.desired_speed);
+                            if v.speed >= v.idm.desired_speed {
+                                next = if cycles <= 1 {
+                                    Maneuver::None
+                                } else {
+                                    Maneuver::StopAndGo {
+                                        cycles: cycles - 1,
+                                        phase: 0,
+                                        timer: 0,
+                                    }
+                                };
+                            }
+                        }
+                    }
+                    v.maneuver = next;
+                    if let Mode::Lane { s, .. } = &mut v.mode {
+                        *s += v.speed;
+                    }
                 }
             }
         }
@@ -1102,6 +1586,74 @@ mod tests {
             last_seen < rec.end_frame + 3 * Scenario::tunnel_small(13).crash_hold_frames,
             "wreck still visible at {last_seen}"
         );
+    }
+
+    /// FNV-1a over every observation and incident of a run — a compact
+    /// stand-in for byte comparison against a pinned golden value.
+    fn fingerprint(out: &SimOutput) -> u64 {
+        fn mix(h: u64, x: u64) -> u64 {
+            (h ^ x).wrapping_mul(0x100000001b3)
+        }
+        let mut h: u64 = 0xcbf29ce484222325;
+        for f in &out.frames {
+            h = mix(h, u64::from(f.frame));
+            for v in &f.vehicles {
+                h = mix(h, v.id);
+                h = mix(h, v.center.x.to_bits());
+                h = mix(h, v.center.y.to_bits());
+                h = mix(h, v.heading.to_bits());
+                h = mix(h, v.speed.to_bits());
+            }
+        }
+        for r in &out.incidents {
+            h = mix(h, u64::from(r.start_frame));
+            h = mix(h, u64::from(r.end_frame));
+            for id in &r.vehicle_ids {
+                h = mix(h, *id);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn preset_worlds_replay_on_the_legacy_stream() {
+        // The per-scenario RNG stream refactor must never move the
+        // paper presets off the legacy stream: pin the stream id and a
+        // golden fingerprint of a full tunnel_small replay, so any
+        // future fleet change that perturbs existing trajectories fails
+        // here instead of silently shifting every calibrated number.
+        for s in [
+            Scenario::tunnel_paper(1),
+            Scenario::intersection_paper(1),
+            Scenario::tunnel_small(1),
+        ] {
+            assert_eq!(s.rng_stream, crate::rng::DEFAULT_STREAM);
+        }
+        let fp = fingerprint(&run_small(7));
+        assert_eq!(
+            fp, 0x09a3df3fb83b0674,
+            "tunnel_small(7) drifted from the pinned replay: fp = {fp:#x}"
+        );
+    }
+
+    #[test]
+    fn split_at_partitions_frames_and_clamps_records() {
+        let out = run_small(6);
+        let (a, b) = out.split_at(150);
+        assert_eq!(a.frames.len(), 150);
+        assert_eq!(b.frames.len(), 250);
+        assert_eq!(b.frames[0].frame, 0);
+        assert_eq!(b.frames.last().unwrap().frame, 249);
+        // Same vehicles on both sides of the boundary.
+        assert_eq!(b.frames[0].vehicles, out.frames[150].vehicles);
+        for r in &a.incidents {
+            assert!(r.end_frame < 150);
+        }
+        // Splitting past the end keeps everything in the first half.
+        let (c, d) = out.split_at(10_000);
+        assert_eq!(c.frames.len(), out.frames.len());
+        assert!(d.frames.is_empty());
+        assert_eq!(c.incidents.len(), out.incidents.len());
     }
 
     #[test]

@@ -56,6 +56,23 @@ grep -q '"rankings_byte_identical":true' BENCH_shard.json
 grep -q '"compression_bit_exact":true' BENCH_shard.json
 grep -q '"pass":true' BENCH_shard.json
 
+# Scenario-fleet smoke: the retrieval-quality matrix over the fleet in
+# fast mode (shorter clips, paper learner only). The binary asserts
+# every cell clears its AP floor, index-served bags are bit-identical,
+# and the handoff row scatter-gathers + survives a shard quarantine;
+# the committed full-matrix BENCH_scenarios.json is sanity-checked and
+# must contain no failing cell.
+echo "==> scenario fleet smoke run (TSVR_SCENARIO_FAST=1)"
+fleet_tmp="$(mktemp -d)"
+(cd "$fleet_tmp" && TSVR_SCENARIO_FAST=1 cargo run --release -q \
+    --manifest-path "$repo/Cargo.toml" -p tsvr-bench --bin scenarios)
+grep -q '"pass":true' "$fleet_tmp/BENCH_scenarios.json"
+! grep -q '"cell_pass":false' "$fleet_tmp/BENCH_scenarios.json"
+grep -q '"index_served_bit_identical":true' BENCH_scenarios.json
+grep -q '"handoff_scatter_gather":true' BENCH_scenarios.json
+! grep -q '"cell_pass":false' BENCH_scenarios.json
+grep -q '"pass":true' BENCH_scenarios.json
+
 # Serve bench smoke: proves the TCP fan-out and the byte-identity
 # assertion against the single-threaded in-process path end to end.
 echo "==> serve bench smoke run (TSVR_BENCH_FAST=1)"
