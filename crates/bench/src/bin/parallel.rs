@@ -9,53 +9,70 @@
 //! invariant they also produce bit-identical results, so the timings
 //! compare exactly the same computation.
 //!
-//! The acceptance target depends on the host. With at least four
-//! hardware threads the prepare path must speed up ≥2×. With fewer, a
-//! speedup is physically impossible — the runtime's sequential fallback
-//! clamps the pool to the hardware — so the target becomes parity: the
-//! "n-thread" run must not be slower than the 1-thread run beyond noise
-//! (≥0.85×). The JSON carries `available_parallelism` and `pass_rule`
-//! so a reader can tell an algorithmic regression from a starved host.
+//! Measurement is **paired**: each round times the 1-thread and
+//! n-thread configurations back to back and the reported speedup is
+//! the median of the per-round ratios. Sequential A-then-B timing let
+//! slow drift (thermal, page cache, scheduler mood) show up as a fake
+//! 5% "regression" on single-core hosts; pairing cancels drift because
+//! both configurations see the same machine state within a round.
 //!
-//! `TSVR_BENCH_FAST=1` switches to the small tunnel clip and the
-//! harness's single-batch smoke mode (used by `scripts/ci.sh`).
+//! The acceptance target depends on the host, and the parity escape
+//! hatch exists **only** for true single-core hosts, where a speedup
+//! is physically impossible (the runtime's sequential fallback clamps
+//! the pool to the hardware). Any host with two or more hardware
+//! threads must show a real speedup. On top of the target, every host
+//! must satisfy the no-slowdown rule: threads=n is never more than 2%
+//! slower than threads=1 on either workload. The JSON carries
+//! `available_parallelism` and `pass_rule` so a reader can tell an
+//! algorithmic regression from a starved host.
+//!
+//! `TSVR_BENCH_FAST=1` switches to the small tunnel clip and fewer
+//! rounds (used by `scripts/ci.sh`).
 
-use tsvr_bench::harness::Bencher;
+use std::time::Instant;
 use tsvr_bench::{paper_session, PAPER_SEED};
 use tsvr_core::{prepare_clip, run_session, EventQuery, LearnerKind, PipelineOptions};
 use tsvr_obs::json::Json;
 use tsvr_sim::Scenario;
 
+/// Times one invocation in nanoseconds.
+fn time_one<T>(f: impl FnOnce() -> T) -> f64 {
+    let start = Instant::now();
+    let out = f();
+    let ns = start.elapsed().as_nanos() as f64;
+    drop(out);
+    ns
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
 fn main() {
     let fast = std::env::var_os("TSVR_BENCH_FAST").is_some_and(|v| v != "0");
-    let (scenario, clip_name) = if fast {
-        (Scenario::tunnel_small(PAPER_SEED), "tunnel_small")
+    let (scenario, clip_name, rounds) = if fast {
+        (Scenario::tunnel_small(PAPER_SEED), "tunnel_small", 3usize)
     } else {
-        (Scenario::tunnel_paper(PAPER_SEED), "tunnel_paper (2504 frames)")
+        (
+            Scenario::tunnel_paper(PAPER_SEED),
+            "tunnel_paper (2504 frames)",
+            7usize,
+        )
     };
     let available = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let many = available.max(4);
-    eprintln!("host parallelism: {available}; comparing 1 thread vs {many} threads on {clip_name}");
+    eprintln!(
+        "host parallelism: {available}; comparing 1 thread vs {many} threads on {clip_name} \
+         ({rounds} paired rounds)"
+    );
 
     let opts = PipelineOptions::default();
-    let mut b = Bencher::new("parallel");
+    let prepare = || prepare_clip(&scenario, &opts);
 
-    // Hot paths (a)+(b): per-frame segmentation and the pass-2
-    // neighbor-distance loop, both inside prepare_clip.
-    tsvr_par::set_threads(1);
-    let prep_1 = b
-        .bench("prepare_clip/threads_1", || prepare_clip(&scenario, &opts))
-        .ns_per_iter;
-    tsvr_par::set_threads(many);
-    let prep_n = b
-        .bench("prepare_clip/threads_n", || prepare_clip(&scenario, &opts))
-        .ns_per_iter;
-
-    // Hot paths (c)+(d): Gram construction and batch bag scoring,
-    // inside the retrieval session over a prepared clip.
-    let clip = prepare_clip(&scenario, &opts);
+    let clip = prepare();
     let cfg = paper_session();
     let session = || {
         run_session(
@@ -65,34 +82,90 @@ fn main() {
             cfg,
         )
     };
+
+    // Warm both configurations before measuring so first-touch costs
+    // (lazy thread-count resolution, allocator growth) hit no round.
     tsvr_par::set_threads(1);
-    let sess_1 = b.bench("session/threads_1", session).ns_per_iter;
+    drop(prepare());
+    drop(session());
     tsvr_par::set_threads(many);
-    let sess_n = b.bench("session/threads_n", session).ns_per_iter;
+    drop(prepare());
+    drop(session());
+
+    let mut prep_1s = Vec::with_capacity(rounds);
+    let mut prep_ns = Vec::with_capacity(rounds);
+    let mut sess_1s = Vec::with_capacity(rounds);
+    let mut sess_ns = Vec::with_capacity(rounds);
+    let mut prep_ratios = Vec::with_capacity(rounds);
+    let mut sess_ratios = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        tsvr_par::set_threads(1);
+        let p1 = time_one(prepare);
+        tsvr_par::set_threads(many);
+        let pn = time_one(prepare);
+        tsvr_par::set_threads(1);
+        let s1 = time_one(session);
+        tsvr_par::set_threads(many);
+        let sn = time_one(session);
+        eprintln!(
+            "round {round}: prepare {:.0}ms -> {:.0}ms, session {:.0}ms -> {:.0}ms",
+            p1 / 1e6,
+            pn / 1e6,
+            s1 / 1e6,
+            sn / 1e6
+        );
+        prep_1s.push(p1);
+        prep_ns.push(pn);
+        sess_1s.push(s1);
+        sess_ns.push(sn);
+        prep_ratios.push(p1 / pn);
+        sess_ratios.push(s1 / sn);
+    }
     tsvr_par::set_threads(0); // restore env/auto selection
 
-    let prep_speedup = prep_1 / prep_n;
-    let sess_speedup = sess_1 / sess_n;
-    // Starved hosts can't speed up; they must at least not slow down
-    // (the sequential fallback makes both runs the same computation).
-    let (target, pass_rule) = if available >= 4 {
-        (2.0, "speedup")
-    } else {
-        (0.85, "parity")
+    let prep_1 = median(&mut prep_1s);
+    let prep_n = median(&mut prep_ns);
+    let sess_1 = median(&mut sess_1s);
+    let sess_n = median(&mut sess_ns);
+    let prep_speedup = median(&mut prep_ratios);
+    let sess_speedup = median(&mut sess_ratios);
+
+    // Parity is only a legitimate outcome when the hardware cannot run
+    // two threads at once. Multi-core hosts must show a real speedup.
+    let (target, pass_rule) = match available {
+        1 => (0.98, "parity"),
+        2..=3 => (1.2, "speedup"),
+        _ => (2.0, "speedup"),
     };
-    let pass = prep_speedup >= target;
-    println!(
-        "prepare_clip: {prep_speedup:.2}x with {many} threads; session: {sess_speedup:.2}x"
-    );
-    let note = if pass {
+    // Regression gate on every host: n threads may never be more than
+    // 2% slower than one thread — the sequential fallback guarantees
+    // the parallel entry points cost nothing when forking can't win.
+    // Fast mode gates only gross prepare regressions (>15%): its rounds
+    // are ~0.4s with sub-millisecond sessions, where host noise alone
+    // exceeds the real 2% target (same policy as the obs_overhead
+    // smoke); the full-mode run enforces the tight rule.
+    let (pass, no_slowdown) = if fast {
+        let ok = prep_speedup >= 0.85;
+        (ok, ok)
+    } else {
+        let no_slowdown = prep_speedup >= 0.98 && sess_speedup >= 0.98;
+        (prep_speedup >= target && no_slowdown, no_slowdown)
+    };
+    println!("prepare_clip: {prep_speedup:.2}x with {many} threads; session: {sess_speedup:.2}x");
+    let note = if pass && fast {
         format!(
-            "PASS ({pass_rule}): prepare_clip speedup {prep_speedup:.2}x >= {target}x \
-             on {available} hardware thread(s)"
+            "PASS (fast smoke): prepare_clip speedup {prep_speedup:.2}x >= 0.85x on {available} \
+             hardware thread(s); tight {pass_rule} rule enforced by the full-mode run"
+        )
+    } else if pass {
+        format!(
+            "PASS ({pass_rule}): prepare_clip speedup {prep_speedup:.2}x >= {target}x and no \
+             workload >2% slower with threads on {available} hardware thread(s)"
         )
     } else {
         format!(
-            "FAIL ({pass_rule}): prepare_clip speedup {prep_speedup:.2}x < {target}x \
-             on {available} hardware thread(s)"
+            "FAIL ({pass_rule}): prepare_clip {prep_speedup:.2}x (target {target}x), session \
+             {sess_speedup:.2}x, no_slowdown={no_slowdown} on {available} hardware thread(s)"
         )
     };
     println!("{note}");
@@ -106,6 +179,7 @@ fn main() {
             )),
         ),
         ("fast_mode".into(), Json::Bool(fast)),
+        ("rounds".into(), Json::Num(rounds as f64)),
         ("available_parallelism".into(), Json::Num(available as f64)),
         ("threads_compared".into(), Json::Num(many as f64)),
         ("prepare_ns_threads_1".into(), Json::Num(prep_1)),
@@ -116,6 +190,7 @@ fn main() {
         ("session_speedup".into(), Json::Num(sess_speedup)),
         ("target_speedup".into(), Json::Num(target)),
         ("pass_rule".into(), Json::Str(pass_rule.into())),
+        ("no_slowdown_pass".into(), Json::Bool(no_slowdown)),
         ("pass".into(), Json::Bool(pass)),
         ("note".into(), Json::Str(note)),
     ]);

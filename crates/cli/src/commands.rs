@@ -640,7 +640,7 @@ fn query(args: &Args) -> Result<(), String> {
         };
         println!("  {label:<10} accuracy@{} = {:.0}%", cfg.top_n, acc * 100.0);
     }
-    let last = report.rankings.last().unwrap();
+    let last = report.final_ranking().unwrap_or(&[]);
     println!(
         "  final top {}: {:?}",
         cfg.top_n.min(last.len()),
@@ -806,13 +806,12 @@ fn interactive_query(
         learner.learn(bags, &feedback);
         all_feedback.push(feedback.iter().map(|&(w, r)| (w as u32, r)).collect());
         ranking = rank_by(bags, |b| learner.score(b));
-        accuracies.push(tsvr_mil::metrics::accuracy_at(
-            &ranking, gt_labels, cfg.top_n,
-        ));
+        let acc = tsvr_mil::metrics::accuracy_at(&ranking, gt_labels, cfg.top_n);
+        accuracies.push(acc);
         println!(
             "   accuracy@{} vs stored ground truth: {:.0}%",
             cfg.top_n,
-            accuracies.last().unwrap() * 100.0
+            acc * 100.0
         );
     }
 
@@ -1068,7 +1067,7 @@ fn search(args: &Args) -> Result<(), String> {
         );
     }
     println!("final top {}:", cfg.top_n.min(index.len()));
-    for &bag in report.rankings.last().unwrap().iter().take(cfg.top_n) {
+    for &bag in report.final_ranking().unwrap_or(&[]).iter().take(cfg.top_n) {
         let (clip, window) = index.resolve(bag).unwrap();
         let name = db.meta(clip).map(|m| m.name.clone()).unwrap_or_default();
         println!(

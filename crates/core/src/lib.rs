@@ -48,8 +48,8 @@ pub use multiclip::{
     MultiClipIndex, ShardWindows,
 };
 pub use pipeline::{
-    bags_from_dataset, prepare_clip, prepare_sim, run_session, ClipArtifacts, LearnerKind,
-    PipelineOptions,
+    bags_from_dataset, median_heuristic_gamma, prepare_clip, prepare_sim, run_session,
+    ClipArtifacts, LearnerKind, PipelineOptions,
 };
 pub use query::{EventQuery, RankedWindow, TopK};
 pub use replay::{continue_session, replay_session, ReplayError};

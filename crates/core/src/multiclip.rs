@@ -208,7 +208,7 @@ fn merge_local_topk(locals: Vec<Vec<RankedWindow>>, k: usize) -> Vec<RankedWindo
 pub fn sharded_heuristic_topk(shards: &[ShardWindows], k: usize) -> Vec<RankedWindow> {
     let _span = tsvr_obs::span!("query.multiclip.sharded");
     tsvr_obs::counter!("query.scatter.shards").add(shards.len() as u64);
-    let locals = tsvr_par::par_map(shards, |_, shard| {
+    let locals = tsvr_par::par_map_est(shards, shard_cost_hint_ns(shards), |_, shard| {
         let mut topk = TopK::new(k);
         for clip in &shard.clips {
             for bag in &clip.bags {
@@ -232,7 +232,7 @@ pub fn sharded_learner_topk<L: Learner + Sync + ?Sized>(
 ) -> Vec<RankedWindow> {
     let _span = tsvr_obs::span!("query.multiclip.sharded");
     tsvr_obs::counter!("query.scatter.shards").add(shards.len() as u64);
-    let locals = tsvr_par::par_map(shards, |_, shard| {
+    let locals = tsvr_par::par_map_est(shards, shard_cost_hint_ns(shards), |_, shard| {
         let mut topk = TopK::new(k);
         for clip in &shard.clips {
             for bag in &clip.bags {
@@ -242,6 +242,19 @@ pub fn sharded_learner_topk<L: Learner + Sync + ?Sized>(
         topk.into_sorted()
     });
     merge_local_topk(locals, k)
+}
+
+/// Estimated nanoseconds to rank one shard: the average bag count per
+/// shard at a couple of microseconds per bag (score + top-k push).
+/// Coarse on purpose — it only needs to keep a handful of near-empty
+/// shards off the fork-join path.
+fn shard_cost_hint_ns(shards: &[ShardWindows]) -> u64 {
+    let bags: usize = shards
+        .iter()
+        .map(|s| s.clips.iter().map(|c| c.bags.len()).sum::<usize>())
+        .sum();
+    let avg = bags as u64 / shards.len().max(1) as u64;
+    avg.saturating_mul(2_000).max(1)
 }
 
 #[cfg(test)]

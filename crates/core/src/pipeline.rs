@@ -115,8 +115,12 @@ pub fn median_heuristic_gamma(bags: &[Bag]) -> f64 {
     let sample: Vec<&Vec<f64>> = vecs.iter().step_by(stride).collect();
     // One task per anchor row of the upper-triangle distance scan; rows
     // are flattened back in anchor order, so `dists` holds exactly the
-    // sequence the sequential double loop pushed.
-    let mut dists: Vec<f64> = tsvr_par::par_map_index(sample.len(), |i| {
+    // sequence the sequential double loop pushed. The cost hint — an
+    // average row touches half the sample at a few ns per dimension —
+    // keeps tiny clips sequential.
+    let dim = sample[0].len().max(1) as u64;
+    let est = (sample.len() as u64 / 2).saturating_mul(dim).max(1);
+    let mut dists: Vec<f64> = tsvr_par::par_map_index_est(sample.len(), est, |i| {
         let a = sample[i];
         sample[i + 1..]
             .iter()

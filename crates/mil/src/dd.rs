@@ -22,6 +22,7 @@
 //! Bags are scored by `max_j exp(−s‖x_j − t‖²)`.
 
 use crate::bag::Bag;
+use crate::error::MilError;
 use crate::session::Learner;
 use std::collections::HashSet;
 use tsvr_linalg::vecops;
@@ -124,9 +125,9 @@ impl DiverseDensityLearner {
         self.concept.as_deref()
     }
 
-    fn retrain(&mut self) {
+    fn retrain(&mut self) -> Result<(), MilError> {
         if self.positives.is_empty() {
-            return;
+            return Ok(());
         }
         let mut best: Option<(f64, Vec<f64>)> = None;
         // Multi-start: every instance of every positive bag.
@@ -145,7 +146,15 @@ impl DiverseDensityLearner {
                 }
             }
         }
-        self.concept = best.map(|(_, t)| t);
+        match best {
+            Some((_, t)) => {
+                self.concept = Some(t);
+                Ok(())
+            }
+            // Every positive bag was empty (tracker lost all vehicles):
+            // keep the previous concept instead of silently clearing it.
+            None => Err(MilError::NoPositiveInstances),
+        }
     }
 }
 
@@ -165,7 +174,9 @@ impl Learner for DiverseDensityLearner {
                 self.negatives.push(instances);
             }
         }
-        self.retrain();
+        // A failed retrain (every positive bag empty) keeps the
+        // previous concept; the session degrades instead of panicking.
+        let _ = self.retrain();
     }
 
     fn score(&self, bag: &Bag) -> f64 {
@@ -215,11 +226,14 @@ impl EmDdLearner {
         self.concept.as_deref()
     }
 
-    fn retrain(&mut self) {
+    fn retrain(&mut self) -> Result<(), MilError> {
         if self.positives.is_empty() {
-            return;
+            return Ok(());
         }
-        // Start from the instance with the best diverse density.
+        // Start from the instance with the best diverse density. When
+        // every positive bag is empty there is no candidate start:
+        // keep the previous concept and report the condition instead
+        // of unwrapping.
         let mut t = {
             let mut best: Option<(f64, Vec<f64>)> = None;
             for bag in &self.positives {
@@ -230,44 +244,52 @@ impl EmDdLearner {
                     }
                 }
             }
-            best.unwrap().1
+            match best {
+                Some((_, t)) => t,
+                None => return Err(MilError::NoPositiveInstances),
+            }
         };
 
-        let mut prev_selection: Option<Vec<usize>> = None;
+        let mut prev_selection: Option<Vec<(usize, usize)>> = None;
         for _ in 0..self.max_iters {
-            // E-step: the most concept-like instance per positive bag.
-            let selection: Vec<usize> = self
+            // E-step: the most concept-like instance per non-empty
+            // positive bag (an empty bag simply contributes nothing —
+            // identical selections when no bag is empty).
+            let selection: Vec<(usize, usize)> = self
                 .positives
                 .iter()
-                .map(|bag| {
+                .enumerate()
+                .filter_map(|(b, bag)| {
                     (0..bag.len())
-                        .min_by(|&a, &b| {
+                        .min_by(|&a, &c| {
                             crate::heuristic::nan_to_highest(vecops::sq_dist(&bag[a], &t))
                                 .total_cmp(&crate::heuristic::nan_to_highest(vecops::sq_dist(
-                                    &bag[b], &t,
+                                    &bag[c], &t,
                                 )))
                         })
-                        .unwrap()
+                        .map(|j| (b, j))
                 })
                 .collect();
             if prev_selection.as_ref() == Some(&selection) {
                 break;
             }
-            // M-step: mean of the selected instances.
+            // M-step: mean of the selected instances (bit-identical to
+            // dividing by the positive-bag count when none is empty).
             let d = t.len();
             let mut mean = vec![0.0; d];
-            for (bag, &j) in self.positives.iter().zip(&selection) {
-                for (m, &x) in mean.iter_mut().zip(&bag[j]) {
+            for &(b, j) in &selection {
+                for (m, &x) in mean.iter_mut().zip(&self.positives[b][j]) {
                     *m += x;
                 }
             }
             for m in &mut mean {
-                *m /= self.positives.len() as f64;
+                *m /= selection.len() as f64;
             }
             t = mean;
             prev_selection = Some(selection);
         }
         self.concept = Some(t);
+        Ok(())
     }
 }
 
@@ -287,7 +309,9 @@ impl Learner for EmDdLearner {
                 self.negatives.push(instances);
             }
         }
-        self.retrain();
+        // A failed retrain (every positive bag empty) keeps the
+        // previous concept; the session degrades instead of panicking.
+        let _ = self.retrain();
     }
 
     fn score(&self, bag: &Bag) -> f64 {
@@ -376,9 +400,55 @@ mod tests {
         l.learn(&bags, &fb);
         // Re-training on the same data must be stable.
         let t1 = l.concept().unwrap().to_vec();
-        l.retrain();
+        l.retrain().expect("non-empty positives retrain");
         let t2 = l.concept().unwrap();
         assert!(vecops::dist(&t1, t2) < 1e-9);
+    }
+
+    #[test]
+    fn all_empty_positive_bags_do_not_panic() {
+        // Relevant bags whose tracker lost every vehicle: positives
+        // exist but hold zero instances. Both learners must survive
+        // (previously an unwrap panic in EM-DD's best-start search).
+        let bags = vec![Bag::new(0, vec![]), Bag::new(1, vec![])];
+        let fb = vec![(0, true), (1, true)];
+        let mut dd = DiverseDensityLearner::new(4.0);
+        let mut em = EmDdLearner::new(4.0);
+        dd.learn(&bags, &fb);
+        em.learn(&bags, &fb);
+        assert!(dd.concept().is_none());
+        assert!(em.concept().is_none());
+        assert_eq!(dd.retrain(), Err(MilError::NoPositiveInstances));
+        assert_eq!(em.retrain(), Err(MilError::NoPositiveInstances));
+    }
+
+    #[test]
+    fn empty_positive_bag_among_real_ones_is_skipped() {
+        // One empty relevant bag must not panic the E-step or shift
+        // the concept away from what the real bags imply.
+        let (mut bags, mut fb) = dataset(&CONCEPT);
+        bags.push(Bag::new(50, vec![]));
+        fb.push((50, true));
+        let mut em = EmDdLearner::new(4.0);
+        em.learn(&bags, &fb);
+        let t = em.concept().expect("trained");
+        let d = vecops::dist(t, &CONCEPT);
+        assert!(d < 0.1, "concept off by {d}: {t:?}");
+    }
+
+    #[test]
+    fn emdd_retrain_keeps_previous_concept_on_failure() {
+        let (bags, fb) = dataset(&CONCEPT);
+        let mut em = EmDdLearner::new(4.0);
+        em.learn(&bags, &fb);
+        let before = em.concept().unwrap().to_vec();
+        // A later round contributes only an empty relevant bag; the
+        // usable earlier concept must survive.
+        em.learn(&[Bag::new(90, vec![])], &[(90, true)]);
+        let after = em.concept().expect("concept retained");
+        // Retraining reruns on all accumulated bags (the empty one is
+        // skipped), so the concept stays where the data puts it.
+        assert!(vecops::dist(&before, after) < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Typed errors for MIL rank/selection paths that previously panicked.
+//!
+//! The retrieval loop runs against adversarial databases (empty bags,
+//! zero-round resumed sessions, clips whose tracker lost every vehicle);
+//! those states are reportable conditions, not programming errors, so
+//! the hot paths surface them as [`MilError`] instead of unwrapping.
+
+use std::fmt;
+
+/// A reportable failure in a MIL learner or session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilError {
+    /// Every positively labeled bag was empty, so a concept-point search
+    /// (Diverse Density / EM-DD) had no candidate starts.
+    NoPositiveInstances,
+    /// A session report holds no rankings (e.g. a session resumed with
+    /// zero completed rounds), so there is no "final" ranking to read.
+    EmptyRanking,
+}
+
+impl fmt::Display for MilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MilError::NoPositiveInstances => {
+                write!(f, "every positive bag is empty: no candidate instances")
+            }
+            MilError::EmptyRanking => {
+                write!(f, "session report holds no rankings")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MilError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MilError::NoPositiveInstances.to_string().contains("positive"));
+        assert!(MilError::EmptyRanking.to_string().contains("rankings"));
+    }
+}

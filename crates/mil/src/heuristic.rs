@@ -42,9 +42,19 @@ pub fn bag_score(bag: &Bag) -> f64 {
 
 /// Scores every bag; the batch equivalent of [`bag_score`], fanned out
 /// over the [`tsvr_par`] runtime (order-preserving, so the result is
-/// bit-identical to the sequential map).
+/// bit-identical to the sequential map). The per-bag cost hint — a few
+/// tens of nanoseconds per feature row, sampled from the first bags —
+/// keeps small or sparse databases on the sequential fast path instead
+/// of paying the fork-join setup for sub-microsecond work.
 pub fn bag_scores(bags: &[Bag]) -> Vec<f64> {
-    tsvr_par::par_map(bags, |_, b| bag_score(b))
+    let rows = bags
+        .iter()
+        .take(8)
+        .map(|b| b.instances.iter().map(|i| i.points.len()).sum::<usize>())
+        .max()
+        .unwrap_or(0);
+    let est = (rows as u64).saturating_mul(40).max(40);
+    tsvr_par::par_map_est(bags, est, |_, b| bag_score(b))
 }
 
 /// Maps a NaN score to `-inf` so descending rankings (higher = better)

@@ -36,6 +36,7 @@
 
 pub mod bag;
 pub mod dd;
+pub mod error;
 pub mod heuristic;
 pub mod metrics;
 pub mod misvm;
@@ -46,6 +47,7 @@ pub mod session;
 pub mod weighted_rf;
 
 pub use bag::{Bag, Instance};
+pub use error::MilError;
 pub use misvm::MiSvmLearner;
 pub use ocsvm::OcSvmMilLearner;
 pub use oracle::{GroundTruthOracle, Oracle};

@@ -74,6 +74,19 @@ pub struct OcSvmMilLearner {
     pair_dists: Vec<f64>,
     /// How many training vectors `pair_dists` already covers.
     dists_upto: usize,
+    /// When set (the default), the training Gram matrix is memoized
+    /// across feedback rounds: each retraining only evaluates the
+    /// kernel rows of vectors collected since the previous round.
+    gram_memo: bool,
+    /// The memoized `gram_n × gram_n` Gram matrix over
+    /// `training[..gram_n]`, valid for `gram_kernel`.
+    gram_cache: Vec<f64>,
+    /// How many training vectors `gram_cache` covers.
+    gram_n: usize,
+    /// The kernel `gram_cache` was computed with. Any change (e.g. an
+    /// adaptive-γ re-derivation) invalidates the cache: kernel values
+    /// are kernel-dependent, so stale rows cannot be extended.
+    gram_kernel: Option<Kernel>,
 }
 
 impl OcSvmMilLearner {
@@ -92,7 +105,20 @@ impl OcSvmMilLearner {
             model: None,
             pair_dists: Vec::new(),
             dists_upto: 0,
+            gram_memo: true,
+            gram_cache: Vec::new(),
+            gram_n: 0,
+            gram_kernel: None,
         }
+    }
+
+    /// Disables the cross-round Gram memoization, forcing every
+    /// retraining to recompute the full kernel matrix from scratch.
+    /// Exists for verification and benchmarking: the memoized and
+    /// from-scratch paths must rank bit-identically.
+    pub fn without_gram_memo(mut self) -> Self {
+        self.gram_memo = false;
+        self
     }
 
     /// Sets `z` (builder style).
@@ -174,6 +200,25 @@ impl OcSvmMilLearner {
     pub fn model(&self) -> Option<&OneClassModel> {
         self.model.as_ref()
     }
+
+    /// Brings the memoized Gram matrix up to date with `training` for
+    /// `kernel`. A kernel change (adaptive γ re-derivation — including
+    /// the NaN-γ degenerate case, where `PartialEq` reports inequality)
+    /// recomputes from scratch; otherwise only the rows of vectors
+    /// collected since the last round are evaluated, exactly the
+    /// PR-5 pairwise-distance-cache strategy extended to the full
+    /// retraining loop. Cache validity is independent of whether the
+    /// subsequent SMO fit converges.
+    fn update_gram(&mut self, kernel: Kernel) {
+        let n = self.training.len();
+        if self.gram_kernel != Some(kernel) {
+            self.gram_cache = kernel.gram(&self.training);
+            self.gram_kernel = Some(kernel);
+        } else if self.gram_n < n {
+            self.gram_cache = kernel.gram_extend(&self.training, &self.gram_cache, self.gram_n);
+        }
+        self.gram_n = n;
+    }
 }
 
 impl Learner for OcSvmMilLearner {
@@ -219,8 +264,15 @@ impl Learner for OcSvmMilLearner {
         }
 
         if let Some(delta) = self.delta() {
-            let svm = OneClassSvm::new(self.effective_kernel(), delta);
-            match svm.fit(&self.training) {
+            let kernel = self.effective_kernel();
+            let svm = OneClassSvm::new(kernel, delta);
+            let fitted = if self.gram_memo {
+                self.update_gram(kernel);
+                svm.fit_with_gram(&self.training, &self.gram_cache)
+            } else {
+                svm.fit(&self.training)
+            };
+            match fitted {
                 Ok(m) => self.model = Some(m),
                 Err(_) => {
                     // Keep the previous model; the session degrades to
@@ -542,6 +594,43 @@ mod tests {
         let single: Vec<f64> = db.iter().map(|b| l.score(b)).collect();
         for (a, b) in batch.iter().zip(&single) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn memoized_gram_ranks_bit_identical_to_recompute() {
+        // Feed identical feedback to a memoizing learner and a
+        // from-scratch learner across several rounds; every score must
+        // be bit-identical, fixed kernel and adaptive γ alike.
+        for adaptive in [false, true] {
+            let make = || {
+                let l = OcSvmMilLearner::new(rbf());
+                if adaptive {
+                    l.with_adaptive_gamma(1.0)
+                } else {
+                    l
+                }
+            };
+            let mut memo = make();
+            let mut fresh = make().without_gram_memo();
+            let bags: Vec<Bag> = (0..8)
+                .map(|i| bag(i, hot_rows(0.5 + 0.05 * i as f64)))
+                .collect();
+            for round in 0..4 {
+                let fb: Vec<(usize, bool)> =
+                    (round * 2..round * 2 + 2).map(|i| (i, true)).collect();
+                memo.learn(&bags, &fb);
+                fresh.learn(&bags, &fb);
+                let a = memo.score_all(&bags);
+                let b = fresh.score_all(&bags);
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "round {round} adaptive={adaptive}: memo {x} vs fresh {y}"
+                    );
+                }
+            }
         }
     }
 

@@ -11,6 +11,7 @@
 //!    feedback rounds (First…Fourth) with `n = 20`.
 
 use crate::bag::Bag;
+use crate::error::MilError;
 use crate::heuristic;
 use crate::metrics;
 use crate::oracle::Oracle;
@@ -98,6 +99,26 @@ pub struct SessionReport {
     pub ceiling: f64,
 }
 
+impl SessionReport {
+    /// The last round's ranking. A freshly [`RetrievalSession::run`]
+    /// report always holds at least the initial round, but a report
+    /// deserialized from a stored session may have been persisted with
+    /// zero completed rounds — that state is a typed error here, not a
+    /// panic.
+    pub fn final_ranking(&self) -> Result<&[usize], MilError> {
+        self.rankings
+            .last()
+            .map(Vec::as_slice)
+            .ok_or(MilError::EmptyRanking)
+    }
+
+    /// The last round's accuracy@n, with the same zero-round guard as
+    /// [`SessionReport::final_ranking`].
+    pub fn final_accuracy(&self) -> Result<f64, MilError> {
+        self.accuracies.last().copied().ok_or(MilError::EmptyRanking)
+    }
+}
+
 /// Drives one learner through an interactive session.
 pub struct RetrievalSession<'a, L: Learner, O: Oracle> {
     bags: &'a [Bag],
@@ -166,11 +187,13 @@ impl<'a, L: Learner, O: Oracle> RetrievalSession<'a, L, O> {
         let initial_accuracy = metrics::accuracy_at(&initial, &labels, n);
         tsvr_obs::histogram!("mil.accuracy_at_n_pct").record((initial_accuracy * 100.0) as u64);
         accuracies.push(initial_accuracy);
-        rankings.push(initial);
+        // Thread the current ranking through the loop directly instead
+        // of reading it back via `rankings.last().unwrap()` — the loop
+        // then has no rank-selection unwrap at all.
+        let mut current = initial;
 
         for _ in 0..self.config.feedback_rounds {
             let _round_span = tsvr_obs::tspan!("mil.round");
-            let current = rankings.last().unwrap();
             let feedback: Vec<(usize, bool)> = current
                 .iter()
                 .take(n)
@@ -182,8 +205,9 @@ impl<'a, L: Learner, O: Oracle> RetrievalSession<'a, L, O> {
             tsvr_obs::histogram!("mil.accuracy_at_n_pct").record((accuracy * 100.0) as u64);
             tsvr_obs::counter!("mil.feedback.labels").add(feedback.len() as u64);
             accuracies.push(accuracy);
-            rankings.push(ranking);
+            rankings.push(std::mem::replace(&mut current, ranking));
         }
+        rankings.push(current);
 
         let relevant_total = labels.iter().filter(|&&l| l).count();
         let report = SessionReport {
@@ -410,6 +434,38 @@ mod tests {
         let (report, _) = RetrievalSession::new(&bags, learner, &oracle, cfg).run();
         let heuristic_ranking = rank_by(&bags, heuristic::bag_score);
         assert_ne!(report.rankings[0], heuristic_ranking);
+    }
+
+    #[test]
+    fn final_ranking_and_accuracy_guard_empty_reports() {
+        let (bags, labels) = database(20, 3);
+        let oracle = GroundTruthOracle::new(labels);
+        let (report, _) = RetrievalSession::new(
+            &bags,
+            OcSvmMilLearner::new(Kernel::Rbf { gamma: 2.0 }),
+            &oracle,
+            SessionConfig::default(),
+        )
+        .run();
+        assert_eq!(
+            report.final_ranking().expect("rounds ran"),
+            report.rankings.last().expect("rounds ran").as_slice()
+        );
+        assert_eq!(
+            report.final_accuracy().expect("rounds ran"),
+            *report.accuracies.last().expect("rounds ran")
+        );
+        // A zero-round resumed report (e.g. restored from storage)
+        // yields a typed error rather than panicking.
+        let empty = SessionReport {
+            learner: "MIL_OneClassSVM",
+            accuracies: Vec::new(),
+            rankings: Vec::new(),
+            relevant_total: 0,
+            ceiling: 0.0,
+        };
+        assert_eq!(empty.final_ranking(), Err(MilError::EmptyRanking));
+        assert_eq!(empty.final_accuracy(), Err(MilError::EmptyRanking));
     }
 
     #[test]

@@ -37,6 +37,20 @@
 //! host degrades gracefully to the sequential path instead of paying
 //! for context switches (the *sequential fallback*).
 //!
+//! ## Cost-hinted fallback
+//!
+//! Spawning a scoped worker costs tens of microseconds ([`FORK_COST_NS`]).
+//! A fork whose per-worker slice is smaller than that *loses* time to
+//! parallelism, which is invisible to the plain entry points because
+//! they cannot know how expensive one item is. The `*_est` variants
+//! ([`par_map_est`], [`par_map_index_est`]) take a caller-supplied
+//! per-item cost estimate in nanoseconds; the planner then sizes the
+//! pool so every spawned worker carries at least
+//! [`MIN_WORK_PER_WORKER_NS`] of estimated work and runs inline when
+//! even two workers cannot be fed. The estimate only steers the fork
+//! decision — results are bit-identical either way, because the
+//! sequential path is the reference.
+//!
 //! ## Tracing
 //!
 //! Workers adopt the forking thread's [`tsvr_obs::trace`] context: when
@@ -113,17 +127,42 @@ fn hw_threads() -> usize {
 /// The worker count a fork over `work_items` items actually gets: the
 /// resolved thread count, clamped by hardware parallelism and by the
 /// rule that each worker must have at least [`MIN_FORK_ITEMS`] items.
-/// A result of 1 means "run inline" — the sequential fallback.
-fn plan_workers(work_items: usize) -> usize {
-    current_threads()
+/// With a per-item cost estimate, the pool is additionally sized so
+/// each spawned worker carries at least [`MIN_WORK_PER_WORKER_NS`] of
+/// estimated work; a call whose total estimated work cannot feed two
+/// workers runs inline. Without one (the plain entry points), the
+/// item-count rule alone decides, preserving the historical fork
+/// policy. A result of 1 means "run inline" — the sequential fallback.
+fn plan_workers(work_items: usize, est_item_ns: Option<u64>) -> usize {
+    let cap = current_threads()
         .min(hw_threads())
         .min(work_items / MIN_FORK_ITEMS)
-        .max(1)
+        .max(1);
+    let Some(est) = est_item_ns else { return cap };
+    if cap <= 1 {
+        return 1;
+    }
+    let total_ns = est.saturating_mul(work_items as u64);
+    let by_work = (total_ns / MIN_WORK_PER_WORKER_NS) as usize;
+    if by_work < 2 {
+        return 1;
+    }
+    cap.min(by_work)
 }
 
 /// Minimum items per worker before forking pays for itself; with fewer
 /// the spawn cost dominates and the call runs inline.
 const MIN_FORK_ITEMS: usize = 2;
+
+/// Measured cost of forking one scoped worker (spawn + first chunk
+/// pickup + join share) on commodity hardware — tens of microseconds.
+/// The calibration constant behind [`MIN_WORK_PER_WORKER_NS`].
+pub const FORK_COST_NS: u64 = 50_000;
+
+/// Minimum *estimated* work per spawned worker before a cost-hinted
+/// call forks: 5× [`FORK_COST_NS`], so the spawn overhead stays under
+/// ~20% even when the estimate is optimistic by a small factor.
+pub const MIN_WORK_PER_WORKER_NS: u64 = 5 * FORK_COST_NS;
 
 /// Target chunks per worker: enough granularity that one slow chunk
 /// cannot serialize the join, few enough that per-chunk bookkeeping
@@ -205,7 +244,28 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    run_indexed(items.len(), |i| f(i, &items[i]))
+    run_indexed(items.len(), None, |i| f(i, &items[i]))
+}
+
+/// Cost-hinted [`par_map`]: `est_item_ns` is the caller's rough
+/// estimate of one item's cost in nanoseconds. Cheap items (estimated
+/// total below two workers' worth of [`MIN_WORK_PER_WORKER_NS`]) run
+/// inline instead of paying the fork cost; expensive items fork exactly
+/// like [`par_map`]. The hint never changes the result — only whether
+/// threads are spawned to compute it.
+///
+/// ```
+/// // A ~5ns/item map: the hint keeps it inline on any host.
+/// let out = tsvr_par::par_map_est(&[1.0f64, 2.0, 3.0], 5, |_, x| x * x);
+/// assert_eq!(out, vec![1.0, 4.0, 9.0]);
+/// ```
+pub fn par_map_est<T, R, F>(items: &[T], est_item_ns: u64, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_indexed(items.len(), Some(est_item_ns), |i| f(i, &items[i]))
 }
 
 /// Index-space variant of [`par_map`]: maps `f` over `0..n`, preserving
@@ -216,15 +276,25 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    run_indexed(n, f)
+    run_indexed(n, None, f)
 }
 
-fn run_indexed<R, F>(n: usize, f: F) -> Vec<R>
+/// Cost-hinted [`par_map_index`]; see [`par_map_est`] for the fork
+/// heuristic the estimate drives.
+pub fn par_map_index_est<R, F>(n: usize, est_item_ns: u64, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let threads = plan_workers(n);
+    run_indexed(n, Some(est_item_ns), f)
+}
+
+fn run_indexed<R, F>(n: usize, est_item_ns: Option<u64>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = plan_workers(n, est_item_ns);
     if threads <= 1 {
         record_call(false);
         return (0..n).map(f).collect();
@@ -462,18 +532,73 @@ mod tests {
         with_threads(hw * 8, || {
             // Requesting more workers than the hardware has never forks
             // wider than the hardware.
-            assert!(plan_workers(100_000) <= hw);
+            assert!(plan_workers(100_000, None) <= hw);
             // Tiny work always runs inline, whatever was requested.
-            assert_eq!(plan_workers(0), 1);
-            assert_eq!(plan_workers(1), 1);
+            assert_eq!(plan_workers(0, None), 1);
+            assert_eq!(plan_workers(1, None), 1);
             // 3 items / MIN_FORK_ITEMS(2) per worker -> 1 worker: inline.
-            assert_eq!(plan_workers(3), 1);
+            assert_eq!(plan_workers(3, None), 1);
         });
         // And results stay correct under heavy oversubscription.
         let items: Vec<u64> = (0..300).collect();
         let seq: Vec<u64> = items.iter().map(|&x| x * 7).collect();
         let par = with_threads(hw * 8, || par_map(&items, |_, &x| x * 7));
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn cost_hint_keeps_cheap_work_inline() {
+        let _g = lock();
+        with_threads(8, || {
+            // 1000 items at 10ns each = 10µs total: far below two
+            // workers' minimum slice, so the planner stays inline even
+            // though the item-count rule alone would fork.
+            assert!(plan_workers(1000, None) > 1 || hw_threads() == 1);
+            assert_eq!(plan_workers(1000, Some(10)), 1);
+            // Zero-cost items never fork.
+            assert_eq!(plan_workers(1_000_000, Some(0)), 1);
+            // Expensive items fork as wide as the unhinted plan allows.
+            let heavy = plan_workers(1000, Some(10_000_000));
+            assert_eq!(heavy, plan_workers(1000, None));
+            // Mid-range work is capped so each worker keeps a full
+            // minimum slice: 100 items × 10µs = 1ms -> at most 4 workers.
+            let mid = plan_workers(100, Some(10_000));
+            assert!(mid <= 4, "mid-range plan spawned {mid} workers");
+        });
+    }
+
+    #[test]
+    fn cost_hint_never_changes_results() {
+        let _g = lock();
+        let items: Vec<f64> = (0..512).map(|i| (i as f64 * 0.31).cos()).collect();
+        let seq: Vec<f64> = items.iter().map(|x| (x * 1.0000007).exp_m1()).collect();
+        for threads in [1, 4] {
+            for est in [0, 10, 1_000_000] {
+                let got = with_threads(threads, || {
+                    par_map_est(&items, est, |_, x| (x * 1.0000007).exp_m1())
+                });
+                for (a, b) in seq.iter().zip(&got) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "threads {threads} est {est}");
+                }
+                let got = with_threads(threads, || {
+                    par_map_index_est(items.len(), est, |i| (items[i] * 1.0000007).exp_m1())
+                });
+                for (a, b) in seq.iter().zip(&got) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "threads {threads} est {est}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_hint_overflow_is_saturating() {
+        let _g = lock();
+        with_threads(4, || {
+            // A pathological estimate must not overflow the total-work
+            // product; it saturates and forks at the unhinted width.
+            let w = plan_workers(usize::MAX, Some(u64::MAX));
+            assert_eq!(w, plan_workers(usize::MAX, None));
+        });
     }
 
     #[test]

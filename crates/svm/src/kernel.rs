@@ -1,5 +1,15 @@
 //! Mercer kernels (paper Eq. 5–6).
+//!
+//! The batch entry points ([`Kernel::gram`], [`Kernel::gram_extend`],
+//! [`Kernel::eval_block`]) run over a [`FeatureBlock`] — one contiguous
+//! row-major buffer — so the distance loops stream memory linearly, and
+//! split the RBF/Laplacian evaluation into a distance pass followed by
+//! a vectorizable `exp` pass over the whole output row. Both
+//! restructurings preserve the exact per-element arithmetic of
+//! [`Kernel::eval`], so every batch value is bit-identical to the
+//! corresponding scalar call.
 
+use crate::block::FeatureBlock;
 use crate::SvmError;
 use tsvr_linalg::vecops;
 
@@ -104,29 +114,219 @@ impl Kernel {
         }
     }
 
+    /// Rough cost of one [`eval`](Self::eval) call in nanoseconds — a
+    /// fused multiply-add per dimension plus a transcendental where the
+    /// kernel has one. Drives the fork decision of the cost-hinted
+    /// [`tsvr_par`] entry points; only the spawn heuristic depends on
+    /// it, never a result.
+    pub fn est_eval_ns(&self, dim: usize) -> u64 {
+        let d = dim as u64;
+        match *self {
+            Kernel::Linear => d + 2,
+            _ => d + 20,
+        }
+    }
+
+    /// Writes `K(u, block.row(j))` for every row `j` into `out`
+    /// (`out.len() == block.len()`). RBF and Laplacian run as a fused
+    /// distance pass followed by one `exp` pass over the whole buffer —
+    /// the exact operations `eval` applies per element, reordered across
+    /// elements only, so each value is bit-identical to the scalar call.
+    pub fn eval_block(&self, block: &FeatureBlock, u: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), block.len());
+        match *self {
+            Kernel::Rbf { gamma } => {
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o = vecops::sq_dist(u, block.row(j));
+                }
+                for o in out.iter_mut() {
+                    *o = (-gamma * *o).exp();
+                }
+            }
+            Kernel::Laplacian { sigma } => {
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o = vecops::sq_dist(u, block.row(j));
+                }
+                // `vecops::dist` is `sq_dist(..).sqrt()`, so the split
+                // pass applies the same sqrt-then-exp per element.
+                for o in out.iter_mut() {
+                    *o = (-o.sqrt() / sigma).exp();
+                }
+            }
+            _ => {
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o = self.eval(u, block.row(j));
+                }
+            }
+        }
+    }
+
     /// Precomputes the full Gram matrix of a dataset (row-major,
-    /// `n x n`). Upper-triangle rows are evaluated in parallel on the
-    /// [`tsvr_par`] runtime (row `i` is an independent task, so the
-    /// ragged row lengths load-balance across workers) and mirrored
-    /// sequentially; every entry is the same `eval(i, j)` the sequential
-    /// double loop computes, so the matrix is bit-identical regardless
-    /// of the thread count.
+    /// `n x n`). The rows are packed into a [`FeatureBlock`] so the
+    /// distance loops run cache-linearly (a ragged input falls back to
+    /// the nested-`Vec` walk with identical arithmetic). Upper-triangle
+    /// rows are evaluated in parallel on the [`tsvr_par`] runtime (row
+    /// `i` is an independent task, so the ragged row lengths
+    /// load-balance across workers) and mirrored sequentially; every
+    /// entry is the same `eval(i, j)` the sequential double loop
+    /// computes, so the matrix is bit-identical regardless of the
+    /// thread count.
     pub fn gram(&self, data: &[Vec<f64>]) -> Vec<f64> {
+        // Anchor rows per parallel task. Batching rows amortizes the
+        // one scratch allocation per task — per-row tasks spent ~10%
+        // of small-matrix gram time in the allocator.
+        const ROW_CHUNK: usize = 8;
         let n = data.len();
         tsvr_obs::counter!("svm.kernel.evals").add((n * (n + 1) / 2) as u64);
-        // Row i holds K(i, j) for j in i..n.
-        let rows: Vec<Vec<f64>> = tsvr_par::par_map_index(n, |i| {
-            (i..n).map(|j| self.eval(&data[i], &data[j])).collect()
-        });
+        let nchunks = n.div_ceil(ROW_CHUNK);
+        let span = |c: usize| (c * ROW_CHUNK, (c * ROW_CHUNK + ROW_CHUNK).min(n));
+        // Chunk c holds rows lo..hi concatenated; row i is K(i, j) for
+        // j in i..n.
+        let chunks: Vec<Vec<f64>> = match FeatureBlock::from_rows(data) {
+            Ok(block) => {
+                // Fork hint: the average task is ROW_CHUNK half-rows.
+                let est =
+                    (ROW_CHUNK as u64) * (n as u64 / 2 + 1) * self.est_eval_ns(block.dim());
+                tsvr_par::par_map_index_est(nchunks, est, |c| {
+                    let (lo, hi) = span(c);
+                    let total: usize = (lo..hi).map(|i| n - i).sum();
+                    let mut buf = vec![0.0; total];
+                    let mut off = 0;
+                    for i in lo..hi {
+                        let len = n - i;
+                        self.eval_suffix(&block, i, &mut buf[off..off + len]);
+                        off += len;
+                    }
+                    buf
+                })
+            }
+            Err(_) => tsvr_par::par_map_index(nchunks, |c| {
+                let (lo, hi) = span(c);
+                (lo..hi)
+                    .flat_map(|i| (i..n).map(move |j| (i, j)))
+                    .map(|(i, j)| self.eval(&data[i], &data[j]))
+                    .collect()
+            }),
+        };
         let mut g = vec![0.0; n * n];
-        for (i, row) in rows.iter().enumerate() {
-            for (off, &k) in row.iter().enumerate() {
-                let j = i + off;
-                g[i * n + j] = k;
-                g[j * n + i] = k;
+        for (c, buf) in chunks.iter().enumerate() {
+            let (lo, hi) = span(c);
+            let mut off = 0;
+            for i in lo..hi {
+                for (k, &v) in buf[off..off + (n - i)].iter().enumerate() {
+                    let j = i + k;
+                    g[i * n + j] = v;
+                    g[j * n + i] = v;
+                }
+                off += n - i;
             }
         }
         g
+    }
+
+    /// `K(row_i, row_j)` for `j in i..n`, written to `out`
+    /// (`out.len() == n - i`), with the fused RBF/Laplacian pass.
+    fn eval_suffix(&self, block: &FeatureBlock, i: usize, out: &mut [f64]) {
+        let u = block.row(i);
+        match *self {
+            Kernel::Rbf { gamma } => {
+                for (off, o) in out.iter_mut().enumerate() {
+                    *o = vecops::sq_dist(u, block.row(i + off));
+                }
+                for o in out.iter_mut() {
+                    *o = (-gamma * *o).exp();
+                }
+            }
+            Kernel::Laplacian { sigma } => {
+                for (off, o) in out.iter_mut().enumerate() {
+                    *o = vecops::sq_dist(u, block.row(i + off));
+                }
+                for o in out.iter_mut() {
+                    *o = (-o.sqrt() / sigma).exp();
+                }
+            }
+            _ => {
+                for (off, o) in out.iter_mut().enumerate() {
+                    *o = self.eval(u, block.row(i + off));
+                }
+            }
+        }
+    }
+
+    /// Grows a Gram matrix incrementally: `old` must be this kernel's
+    /// `old_n × old_n` Gram over `data[..old_n]`; the result is the full
+    /// `n × n` Gram over `data`, computing only the entries that involve
+    /// a new row (`j >= old_n`) and copying the rest. New entries use
+    /// the same per-element arithmetic as [`gram`](Self::gram)
+    /// (`K(u, v)` and `K(v, u)` are bit-identical for every kernel here:
+    /// `x·y`, `(x−y)²` and `|x−y|` are all IEEE-commutative), so the
+    /// result is bit-identical to a full recomputation — including NaN
+    /// payloads, which flow through the same operations either way.
+    /// A mismatched `old` shape falls back to the full computation.
+    pub fn gram_extend(&self, data: &[Vec<f64>], old: &[f64], old_n: usize) -> Vec<f64> {
+        let n = data.len();
+        if old_n > n || old.len() != old_n * old_n {
+            return self.gram(data);
+        }
+        let new_pairs = n * (n + 1) / 2 - old_n * (old_n + 1) / 2;
+        tsvr_obs::counter!("svm.kernel.evals").add(new_pairs as u64);
+        let mut g = vec![0.0; n * n];
+        for i in 0..old_n {
+            g[i * n..i * n + old_n].copy_from_slice(&old[i * old_n..(i + 1) * old_n]);
+        }
+        // One task per new row j, holding K(j, 0..=j).
+        let rows: Vec<Vec<f64>> = match FeatureBlock::from_rows(data) {
+            Ok(block) => {
+                let est = (n as u64 / 2 + 1) * self.est_eval_ns(block.dim());
+                tsvr_par::par_map_index_est(n - old_n, est, |k| {
+                    let j = old_n + k;
+                    let mut row = vec![0.0; j + 1];
+                    self.eval_prefix(&block, j, &mut row);
+                    row
+                })
+            }
+            Err(_) => tsvr_par::par_map_index(n - old_n, |k| {
+                let j = old_n + k;
+                (0..=j).map(|i| self.eval(&data[j], &data[i])).collect()
+            }),
+        };
+        for (k, row) in rows.iter().enumerate() {
+            let j = old_n + k;
+            for (i, &v) in row.iter().enumerate() {
+                g[j * n + i] = v;
+                g[i * n + j] = v;
+            }
+        }
+        g
+    }
+
+    /// `K(row_j, row_i)` for `i in 0..=j`, written to `out`
+    /// (`out.len() == j + 1`), with the fused RBF/Laplacian pass.
+    fn eval_prefix(&self, block: &FeatureBlock, j: usize, out: &mut [f64]) {
+        let u = block.row(j);
+        match *self {
+            Kernel::Rbf { gamma } => {
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = vecops::sq_dist(u, block.row(i));
+                }
+                for o in out.iter_mut() {
+                    *o = (-gamma * *o).exp();
+                }
+            }
+            Kernel::Laplacian { sigma } => {
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = vecops::sq_dist(u, block.row(i));
+                }
+                for o in out.iter_mut() {
+                    *o = (-o.sqrt() / sigma).exp();
+                }
+            }
+            _ => {
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = self.eval(u, block.row(i));
+                }
+            }
+        }
     }
 }
 
@@ -211,6 +411,113 @@ mod tests {
         .is_err());
         assert!(Kernel::Linear.validate().is_ok());
         assert!(Kernel::Rbf { gamma: 0.5 }.validate().is_ok());
+    }
+
+    /// Deterministic pseudo-random vectors, with NaN/∞ planted when
+    /// `poison` is set — the batch paths must carry them bit-exactly.
+    fn random_rows(n: usize, dim: usize, salt: u64, poison: bool) -> Vec<Vec<f64>> {
+        let mut state = salt.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|d| {
+                        if poison && i % 5 == 3 && d == i % dim {
+                            f64::NAN
+                        } else {
+                            next() * 3.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn all_kernels() -> Vec<Kernel> {
+        vec![
+            Kernel::Linear,
+            Kernel::Rbf { gamma: 0.7 },
+            Kernel::Laplacian { sigma: 1.3 },
+            Kernel::Polynomial {
+                gamma: 0.5,
+                coef0: 1.0,
+                degree: 3,
+            },
+            Kernel::Sigmoid {
+                gamma: 0.2,
+                coef0: 0.1,
+            },
+        ]
+    }
+
+    #[test]
+    fn gram_is_bit_identical_to_scalar_eval() {
+        for poison in [false, true] {
+            let data = random_rows(17, 5, 42, poison);
+            for k in all_kernels() {
+                let g = k.gram(&data);
+                for i in 0..17 {
+                    for j in i..17 {
+                        let expected = k.eval(&data[i], &data[j]);
+                        assert_eq!(
+                            g[i * 17 + j].to_bits(),
+                            expected.to_bits(),
+                            "{k:?} entry ({i},{j}) poison={poison}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gram_extend_matches_full_recompute() {
+        for poison in [false, true] {
+            let data = random_rows(23, 4, 7, poison);
+            for k in all_kernels() {
+                // Grow the matrix in several steps, as the retraining
+                // loop does, and compare against from-scratch at each.
+                let mut g = k.gram(&data[..5]);
+                for &upto in &[9, 14, 23] {
+                    let old_n = (g.len() as f64).sqrt() as usize;
+                    g = k.gram_extend(&data[..upto], &g, old_n);
+                    let full = k.gram(&data[..upto]);
+                    assert_eq!(g.len(), full.len());
+                    for (a, b) in g.iter().zip(&full) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{k:?} poison={poison}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gram_extend_rejects_mismatched_old_shape() {
+        let data = random_rows(6, 3, 9, false);
+        let k = Kernel::Rbf { gamma: 0.5 };
+        // Wrong length and old_n > n both fall back to the full gram.
+        let full = k.gram(&data);
+        assert_eq!(k.gram_extend(&data, &[0.0; 5], 2), full);
+        assert_eq!(k.gram_extend(&data, &vec![0.0; 49], 7), full);
+    }
+
+    #[test]
+    fn eval_block_matches_scalar_eval() {
+        let data = random_rows(11, 6, 3, true);
+        let block = crate::block::FeatureBlock::from_rows(&data).unwrap();
+        let probe = &data[4];
+        for k in all_kernels() {
+            let mut out = vec![0.0; data.len()];
+            k.eval_block(&block, probe, &mut out);
+            for (j, o) in out.iter().enumerate() {
+                assert_eq!(o.to_bits(), k.eval(probe, &data[j]).to_bits(), "{k:?} row {j}");
+            }
+        }
     }
 
     #[test]

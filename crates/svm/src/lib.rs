@@ -24,11 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod error;
 pub mod kernel;
 pub mod oneclass;
 pub mod svc;
 
+pub use block::FeatureBlock;
 pub use error::SvmError;
 pub use kernel::Kernel;
 pub use oneclass::{OneClassModel, OneClassSvm};

@@ -63,8 +63,8 @@ impl OneClassSvm {
         }
     }
 
-    /// Trains on a set of (implicitly positive/"relevant") examples.
-    pub fn fit(&self, data: &[Vec<f64>]) -> Result<OneClassModel, SvmError> {
+    /// Validates the trainer parameters and the training set's shape.
+    fn validate(&self, data: &[Vec<f64>]) -> Result<(), SvmError> {
         if data.is_empty() {
             return Err(SvmError::EmptyTrainingSet);
         }
@@ -81,11 +81,42 @@ impl OneClassSvm {
                 });
             }
         }
+        Ok(())
+    }
 
+    /// Trains on a set of (implicitly positive/"relevant") examples.
+    pub fn fit(&self, data: &[Vec<f64>]) -> Result<OneClassModel, SvmError> {
+        self.validate(data)?;
+        let gram = self.kernel.gram(data);
+        self.solve(data, &gram)
+    }
+
+    /// Trains with a caller-supplied Gram matrix — `gram` must be this
+    /// trainer's kernel over `data` (row-major `n × n`), e.g. from
+    /// [`Kernel::gram_extend`]'s incremental maintenance across
+    /// relevance-feedback rounds. A wrong-sized matrix is a
+    /// [`SvmError::DimensionMismatch`]; the values themselves are
+    /// trusted, which is exactly what makes memoization across
+    /// retrainings possible.
+    pub fn fit_with_gram(&self, data: &[Vec<f64>], gram: &[f64]) -> Result<OneClassModel, SvmError> {
+        self.validate(data)?;
+        let n = data.len();
+        if gram.len() != n * n {
+            return Err(SvmError::DimensionMismatch {
+                expected: n * n,
+                got: gram.len(),
+            });
+        }
+        self.solve(data, gram)
+    }
+
+    /// The SMO solve over a precomputed Gram matrix (shared by
+    /// [`fit`](Self::fit) and [`fit_with_gram`](Self::fit_with_gram);
+    /// inputs already validated).
+    fn solve(&self, data: &[Vec<f64>], gram: &[f64]) -> Result<OneClassModel, SvmError> {
         let _span = tsvr_obs::tspan!("svm.train");
         let n = data.len();
         let c = 1.0 / (self.nu * n as f64); // upper bound per α
-        let gram = self.kernel.gram(data);
         let q = |i: usize, j: usize| gram[i * n + j];
 
         // Initialization (libsvm convention): fill α up to the bound
@@ -207,14 +238,14 @@ impl OneClassSvm {
         }
         tsvr_obs::histogram!("svm.train.iterations").record(iterations as u64);
         tsvr_obs::histogram!("svm.train.support_vectors").record(support.len() as u64);
-        Ok(OneClassModel {
-            kernel: self.kernel,
-            nu: self.nu,
+        Ok(OneClassModel::from_parts(
+            self.kernel,
+            self.nu,
             support,
             coeffs,
             rho,
             iterations,
-        })
+        ))
     }
 }
 
@@ -233,9 +264,36 @@ pub struct OneClassModel {
     pub rho: f64,
     /// SMO iterations used in training.
     pub iterations: usize,
+    /// The support vectors packed into one contiguous row-major block
+    /// so decision loops stream them cache-linearly (same rows, same
+    /// order as `support`).
+    support_block: crate::block::FeatureBlock,
 }
 
 impl OneClassModel {
+    /// Assembles a model, packing the support vectors into the
+    /// contiguous block the decision path reads.
+    pub(crate) fn from_parts(
+        kernel: Kernel,
+        nu: f64,
+        support: Vec<Vec<f64>>,
+        coeffs: Vec<f64>,
+        rho: f64,
+        iterations: usize,
+    ) -> OneClassModel {
+        let support_block = crate::block::FeatureBlock::from_rows(&support)
+            .expect("support vectors come from a dimension-validated training set");
+        OneClassModel {
+            kernel,
+            nu,
+            support,
+            coeffs,
+            rho,
+            iterations,
+            support_block,
+        }
+    }
+
     /// The raw decision value `Σ_i α_i K(x_i, x) − ρ`; positive inside
     /// the learned region.
     pub fn decision(&self, x: &[f64]) -> f64 {
@@ -244,23 +302,53 @@ impl OneClassModel {
     }
 
     /// Batch [`decision`](Self::decision) over many vectors, fanned out
-    /// on the [`tsvr_par`] runtime. Each vector's value is computed by
-    /// the same per-vector kernel loop, and results come back in input
+    /// on the [`tsvr_par`] runtime with a per-vector cost hint (one
+    /// kernel row per probe) so small batches run inline instead of
+    /// paying the fork cost. Each vector's value is computed by the
+    /// same per-vector kernel loop, and results come back in input
     /// order, so the output is bit-identical to the sequential map —
     /// this is the scoring path the retrieval session uses to re-rank
     /// the whole database after each feedback round.
     pub fn decision_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        // Probes per parallel task: one kernel-row scratch buffer is
+        // shared across a whole chunk, so the allocator is off the
+        // per-probe path (it cost ~10% at small support counts).
+        const PROBE_CHUNK: usize = 64;
         tsvr_obs::counter!("svm.kernel.evals")
             .add((self.support.len() * xs.len()) as u64);
-        tsvr_par::par_map(xs, |_, x| self.decision_raw(x))
+        let per_probe = (self.support.len() as u64)
+            .saturating_mul(self.kernel.est_eval_ns(self.support_block.dim()))
+            + 20; // fold overhead
+        let chunks: Vec<&[Vec<f64>]> = xs.chunks(PROBE_CHUNK).collect();
+        let est = per_probe.saturating_mul(PROBE_CHUNK as u64);
+        let parts = tsvr_par::par_map_est(&chunks, est, |_, chunk| {
+            let mut row = vec![0.0; self.support_block.len()];
+            let mut out = Vec::with_capacity(chunk.len());
+            for x in chunk.iter() {
+                self.kernel.eval_block(&self.support_block, x, &mut row);
+                let mut s = 0.0;
+                for (&a, &k) in self.coeffs.iter().zip(&row) {
+                    s += a * k;
+                }
+                out.push(s - self.rho);
+            }
+            out
+        });
+        parts.into_iter().flatten().collect()
     }
 
     /// The kernel expansion without the obs probe (shared by
-    /// [`decision`](Self::decision) and the batch path).
+    /// [`decision`](Self::decision) and the batch path): one fused
+    /// kernel row over the contiguous support block, then the dual-
+    /// coefficient dot product in support order — the same adds and
+    /// multiplies, in the same order, as the scalar
+    /// `Σ a·eval(sv, x)` loop.
     fn decision_raw(&self, x: &[f64]) -> f64 {
+        let mut row = vec![0.0; self.support_block.len()];
+        self.kernel.eval_block(&self.support_block, x, &mut row);
         let mut s = 0.0;
-        for (sv, &a) in self.support.iter().zip(&self.coeffs) {
-            s += a * self.kernel.eval(sv, x);
+        for (&a, &k) in self.coeffs.iter().zip(&row) {
+            s += a * k;
         }
         s - self.rho
     }

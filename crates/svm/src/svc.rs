@@ -197,12 +197,15 @@ impl Svc {
                 coeffs.push(alpha[k] * y[k]);
             }
         }
+        let support_block = crate::block::FeatureBlock::from_rows(&support)
+            .expect("support vectors come from a dimension-validated training set");
         Ok(SvcModel {
             kernel: self.kernel,
             support,
             coeffs,
             bias,
             iterations,
+            support_block,
         })
     }
 }
@@ -220,14 +223,22 @@ pub struct SvcModel {
     pub bias: f64,
     /// SMO iterations used.
     pub iterations: usize,
+    /// Support vectors packed contiguously for the decision loop (same
+    /// rows, same order as `support`).
+    support_block: crate::block::FeatureBlock,
 }
 
 impl SvcModel {
-    /// Raw decision value; positive = the `true` class.
+    /// Raw decision value; positive = the `true` class. Evaluated as a
+    /// fused kernel row over the contiguous support block followed by
+    /// the coefficient fold in support order — bit-identical to the
+    /// scalar `bias + Σ a·eval(sv, x)` loop.
     pub fn decision(&self, x: &[f64]) -> f64 {
+        let mut row = vec![0.0; self.support_block.len()];
+        self.kernel.eval_block(&self.support_block, x, &mut row);
         let mut s = self.bias;
-        for (sv, &a) in self.support.iter().zip(&self.coeffs) {
-            s += a * self.kernel.eval(sv, x);
+        for (&a, &k) in self.coeffs.iter().zip(&row) {
+            s += a * k;
         }
         s
     }

@@ -20,37 +20,80 @@ pub fn dtw_distance(a: &[Vec2], b: &[Vec2]) -> f64 {
         return f64::INFINITY;
     }
     // DP over accumulated cost; also track path length for
-    // normalization.
-    let idx = |i: usize, j: usize| i * m + j;
-    let mut cost = vec![f64::INFINITY; n * m];
-    let mut steps = vec![0u32; n * m];
-    cost[idx(0, 0)] = a[0].dist(b[0]);
-    steps[idx(0, 0)] = 1;
-    for i in 0..n {
-        for j in 0..m {
-            if i == 0 && j == 0 {
-                continue;
-            }
-            let local = a[i].dist(b[j]);
+    // normalization. Cell (i, j) only ever reads row i-1 and the cell
+    // to its left, so two rolling rows replace the full n×m matrix —
+    // O(m) resident instead of O(n·m), and the left/diagonal
+    // predecessors ride in locals so the inner loop touches memory
+    // once per cell. Predecessor selection (up, left, diag; strict
+    // `<`, ties keep the earlier candidate) matches the original
+    // full-matrix formulation exactly, so results are bit-identical
+    // to it.
+    let mut prev_cost = vec![f64::INFINITY; m];
+    let mut prev_steps = vec![0u32; m];
+    let mut curr_cost = vec![f64::INFINITY; m];
+    let mut curr_steps = vec![0u32; m];
+    // Row 0: only the left predecessor exists.
+    curr_cost[0] = a[0].dist(b[0]);
+    curr_steps[0] = 1;
+    for j in 1..m {
+        let local = a[0].dist(b[j]);
+        let (left_c, left_s) = (curr_cost[j - 1], curr_steps[j - 1]);
+        let (best, best_steps) = if left_c < f64::INFINITY {
+            (left_c, left_s)
+        } else {
+            (f64::INFINITY, 0)
+        };
+        curr_cost[j] = best + local;
+        curr_steps[j] = best_steps + 1;
+    }
+    std::mem::swap(&mut prev_cost, &mut curr_cost);
+    std::mem::swap(&mut prev_steps, &mut curr_steps);
+    for &ai in &a[1..] {
+        // Column 0: only the up predecessor exists.
+        let (up_c, up_s) = (prev_cost[0], prev_steps[0]);
+        let (best, best_steps) = if up_c < f64::INFINITY {
+            (up_c, up_s)
+        } else {
+            (f64::INFINITY, 0)
+        };
+        let mut left_c = best + ai.dist(b[0]);
+        let mut left_s = best_steps + 1;
+        curr_cost[0] = left_c;
+        curr_steps[0] = left_s;
+        // The up value of column j-1 is the diagonal of column j. The
+        // zip walk keeps the inner loop free of bounds checks.
+        let mut diag_c = up_c;
+        let mut diag_s = up_s;
+        let ups = prev_cost[1..].iter().zip(&prev_steps[1..]);
+        let outs = curr_cost[1..].iter_mut().zip(curr_steps[1..].iter_mut());
+        for (((&up_c, &up_s), bj), (cc, cs)) in ups.zip(&b[1..]).zip(outs) {
+            let local = ai.dist(*bj);
             let mut best = f64::INFINITY;
             let mut best_steps = 0;
-            if i > 0 && cost[idx(i - 1, j)] < best {
-                best = cost[idx(i - 1, j)];
-                best_steps = steps[idx(i - 1, j)];
+            if up_c < best {
+                best = up_c;
+                best_steps = up_s;
             }
-            if j > 0 && cost[idx(i, j - 1)] < best {
-                best = cost[idx(i, j - 1)];
-                best_steps = steps[idx(i, j - 1)];
+            if left_c < best {
+                best = left_c;
+                best_steps = left_s;
             }
-            if i > 0 && j > 0 && cost[idx(i - 1, j - 1)] < best {
-                best = cost[idx(i - 1, j - 1)];
-                best_steps = steps[idx(i - 1, j - 1)];
+            if diag_c < best {
+                best = diag_c;
+                best_steps = diag_s;
             }
-            cost[idx(i, j)] = best + local;
-            steps[idx(i, j)] = best_steps + 1;
+            left_c = best + local;
+            left_s = best_steps + 1;
+            *cc = left_c;
+            *cs = left_s;
+            diag_c = up_c;
+            diag_s = up_s;
         }
+        std::mem::swap(&mut prev_cost, &mut curr_cost);
+        std::mem::swap(&mut prev_steps, &mut curr_steps);
     }
-    cost[idx(n - 1, m - 1)] / steps[idx(n - 1, m - 1)] as f64
+    // The final row lives in `prev_*` after the last swap.
+    prev_cost[m - 1] / prev_steps[m - 1] as f64
 }
 
 /// Resamples a polyline to `k` points spaced uniformly by arc length.
@@ -138,6 +181,70 @@ mod tests {
             p.push(Vec2::new(cx - i as f64, 6.0));
         }
         p
+    }
+
+    /// The original full-matrix DP, kept as the reference the rolling
+    /// two-row implementation must match bit-for-bit.
+    fn dtw_distance_full_matrix(a: &[Vec2], b: &[Vec2]) -> f64 {
+        let (n, m) = (a.len(), b.len());
+        if n == 0 || m == 0 {
+            return f64::INFINITY;
+        }
+        let idx = |i: usize, j: usize| i * m + j;
+        let mut cost = vec![f64::INFINITY; n * m];
+        let mut steps = vec![0u32; n * m];
+        cost[idx(0, 0)] = a[0].dist(b[0]);
+        steps[idx(0, 0)] = 1;
+        for i in 0..n {
+            for j in 0..m {
+                if i == 0 && j == 0 {
+                    continue;
+                }
+                let local = a[i].dist(b[j]);
+                let mut best = f64::INFINITY;
+                let mut best_steps = 0;
+                if i > 0 && cost[idx(i - 1, j)] < best {
+                    best = cost[idx(i - 1, j)];
+                    best_steps = steps[idx(i - 1, j)];
+                }
+                if j > 0 && cost[idx(i, j - 1)] < best {
+                    best = cost[idx(i, j - 1)];
+                    best_steps = steps[idx(i, j - 1)];
+                }
+                if i > 0 && j > 0 && cost[idx(i - 1, j - 1)] < best {
+                    best = cost[idx(i - 1, j - 1)];
+                    best_steps = steps[idx(i - 1, j - 1)];
+                }
+                cost[idx(i, j)] = best + local;
+                steps[idx(i, j)] = best_steps + 1;
+            }
+        }
+        cost[idx(n - 1, m - 1)] / steps[idx(n - 1, m - 1)] as f64
+    }
+
+    #[test]
+    fn rolling_dp_is_bit_identical_to_full_matrix() {
+        let shapes: Vec<Vec<Vec2>> = vec![
+            line(1, 0.0, 0.0),
+            line(2, 1.0, -0.5),
+            line(7, 0.3, 2.0),
+            line(40, 1.1, 0.0),
+            u_turn(5),
+            u_turn(17),
+        ];
+        for a in &shapes {
+            for b in &shapes {
+                let rolled = dtw_distance(a, b);
+                let full = dtw_distance_full_matrix(a, b);
+                assert_eq!(
+                    rolled.to_bits(),
+                    full.to_bits(),
+                    "rolling {rolled} vs full-matrix {full} for |a|={} |b|={}",
+                    a.len(),
+                    b.len()
+                );
+            }
+        }
     }
 
     #[test]

@@ -30,11 +30,31 @@ TSVR_CRASH_FAST=1 cargo test -q -p tsvr-viddb --test shard_crash
 
 # The smoke run exercises the bench end-to-end but writes its JSON in a
 # scratch directory so it cannot clobber a committed paper-scale
-# BENCH_parallel.json.
+# BENCH_parallel.json. The committed full-mode JSON must record a pass
+# under the tightened rule (parity only on true single-core hosts, and
+# threads=n never >2% slower than threads=1 on any host).
 echo "==> parallel bench smoke run (TSVR_BENCH_FAST=1)"
 repo="$PWD"
-(cd "$(mktemp -d)" && TSVR_BENCH_FAST=1 cargo run --release -q \
+par_tmp="$(mktemp -d)"
+(cd "$par_tmp" && TSVR_BENCH_FAST=1 cargo run --release -q \
     --manifest-path "$repo/Cargo.toml" -p tsvr-bench --bin parallel)
+grep -q '"pass":true' "$par_tmp/BENCH_parallel.json"
+grep -q '"no_slowdown_pass":true' BENCH_parallel.json
+grep -q '"pass":true' BENCH_parallel.json
+
+# Kernels bench smoke: proves the SoA gram / fused-exp decision / rolling
+# DTW / memoized-gram paths are bit-identical to their scalar and
+# from-scratch references end to end. Fast mode gates identity only
+# (short batches are too noisy for speedup targets); the committed
+# full-mode BENCH_kernels.json must also record its measured speedups as
+# a pass.
+echo "==> kernels bench smoke run (TSVR_BENCH_FAST=1)"
+kern_tmp="$(mktemp -d)"
+(cd "$kern_tmp" && TSVR_BENCH_FAST=1 cargo run --release -q \
+    --manifest-path "$repo/Cargo.toml" -p tsvr-bench --bin kernels)
+grep -q '"pass":true' "$kern_tmp/BENCH_kernels.json"
+grep -q '"identical":true' BENCH_kernels.json
+grep -q '"pass":true' BENCH_kernels.json
 
 # Same scratch-dir discipline for the feature-index bench: proves the
 # cold-vs-indexed comparison (and its bit-identity assertion) end to end
