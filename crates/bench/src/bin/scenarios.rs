@@ -101,7 +101,7 @@ struct PreparedRow {
     /// Unified index-served bags + ground-truth labels + origins.
     index: MultiClipIndex,
     /// `(clip_id, window_index)` → unified bag id.
-    origin_of: HashMap<(u64, u32), usize>,
+    origin_of: HashMap<(u64, u64), usize>,
     /// Per-shard windows for the scatter-gather path.
     shards: Vec<ShardWindows>,
     /// Shard files backing the row's database.
@@ -130,7 +130,7 @@ fn meta_for(clip_id: u64, camera: usize, clip: &ClipArtifacts, name: &str) -> Cl
 
 /// Builds a row's scenario; `None` for unknown names.
 fn scenario_for(row: &Row, fast: bool) -> Option<(Scenario, EventQuery)> {
-    let query = EventQuery::from_name(row.query)?;
+    let query = EventQuery::from_name(row.query).ok()?;
     let scenario = match row.name {
         "tunnel_accidents" => Scenario::tunnel_small(SEED),
         "intersection_accidents" => Scenario::intersection_paper(SEED),

@@ -27,6 +27,13 @@ commands:
              [--learner ocsvm|wrf|misvm|dd|emdd] [--rounds N] [--top N]
              [--use-index] [--rebuild-index]
              [--interactive]   (you label each page item y/n instead of the oracle)
+  query \"<expr>\"  --db F [--top N] | --addr H:P [--top N]
+             (archive-wide attribute + motion query through the
+             shard-pruning progressive planner, e.g.
+             \"camera = cam-1 and vdiff >= 3.5 and time in [0, 3600]\";
+             clauses: event/class/camera/time/vdiff/theta/inv_mdist,
+             joined with 'and'; prints plan stats and any degraded
+             shards; --addr sends the same expression to a live server)
   sessions   --db F --clip-id N
   resume     --db F --clip-id N --session N [--learner L] [--rounds N] [--top N]
   session list     --db F [--clip-id N]   (every stored session, latest state)
@@ -87,6 +94,10 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
             .get(1)
             .ok_or_else(|| format!("{cmd}: missing action ({actions})\n{USAGE}"))?;
         (Some(action.as_str()), argv.get(2..).unwrap_or(&[]))
+    } else if cmd == "query" && argv.get(1).is_some_and(|a| !a.starts_with("--")) {
+        // `query "<expr>"` — the positional query-language form; the
+        // legacy flags-only form (`query --clip-id N`) stays as-is.
+        (Some(argv[1].as_str()), argv.get(2..).unwrap_or(&[]))
     } else {
         (None, &argv[1..])
     };
@@ -103,7 +114,10 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "sim" => sim_fleet(&args),
         "list" => list(&args),
         "info" => info(&args),
-        "query" => query(&args),
+        "query" => match sub_action {
+            Some(expr) => query_expr(expr, &args),
+            None => query(&args),
+        },
         "sessions" => sessions(&args),
         "resume" => resume(&args),
         "search" => search(&args),
@@ -587,9 +601,93 @@ fn learner_from(args: &Args) -> Result<LearnerKind, String> {
 
 fn event_from(args: &Args) -> Result<EventQuery, String> {
     let name = args.get("event").unwrap_or("accident");
-    EventQuery::from_name(name).ok_or_else(|| {
-        format!("unknown event {name:?} (accident or any incident kind name, e.g. u_turn, wrong_way)")
-    })
+    EventQuery::from_name(name).map_err(|e| e.to_string())
+}
+
+/// Prints a planned query's outcome: canonical expression, plan
+/// receipt, degraded-shard warnings, then the ranking.
+fn print_plan_outcome(
+    canonical: &str,
+    ranking: &[tsvr_core::RankedWindow],
+    stats: &tsvr_core::PlanStats,
+    degraded: &[tsvr_core::DegradedShard],
+) {
+    println!("query: {canonical}");
+    println!(
+        "plan: {}/{} shards pruned, {}/{} clips pruned, {}/{} windows pre-filtered, {} ranked",
+        stats.shards_pruned,
+        stats.shards_total,
+        stats.clips_pruned,
+        stats.clips_considered,
+        stats.windows_prefiltered,
+        stats.windows_scanned,
+        stats.windows_ranked
+    );
+    for d in degraded {
+        println!(
+            "warning: partial result — shard {} (camera {}, bucket {}) unavailable: {}",
+            d.file, d.camera, d.bucket, d.reason
+        );
+    }
+    if ranking.is_empty() {
+        println!(
+            "no matching windows{}",
+            if degraded.is_empty() {
+                ""
+            } else {
+                " among the servable shards"
+            }
+        );
+    }
+    for (i, r) in ranking.iter().enumerate() {
+        println!(
+            "  {:>3}. clip {} window {} score {:.4}",
+            i + 1,
+            r.clip_id,
+            r.window_index,
+            r.score
+        );
+    }
+}
+
+/// The query-language form: `tsvr query "<expr>" --db F` plans and
+/// ranks locally; with `--addr` the same expression is sent to a live
+/// server and the identical report is printed from its response.
+fn query_expr(expr: &str, args: &Args) -> Result<(), String> {
+    let k = args.num("top", 20)?;
+    if let Some(addr) = args.get("addr") {
+        // Canonicalize locally when the expression parses (the server
+        // re-parses anyway), so remote and local output match exactly.
+        let shown = tsvr_core::parse_query(expr)
+            .map(|q| q.to_string())
+            .unwrap_or_else(|_| expr.to_string());
+        return match ops_request(
+            addr,
+            tsvr_serve::Request::Query {
+                expr: expr.to_string(),
+                k: Some(k),
+            },
+        )? {
+            tsvr_serve::Response::QueryResult {
+                ranking,
+                stats,
+                degraded,
+            } => {
+                print_plan_outcome(&shown, &ranking, &stats, &degraded);
+                Ok(())
+            }
+            tsvr_serve::Response::Error(e) => Err(e.to_string()),
+            other => Err(format!("unexpected response {other:?}")),
+        };
+    }
+    let parsed = tsvr_core::parse_query(expr).map_err(|e| e.to_string())?;
+    let mut db = open_db(args)?;
+    let planner = tsvr_core::Planner::new(k);
+    let out = planner
+        .run(&mut db, &parsed, tsvr_core::Scorer::Heuristic)
+        .map_err(|e| e.to_string())?;
+    print_plan_outcome(&parsed.to_string(), &out.ranking, &out.stats, &out.degraded);
+    Ok(())
 }
 
 fn query(args: &Args) -> Result<(), String> {
@@ -661,7 +759,12 @@ fn query(args: &Args) -> Result<(), String> {
             .map(|r| {
                 r.iter()
                     .take(cfg.top_n)
-                    .map(|&w| (w as u32, oracle.label(w)))
+                    .map(|&w| {
+                            // On-disk session rows store u32 window ids;
+                            // fail loudly rather than alias past 2^32.
+                            let id = u32::try_from(w).expect("window id exceeds on-disk u32 range");
+                            (id, oracle.label(w))
+                        })
                     .collect()
             })
             .collect(),
@@ -723,7 +826,7 @@ fn resume(args: &Args) -> Result<(), String> {
 
     let bundle = db.load_clip(clip_id).map_err(|e| e.to_string())?;
     let bags = bags_from_bundle(&bundle, &FeatureConfig::default());
-    let event = EventQuery::from_name(&row.query).unwrap_or_else(EventQuery::accidents);
+    let event = EventQuery::from_name(&row.query).unwrap_or_else(|_| EventQuery::accidents());
     let oracle = GroundTruthOracle::new(labels_from_bundle(&bundle, &event));
     let top_n = args.num("top", 20)?;
     let rounds = args.num("rounds", 2)?;

@@ -91,7 +91,8 @@ pub fn segment_from_dataset(clip_id: u64, dataset: &Dataset) -> IndexSegment {
         .windows
         .iter()
         .map(|w| IndexWindowRow {
-            window_index: w.index as u32,
+            window_index: u32::try_from(w.index)
+                .expect("window index exceeds on-disk u32 range"),
             start_checkpoint: w.start_checkpoint as u64,
             start_frame: w.start_frame,
             end_frame: w.end_frame,

@@ -33,6 +33,7 @@ pub mod ingest;
 pub mod labels;
 pub mod multiclip;
 pub mod pipeline;
+pub mod qlang;
 pub mod query;
 pub mod replay;
 pub mod sketch;
@@ -51,6 +52,11 @@ pub use pipeline::{
     bags_from_dataset, median_heuristic_gamma, prepare_clip, prepare_sim, run_session,
     ClipArtifacts, LearnerKind, PipelineOptions,
 };
-pub use query::{EventQuery, RankedWindow, TopK};
+pub use qlang::{
+    classify_tracks, nearest_names, parse as parse_query, Clause, ClassRoster, Cmp, DegradedShard,
+    FeatureField, PlanError, PlanOutcome, PlanStats, Planner, Query, QueryError, Scorer,
+    NOMINAL_FPS,
+};
+pub use query::{EventQuery, RankedWindow, TopK, UnknownEventName};
 pub use replay::{continue_session, replay_session, ReplayError};
 pub use sketch::SketchQuery;

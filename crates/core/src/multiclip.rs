@@ -26,7 +26,7 @@ pub struct MultiClipIndex {
     pub labels: Vec<bool>,
     /// For each unified bag id: the `(clip_id, window_index)` it came
     /// from.
-    pub origin: Vec<(u64, u32)>,
+    pub origin: Vec<(u64, u64)>,
 }
 
 impl MultiClipIndex {
@@ -65,7 +65,7 @@ impl MultiClipIndex {
                 let id = bags.len();
                 bags.push(Bag::new(id, instances));
                 labels.push(label);
-                origin.push((bundle.meta.clip_id, w.window_index));
+                origin.push((bundle.meta.clip_id, u64::from(w.window_index)));
             }
         }
         MultiClipIndex {
@@ -86,7 +86,7 @@ impl MultiClipIndex {
     }
 
     /// Resolves a unified bag id back to its clip and window.
-    pub fn resolve(&self, bag_id: usize) -> Option<(u64, u32)> {
+    pub fn resolve(&self, bag_id: usize) -> Option<(u64, u64)> {
         self.origin.get(bag_id).copied()
     }
 
@@ -102,7 +102,9 @@ impl MultiClipIndex {
         for (clip_id, clip_bags, clip_labels) in parts {
             debug_assert_eq!(clip_bags.len(), clip_labels.len());
             for (bag, label) in clip_bags.into_iter().zip(clip_labels) {
-                let window_index = bag.id as u32;
+                // usize → u64 is lossless on every supported platform;
+                // the old `as u32` narrowing aliased windows past 2³².
+                let window_index = bag.id as u64;
                 let id = bags.len();
                 bags.push(Bag::new(id, bag.instances));
                 labels.push(label);
@@ -141,7 +143,7 @@ pub fn heuristic_topk(clips: &[ClipWindows], k: usize) -> Vec<RankedWindow> {
     let mut topk = TopK::new(k);
     for clip in clips {
         for (bag, score) in clip.bags.iter().zip(tsvr_mil::heuristic::bag_scores(&clip.bags)) {
-            topk.push(score, clip.clip_id, bag.id as u32);
+            topk.push(score, clip.clip_id, bag.id as u64);
         }
     }
     topk.into_sorted()
@@ -161,7 +163,7 @@ pub fn learner_topk<L: Learner + ?Sized>(
     let mut topk = TopK::new(k);
     for clip in clips {
         for (bag, score) in clip.bags.iter().zip(learner.score_all(&clip.bags)) {
-            topk.push(score, clip.clip_id, bag.id as u32);
+            topk.push(score, clip.clip_id, bag.id as u64);
         }
     }
     topk.into_sorted()
@@ -212,7 +214,7 @@ pub fn sharded_heuristic_topk(shards: &[ShardWindows], k: usize) -> Vec<RankedWi
         let mut topk = TopK::new(k);
         for clip in &shard.clips {
             for bag in &clip.bags {
-                topk.push(tsvr_mil::heuristic::bag_score(bag), clip.clip_id, bag.id as u32);
+                topk.push(tsvr_mil::heuristic::bag_score(bag), clip.clip_id, bag.id as u64);
             }
         }
         topk.into_sorted()
@@ -236,7 +238,7 @@ pub fn sharded_learner_topk<L: Learner + Sync + ?Sized>(
         let mut topk = TopK::new(k);
         for clip in &shard.clips {
             for bag in &clip.bags {
-                topk.push(learner.score(bag), clip.clip_id, bag.id as u32);
+                topk.push(learner.score(bag), clip.clip_id, bag.id as u64);
             }
         }
         topk.into_sorted()
@@ -406,7 +408,7 @@ mod tests {
             let bag = clip
                 .bags
                 .iter()
-                .find(|b| b.id as u32 == r.window_index)
+                .find(|b| b.id as u64 == r.window_index)
                 .unwrap();
             assert_eq!(r.score.to_bits(), tsvr_mil::heuristic::bag_score(bag).to_bits());
         }
@@ -424,7 +426,7 @@ mod tests {
             let bag = clip
                 .bags
                 .iter()
-                .find(|b| b.id as u32 == r.window_index)
+                .find(|b| b.id as u64 == r.window_index)
                 .unwrap();
             assert_eq!(r.score.to_bits(), learner.score(bag).to_bits());
         }

@@ -8,7 +8,32 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
 use tsvr_sim::IncidentKind;
+
+/// Typed failure of [`EventQuery::from_name`]: the (normalized) name
+/// matched no composite and no [`IncidentKind`]. Carries the nearest
+/// valid names so callers — the CLI, the serve protocol, the query
+/// planner — can say "did you mean …" instead of a bare not-found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownEventName {
+    /// The name as the caller gave it (before normalization).
+    pub given: String,
+    /// Valid names closest to `given` by edit distance, best first.
+    pub suggestions: Vec<&'static str>,
+}
+
+impl fmt::Display for UnknownEventName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown event {:?}", self.given)?;
+        if !self.suggestions.is_empty() {
+            write!(f, " (did you mean {}?)", self.suggestions.join(" or "))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownEventName {}
 
 /// A named query over incident kinds.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,13 +83,41 @@ impl EventQuery {
         }
     }
 
+    /// Every name [`EventQuery::from_name`] accepts: the composites
+    /// first, then each [`IncidentKind`] name.
+    pub fn valid_names() -> Vec<&'static str> {
+        let mut names = vec!["accident"];
+        names.extend(IncidentKind::ALL.iter().map(|k| k.name()));
+        names
+    }
+
     /// Parses a query name: the named composites (`accident`) first,
     /// then any single [`IncidentKind`] name (`u_turn`, `wrong_way`,
-    /// `near_miss_brake`, ...).
-    pub fn from_name(name: &str) -> Option<EventQuery> {
-        match name {
-            "accident" => Some(EventQuery::accidents()),
-            other => IncidentKind::from_name(other).map(EventQuery::for_kind),
+    /// `near_miss_brake`, ...). The name is normalized before matching
+    /// — surrounding whitespace is trimmed, ASCII case is folded, and
+    /// `-`/space separators become `_` — so `" Wrong-Way "` parses.
+    /// An unmatched name is a typed [`UnknownEventName`] carrying the
+    /// nearest valid names.
+    pub fn from_name(name: &str) -> Result<EventQuery, UnknownEventName> {
+        let normalized: String = name
+            .trim()
+            .chars()
+            .map(|c| match c {
+                '-' | ' ' => '_',
+                c => c.to_ascii_lowercase(),
+            })
+            .collect();
+        match normalized.as_str() {
+            "accident" | "accidents" => Ok(EventQuery::accidents()),
+            other => IncidentKind::from_name(other)
+                .map(EventQuery::for_kind)
+                .ok_or_else(|| UnknownEventName {
+                    given: name.to_string(),
+                    suggestions: crate::qlang::nearest_names(
+                        &normalized,
+                        &EventQuery::valid_names(),
+                    ),
+                }),
         }
     }
 
@@ -81,8 +134,11 @@ pub struct RankedWindow {
     pub score: f64,
     /// Clip the window belongs to.
     pub clip_id: u64,
-    /// Window index within that clip.
-    pub window_index: u32,
+    /// Window index within that clip. `u64` — not `u32` — so a `usize`
+    /// bag id converts losslessly on every supported platform; the old
+    /// `as u32` narrowing silently aliased windows past 2³² (the same
+    /// class of bug as the pre-widening u32 frame spans).
+    pub window_index: u64,
 }
 
 impl RankedWindow {
@@ -144,7 +200,7 @@ impl TopK {
     }
 
     /// Offers one scored window.
-    pub fn push(&mut self, score: f64, clip_id: u64, window_index: u32) {
+    pub fn push(&mut self, score: f64, clip_id: u64, window_index: u64) {
         if self.capacity == 0 {
             return;
         }
@@ -220,21 +276,40 @@ mod tests {
 
     #[test]
     fn query_names_round_trip_through_from_name() {
-        assert_eq!(EventQuery::from_name("accident"), Some(EventQuery::accidents()));
-        assert_eq!(EventQuery::from_name("u_turn"), Some(EventQuery::u_turns()));
-        assert_eq!(EventQuery::from_name("speeding"), Some(EventQuery::speeding()));
-        assert_eq!(EventQuery::from_name("warp_drive"), None);
+        assert_eq!(EventQuery::from_name("accident"), Ok(EventQuery::accidents()));
+        assert_eq!(EventQuery::from_name("u_turn"), Ok(EventQuery::u_turns()));
+        assert_eq!(EventQuery::from_name("speeding"), Ok(EventQuery::speeding()));
+        assert!(EventQuery::from_name("warp_drive").is_err());
         // Every incident kind — including the fleet kinds — is queryable
         // by name, and the query is the single-kind query.
         for k in IncidentKind::ALL {
             let q = EventQuery::from_name(k.name());
             if k.is_accident() {
-                assert!(q.is_some());
+                assert!(q.is_ok());
             } else {
-                assert_eq!(q, Some(EventQuery::for_kind(k)));
+                assert_eq!(q, Ok(EventQuery::for_kind(k)));
                 assert_eq!(q.unwrap().name, k.name());
             }
         }
+    }
+
+    #[test]
+    fn from_name_normalizes_case_space_and_hyphens() {
+        assert_eq!(EventQuery::from_name("  Accident "), Ok(EventQuery::accidents()));
+        assert_eq!(EventQuery::from_name("Wrong-Way"), Ok(EventQuery::for_kind(IncidentKind::WrongWay)));
+        assert_eq!(EventQuery::from_name("sudden stop"), Ok(EventQuery::for_kind(IncidentKind::SuddenStop)));
+    }
+
+    #[test]
+    fn unknown_event_name_carries_nearest_suggestions() {
+        let err = EventQuery::from_name("acident").unwrap_err();
+        assert_eq!(err.given, "acident");
+        assert_eq!(err.suggestions.first().copied(), Some("accident"));
+        let msg = err.to_string();
+        assert!(msg.contains("acident") && msg.contains("did you mean"), "{msg}");
+        // A name nothing resembles still errors (suggestions may be
+        // empty or distant, but never panic).
+        assert!(EventQuery::from_name("zzzzzzzzzzzzzzzzzzzz").is_err());
     }
 
     #[test]
@@ -247,7 +322,7 @@ mod tests {
         let scores = [0.4, f64::NAN, 0.9, 0.4, 0.4, 0.2, 0.9];
         let mut tk = TopK::new(scores.len());
         for (w, &s) in scores.iter().enumerate() {
-            tk.push(s, 0, w as u32);
+            tk.push(s, 0, w as u64);
         }
         let topk_order: Vec<usize> = tk
             .into_sorted()
@@ -261,7 +336,7 @@ mod tests {
     fn topk_keeps_best_and_sorts_descending() {
         let mut tk = TopK::new(3);
         for (i, s) in [0.1, 0.9, 0.5, 0.7, 0.2].into_iter().enumerate() {
-            tk.push(s, 1, i as u32);
+            tk.push(s, 1, i as u64);
         }
         let out = tk.into_sorted();
         let scores: Vec<f64> = out.iter().map(|r| r.score).collect();
@@ -276,7 +351,7 @@ mod tests {
         tk.push(0.5, 1, 3);
         tk.push(0.5, 2, 1);
         let out = tk.into_sorted();
-        let keys: Vec<(u64, u32)> = out.iter().map(|r| (r.clip_id, r.window_index)).collect();
+        let keys: Vec<(u64, u64)> = out.iter().map(|r| (r.clip_id, r.window_index)).collect();
         assert_eq!(keys, vec![(1, 3), (1, 9), (2, 1), (2, 7)]);
     }
 
@@ -296,8 +371,8 @@ mod tests {
 
     #[test]
     fn topk_insertion_order_does_not_matter() {
-        let mut entries: Vec<(f64, u64, u32)> = (0..40)
-            .map(|i| (f64::from(i % 7) * 0.3, u64::from(i / 10), i))
+        let mut entries: Vec<(f64, u64, u64)> = (0u32..40)
+            .map(|i| (f64::from(i % 7) * 0.3, u64::from(i / 10), u64::from(i)))
             .collect();
         let mut a = TopK::new(5);
         for &(s, c, w) in &entries {
@@ -308,8 +383,8 @@ mod tests {
         for &(s, c, w) in &entries {
             b.push(s, c, w);
         }
-        let ka: Vec<(u64, u32)> = a.into_sorted().iter().map(|r| (r.clip_id, r.window_index)).collect();
-        let kb: Vec<(u64, u32)> = b.into_sorted().iter().map(|r| (r.clip_id, r.window_index)).collect();
+        let ka: Vec<(u64, u64)> = a.into_sorted().iter().map(|r| (r.clip_id, r.window_index)).collect();
+        let kb: Vec<(u64, u64)> = b.into_sorted().iter().map(|r| (r.clip_id, r.window_index)).collect();
         assert_eq!(ka, kb);
     }
 

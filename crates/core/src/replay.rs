@@ -121,7 +121,12 @@ mod tests {
                 .map(|r| {
                     r.iter()
                         .take(top_n)
-                        .map(|&w| (w as u32, oracle.label(w)))
+                        .map(|&w| {
+                            // On-disk session rows store u32 window ids;
+                            // fail loudly rather than alias past 2^32.
+                            let id = u32::try_from(w).expect("window id exceeds on-disk u32 range");
+                            (id, oracle.label(w))
+                        })
                         .collect()
                 })
                 .collect(),

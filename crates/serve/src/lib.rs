@@ -159,6 +159,92 @@ mod tests {
     }
 
     #[test]
+    fn query_op_prunes_shards_and_reports_degraded_partial_results() {
+        use tsvr_viddb::{AnyDb, ShardId, ShardedDb};
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("tsvr-serve-query-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut victim = String::new();
+        {
+            let mut db = ShardedDb::open_with_bucket(&dir, 3600).unwrap();
+            for (id, camera, start_time) in
+                [(1, "cam-a", 0u64), (2, "cam-b", 0), (3, "cam-b", 7200)]
+            {
+                let clip =
+                    prepare_clip(&Scenario::tunnel_small(60 + id), &PipelineOptions::default());
+                let meta = ClipMeta {
+                    clip_id: id,
+                    name: format!("clip {id}"),
+                    location: "tunnel-x".into(),
+                    camera: camera.into(),
+                    start_time,
+                    frame_count: 400,
+                    width: clip.sim.width,
+                    height: clip.sim.height,
+                };
+                if id == 3 {
+                    victim = ShardId::for_meta(&meta, db.bucket_secs()).file_name();
+                }
+                db.put_clip(&bundle_from_clip(&clip, meta)).unwrap();
+            }
+            db.sync().unwrap();
+        }
+        std::fs::write(dir.join(&victim), b"NOTADB!!").unwrap();
+        let service = Service::new(AnyDb::open(&dir).unwrap(), ServiceConfig::default());
+
+        // Camera predicate prunes the other shards manifest-side.
+        let Response::QueryResult {
+            ranking,
+            stats,
+            degraded,
+        } = ask(
+            &service,
+            Request::Query {
+                expr: "camera = cam-a".into(),
+                k: Some(5),
+            },
+        ) else {
+            panic!("query failed")
+        };
+        assert!(!ranking.is_empty());
+        assert!(stats.shards_pruned >= 1, "stats: {stats:?}");
+        assert!(degraded.is_empty());
+
+        // A query routed only to the quarantined shard returns a typed
+        // partial-result report, not a silent empty ranking.
+        let Response::QueryResult {
+            ranking, degraded, ..
+        } = ask(
+            &service,
+            Request::Query {
+                expr: "camera = cam-b and time >= 7200".into(),
+                k: Some(5),
+            },
+        ) else {
+            panic!("query failed")
+        };
+        assert!(ranking.is_empty());
+        assert_eq!(degraded.len(), 1);
+        assert_eq!(degraded[0].camera, "cam-b");
+
+        // Parse errors are bad_request and carry did-you-mean.
+        match ask(
+            &service,
+            Request::Query {
+                expr: "event = acident".into(),
+                k: None,
+            },
+        ) {
+            Response::Error(e) => {
+                assert_eq!(e.kind, ErrorKind::BadRequest);
+                assert!(e.message.contains("accident"), "{}", e.message);
+            }
+            other => panic!("expected bad_request, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn typed_errors_for_bad_sessions_clips_and_learners() {
         let service = Service::new(seeded_db(&[1]), ServiceConfig::default());
         let kind_of = |resp: Response| match resp {

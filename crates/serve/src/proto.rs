@@ -15,6 +15,7 @@
 //! <- {"ok":"learned","session_id":3,"round":1}
 //! ```
 
+use tsvr_core::{DegradedShard, PlanStats, RankedWindow};
 use tsvr_obs::json::Json;
 use tsvr_obs::trace::FinishedTrace;
 use tsvr_obs::Snapshot;
@@ -58,6 +59,15 @@ pub enum Request {
         /// `(window, relevant)` labels for this round.
         labels: Vec<(u32, bool)>,
     },
+    /// Run a query-language expression through the progressive planner
+    /// over the whole archive (heuristic scorer, no session state).
+    Query {
+        /// The expression, e.g.
+        /// `"camera = cam-1 and vdiff >= 3.5 and time in [0, 3600]"`.
+        expr: String,
+        /// Ranking depth; `None` uses the service default page size.
+        k: Option<usize>,
+    },
     /// List stored + live sessions for a clip.
     Sessions {
         /// Clip whose sessions to list.
@@ -95,6 +105,7 @@ impl Request {
             Request::Resume { .. } => "resume",
             Request::Page { .. } => "page",
             Request::Feedback { .. } => "feedback",
+            Request::Query { .. } => "query",
             Request::Sessions { .. } => "sessions",
             Request::Close { .. } => "close",
             Request::Ping => "ping",
@@ -262,6 +273,16 @@ pub enum Response {
         /// Total completed rounds (this one included).
         round: usize,
     },
+    /// A planned query's results: ranking plus the plan receipt.
+    QueryResult {
+        /// Ranked surviving windows, best first.
+        ranking: Vec<RankedWindow>,
+        /// What each planner stage pruned.
+        stats: PlanStats,
+        /// Relevant shards that could not be served — a non-empty list
+        /// marks a *partial* result even when `ranking` is empty.
+        degraded: Vec<DegradedShard>,
+    },
     /// The `sessions` listing.
     Sessions {
         /// One entry per session, ascending id.
@@ -355,6 +376,12 @@ pub fn encode_request(env: &Envelope) -> String {
                 ),
             ));
         }
+        Request::Query { expr, k } => {
+            fields.push(("expr", Json::Str(expr.clone())));
+            if let Some(k) = k {
+                fields.push(("k", num(*k as u64)));
+            }
+        }
         Request::Sessions { clip_id } => fields.push(("clip_id", num(*clip_id))),
         Request::Close { session_id } => fields.push(("session_id", num(*session_id))),
         Request::Trace { trace_id } => {
@@ -439,6 +466,21 @@ pub fn decode_request(line: &str) -> Result<Envelope, String> {
                 labels: parsed,
             }
         }
+        "query" => Request::Query {
+            expr: v
+                .get("expr")
+                .and_then(Json::as_str)
+                .ok_or("missing string field \"expr\"")?
+                .to_string(),
+            k: match v.get("k") {
+                Some(k) => Some(
+                    k.as_u64()
+                        .ok_or("field \"k\" must be a non-negative integer")?
+                        as usize,
+                ),
+                None => None,
+            },
+        },
         "sessions" => Request::Sessions {
             clip_id: field_u64(&v, "clip_id")?,
         },
@@ -501,6 +543,56 @@ pub fn encode_response(resp: &Response) -> String {
             ("ok", Json::Str("learned".into())),
             ("session_id", num(*session_id)),
             ("round", num(*round as u64)),
+        ]),
+        Response::QueryResult {
+            ranking,
+            stats,
+            degraded,
+        } => obj(vec![
+            ("ok", Json::Str("query".into())),
+            (
+                "ranking",
+                Json::Arr(
+                    ranking
+                        .iter()
+                        .map(|r| {
+                            Json::Arr(vec![
+                                num(r.clip_id),
+                                num(r.window_index),
+                                Json::Num(r.score),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "plan",
+                obj(vec![
+                    ("shards_total", num(stats.shards_total as u64)),
+                    ("shards_pruned", num(stats.shards_pruned as u64)),
+                    ("clips_considered", num(stats.clips_considered as u64)),
+                    ("clips_pruned", num(stats.clips_pruned as u64)),
+                    ("windows_scanned", num(stats.windows_scanned as u64)),
+                    ("windows_prefiltered", num(stats.windows_prefiltered as u64)),
+                    ("windows_ranked", num(stats.windows_ranked as u64)),
+                ]),
+            ),
+            (
+                "degraded",
+                Json::Arr(
+                    degraded
+                        .iter()
+                        .map(|d| {
+                            obj(vec![
+                                ("file", Json::Str(d.file.clone())),
+                                ("camera", Json::Str(d.camera.clone())),
+                                ("bucket", num(d.bucket)),
+                                ("reason", Json::Str(d.reason.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ]),
         Response::Sessions { sessions } => obj(vec![
             ("ok", Json::Str("sessions".into())),
@@ -603,6 +695,65 @@ pub fn decode_response(line: &str) -> Result<Response, String> {
             session_id: field_u64(&v, "session_id")?,
             round: field_u64(&v, "round")? as usize,
         },
+        "query" => {
+            let ranking = v
+                .get("ranking")
+                .and_then(Json::as_arr)
+                .ok_or("missing array field \"ranking\"")?
+                .iter()
+                .map(|hit| {
+                    let parts = hit
+                        .as_arr()
+                        .filter(|p| p.len() == 3)
+                        .ok_or("each hit must be a [clip, window, score] triple")?;
+                    Ok(RankedWindow {
+                        clip_id: parts[0].as_u64().ok_or("hit clip must be an integer")?,
+                        window_index: parts[1]
+                            .as_u64()
+                            .ok_or("hit window must be an integer")?,
+                        score: parts[2].as_f64().ok_or("hit score must be a number")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?;
+            let plan = v.get("plan").ok_or("missing object field \"plan\"")?;
+            let stat = |key: &str| -> Result<usize, String> {
+                Ok(field_u64(plan, key)? as usize)
+            };
+            let stats = PlanStats {
+                shards_total: stat("shards_total")?,
+                shards_pruned: stat("shards_pruned")?,
+                clips_considered: stat("clips_considered")?,
+                clips_pruned: stat("clips_pruned")?,
+                windows_scanned: stat("windows_scanned")?,
+                windows_prefiltered: stat("windows_prefiltered")?,
+                windows_ranked: stat("windows_ranked")?,
+            };
+            let degraded = v
+                .get("degraded")
+                .and_then(Json::as_arr)
+                .ok_or("missing array field \"degraded\"")?
+                .iter()
+                .map(|d| {
+                    let text = |key: &str| -> Result<String, String> {
+                        Ok(d.get(key)
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| format!("missing string field {key:?}"))?
+                            .to_string())
+                    };
+                    Ok(DegradedShard {
+                        file: text("file")?,
+                        camera: text("camera")?,
+                        bucket: field_u64(d, "bucket")?,
+                        reason: text("reason")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?;
+            Response::QueryResult {
+                ranking,
+                stats,
+                degraded,
+            }
+        }
         "sessions" => Response::Sessions {
             sessions: v
                 .get("sessions")
@@ -708,6 +859,14 @@ mod tests {
             session_id: 3,
             labels: vec![(12, true), (40, false)],
         }));
+        round_trip_req(Envelope::new(Request::Query {
+            expr: "camera = cam-1 and vdiff >= 3.5".into(),
+            k: Some(10),
+        }));
+        round_trip_req(Envelope::new(Request::Query {
+            expr: "all".into(),
+            k: None,
+        }));
         round_trip_req(Envelope::new(Request::Sessions { clip_id: 1 }));
         round_trip_req(Envelope::new(Request::Close { session_id: 3 }));
         round_trip_req(Envelope::new(Request::Ping));
@@ -745,6 +904,40 @@ mod tests {
                 rounds: 2,
                 live: true,
             }],
+        });
+        round_trip_resp(Response::QueryResult {
+            ranking: vec![
+                RankedWindow {
+                    score: 0.875,
+                    clip_id: 3,
+                    window_index: u64::from(u32::MAX) + 7,
+                },
+                RankedWindow {
+                    score: 0.1 + 0.2, // non-terminating binary fraction
+                    clip_id: 1,
+                    window_index: 0,
+                },
+            ],
+            stats: PlanStats {
+                shards_total: 12,
+                shards_pruned: 9,
+                clips_considered: 6,
+                clips_pruned: 2,
+                windows_scanned: 400,
+                windows_prefiltered: 390,
+                windows_ranked: 10,
+            },
+            degraded: vec![DegradedShard {
+                file: "shard-cam-2-5".into(),
+                camera: "cam-2".into(),
+                bucket: 5,
+                reason: "bad magic".into(),
+            }],
+        });
+        round_trip_resp(Response::QueryResult {
+            ranking: vec![],
+            stats: PlanStats::default(),
+            degraded: vec![],
         });
         round_trip_resp(Response::Closed { session_id: 3 });
         round_trip_resp(Response::Pong);
@@ -826,6 +1019,8 @@ mod tests {
                 "boolean",
             ),
             ("{\"op\":\"ping\",\"deadline_ms\":-4}", "deadline_ms"),
+            ("{\"op\":\"query\"}", "expr"),
+            ("{\"op\":\"query\",\"expr\":\"all\",\"k\":-1}", "\"k\""),
         ] {
             let err = decode_request(line).unwrap_err();
             assert!(

@@ -202,6 +202,7 @@ impl Service {
             Request::Resume { .. } => Some(tsvr_obs::tspan!("serve.latency.resume")),
             Request::Page { .. } => Some(tsvr_obs::tspan!("serve.latency.page")),
             Request::Feedback { .. } => Some(tsvr_obs::tspan!("serve.latency.feedback")),
+            Request::Query { .. } => Some(tsvr_obs::tspan!("serve.latency.query")),
             _ => None,
         };
         let _plain = match &env.req {
@@ -226,6 +227,7 @@ impl Service {
             Request::Feedback { session_id, labels } => {
                 self.feedback(*session_id, labels, deadline)
             }
+            Request::Query { expr, k } => self.query(expr, *k, deadline),
             Request::Sessions { clip_id } => self.list_sessions(*clip_id),
             Request::Close { session_id } => self.close(*session_id),
             Request::Ping => Response::Pong,
@@ -551,6 +553,45 @@ impl Service {
         Response::Learned {
             session_id,
             round: state.feedback.len(),
+        }
+    }
+
+    /// Answers a `query` request: parse the expression, run the
+    /// progressive planner with the stateless heuristic scorer, and
+    /// return the ranking plus the plan receipt. Parse failures (with
+    /// their did-you-mean suggestions) and unevaluable class predicates
+    /// are `bad_request`; quarantined-but-relevant shards do *not* fail
+    /// the request — they come back in the `degraded` list.
+    fn query(&self, expr: &str, k: Option<usize>, deadline: Deadline) -> Response {
+        let parsed = match tsvr_core::parse_query(expr) {
+            Ok(q) => q,
+            Err(e) => return err(ErrorKind::BadRequest, format!("query: {e}")),
+        };
+        if let Some(resp) = deadline.check() {
+            return resp;
+        }
+        let planner = tsvr_core::Planner::new(k.unwrap_or(self.cfg.default_top_n));
+        let mut db = self.db.lock().unwrap();
+        match planner.run(&mut db, &parsed, tsvr_core::Scorer::Heuristic) {
+            Ok(out) => {
+                if !out.degraded.is_empty() {
+                    tsvr_obs::counter!("serve.query.partial").incr();
+                    tsvr_obs::trace::incident(
+                        "serve.query.partial",
+                        &format!("{} relevant shard(s) unserveable", out.degraded.len()),
+                    );
+                }
+                Response::QueryResult {
+                    ranking: out.ranking,
+                    stats: out.stats,
+                    degraded: out.degraded,
+                }
+            }
+            Err(tsvr_core::PlanError::Db(e)) => db_err(&e),
+            Err(e @ tsvr_core::PlanError::ClassesUnavailable { .. }) => {
+                err(ErrorKind::BadRequest, e.to_string())
+            }
+            Err(tsvr_core::PlanError::Query(e)) => err(ErrorKind::BadRequest, format!("query: {e}")),
         }
     }
 

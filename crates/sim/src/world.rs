@@ -45,6 +45,15 @@ impl VehicleClass {
             VehicleClass::Pickup => "pickup",
         }
     }
+
+    /// Inverse of [`VehicleClass::name`].
+    pub fn from_name(name: &str) -> Option<VehicleClass> {
+        VehicleClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// Every class, in display order.
+    pub const ALL: [VehicleClass; 3] =
+        [VehicleClass::Car, VehicleClass::Suv, VehicleClass::Pickup];
 }
 
 /// One vehicle as seen in the camera image at a given frame.

@@ -56,5 +56,8 @@ pub use record::{
     ClipBundle, ClipMeta, IncidentRow, IndexSegment, IndexWindowRow, SequenceRow, SessionRow,
     TrackRow, WindowRow, INDEX_COMPRESSED_VERSION, INDEX_FORMAT_VERSION, INDEX_MAGIC,
 };
-pub use shard::{AnyDb, ShardId, ShardInfo, ShardedDb, DEFAULT_TIME_BUCKET_SECS, MANIFEST_FILE};
+pub use shard::{
+    AnyDb, ClipStub, RouteStatus, ShardId, ShardInfo, ShardRoute, ShardedDb,
+    DEFAULT_TIME_BUCKET_SECS, MANIFEST_FILE,
+};
 pub use storage::{FaultHandle, FaultKind, FaultyStorage, FileStorage, MemStorage, OpKind, Storage};

@@ -606,6 +606,112 @@ impl ShardedDb {
         }
         out
     }
+
+    /// The manifest's routing table, one entry per `(camera, bucket)`
+    /// key, in route order. This is the query planner's prune input:
+    /// the camera and time-bucket of every shard — healthy or
+    /// quarantined — are known from the manifest alone, and healthy
+    /// routes carry just enough per-clip metadata (`start_time`,
+    /// `frame_count`) to decide time-overlap exactly, without touching
+    /// stored index or bundle records. Quarantined routes carry the
+    /// open-failure reason instead, so a planner can *name* what it
+    /// could not serve rather than silently returning less.
+    pub fn shard_routes(&self) -> Vec<ShardRoute> {
+        let mut out = Vec::with_capacity(self.routes.len());
+        for (id, file) in &self.routes {
+            let status = if let Some(reason) = self.quarantined.get(file) {
+                RouteStatus::Quarantined {
+                    reason: reason.clone(),
+                }
+            } else {
+                let clips = match self.shards.get(file) {
+                    Some(shard) => {
+                        let mut clips: Vec<ClipStub> = shard
+                            .list_clips()
+                            .iter()
+                            // A shard file can serve several routes; a
+                            // route's clips are the ones bucketed to it.
+                            .filter(|m| ShardId::for_meta(m, self.bucket_secs) == *id)
+                            .map(|m| ClipStub {
+                                clip_id: m.clip_id,
+                                camera: m.camera.clone(),
+                                start_time: m.start_time,
+                                frame_count: m.frame_count,
+                            })
+                            .collect();
+                        clips.sort_unstable_by_key(|c| c.clip_id);
+                        clips
+                    }
+                    // Routed but missing on disk (manifest ahead of the
+                    // file): report as degraded, not silently empty.
+                    None => {
+                        out.push(ShardRoute {
+                            camera: id.camera.clone(),
+                            bucket: id.bucket,
+                            file: file.clone(),
+                            status: RouteStatus::Quarantined {
+                                reason: "routed shard file missing".into(),
+                            },
+                        });
+                        continue;
+                    }
+                };
+                RouteStatus::Healthy { clips }
+            };
+            out.push(ShardRoute {
+                camera: id.camera.clone(),
+                bucket: id.bucket,
+                file: file.clone(),
+                status,
+            });
+        }
+        out
+    }
+}
+
+/// One manifest route as seen by the query planner: the `(camera,
+/// bucket)` key, the shard file it maps to, and either the route's clip
+/// stubs (healthy) or the reason it cannot be served (quarantined).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRoute {
+    /// Camera the route covers.
+    pub camera: String,
+    /// Time bucket (`start_time / bucket_secs`) the route covers.
+    pub bucket: u64,
+    /// Shard file name.
+    pub file: String,
+    /// Whether the route can be served.
+    pub status: RouteStatus,
+}
+
+/// Serveability of one [`ShardRoute`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteStatus {
+    /// The shard is open; these are the clips bucketed to this route.
+    Healthy {
+        /// Per-clip metadata stubs, ascending clip id.
+        clips: Vec<ClipStub>,
+    },
+    /// The shard could not be opened (or is missing); `reason` is the
+    /// quarantine cause.
+    Quarantined {
+        /// Why the shard is unavailable.
+        reason: String,
+    },
+}
+
+/// The slice of [`ClipMeta`] a planner needs to prune by camera and
+/// time without opening any stored records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClipStub {
+    /// Clip id.
+    pub clip_id: u64,
+    /// Camera name.
+    pub camera: String,
+    /// Capture start, seconds since epoch.
+    pub start_time: u64,
+    /// Number of frames in the clip.
+    pub frame_count: u32,
 }
 
 /// A database handle that is either a single-file [`VideoDb`] or a
@@ -793,6 +899,16 @@ impl AnyDb {
         match self {
             AnyDb::Single(_) => None,
             AnyDb::Sharded(db) => db.shard_of_clip(clip_id),
+        }
+    }
+
+    /// The manifest routing table with its bucket width, for shard
+    /// pruning (see [`ShardedDb::shard_routes`]); `None` for a
+    /// single-file database, which has no manifest to prune against.
+    pub fn shard_routes(&self) -> Option<(u64, Vec<ShardRoute>)> {
+        match self {
+            AnyDb::Single(_) => None,
+            AnyDb::Sharded(db) => Some((db.bucket_secs(), db.shard_routes())),
         }
     }
 }
@@ -1020,6 +1136,56 @@ mod tests {
         assert!(matches!(db, AnyDb::Sharded(_)));
         db.put_clip(&bundle_at(1, "cam-a", 0)).unwrap();
         assert_eq!(db.db_for_clip_mut(1).unwrap().clip_count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_routes_expose_manifest_with_clip_stubs_and_quarantine() {
+        let dir = temp_dir("routes");
+        let victim;
+        {
+            let mut db = ShardedDb::open_with_bucket(&dir, 3600).unwrap();
+            db.put_clip(&bundle_at(1, "cam-a", 0)).unwrap();
+            db.put_clip(&bundle_at(2, "cam-a", 100)).unwrap(); // same route
+            db.put_clip(&bundle_at(3, "cam-b", 7200)).unwrap();
+            db.sync().unwrap();
+            victim =
+                ShardId::for_meta(&bundle_at(3, "cam-b", 7200).meta, db.bucket_secs()).file_name();
+        }
+        std::fs::write(dir.join(&victim), b"NOTADB!!").unwrap();
+        let db = ShardedDb::open(&dir).unwrap();
+        let routes = db.shard_routes();
+        assert_eq!(routes.len(), 2);
+        let cam_a = routes
+            .iter()
+            .find(|r| r.camera == "cam-a")
+            .expect("cam-a route");
+        assert_eq!(cam_a.bucket, 0);
+        match &cam_a.status {
+            RouteStatus::Healthy { clips } => {
+                assert_eq!(
+                    clips.iter().map(|c| c.clip_id).collect::<Vec<_>>(),
+                    vec![1, 2]
+                );
+                assert_eq!(clips[0].camera, "cam-a");
+                assert_eq!(clips[0].start_time, 0);
+                assert_eq!(clips[0].frame_count, 400);
+            }
+            other => panic!("cam-a should be healthy, got {other:?}"),
+        }
+        let cam_b = routes
+            .iter()
+            .find(|r| r.camera == "cam-b")
+            .expect("cam-b route");
+        assert_eq!((cam_b.bucket, cam_b.file.as_str()), (2, victim.as_str()));
+        assert!(matches!(&cam_b.status, RouteStatus::Quarantined { .. }));
+        // The AnyDb wrapper exposes the same view (None for single-file).
+        let any: AnyDb = db.into();
+        let (bucket_secs, routes) = any.shard_routes().expect("sharded");
+        assert_eq!(bucket_secs, 3600);
+        assert_eq!(routes.len(), 2);
+        let single: AnyDb = VideoDb::in_memory().into();
+        assert!(single.shard_routes().is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

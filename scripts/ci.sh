@@ -76,6 +76,20 @@ grep -q '"rankings_byte_identical":true' BENCH_shard.json
 grep -q '"compression_bit_exact":true' BENCH_shard.json
 grep -q '"pass":true' BENCH_shard.json
 
+# Query-planner bench smoke: proves the progressive planner's rankings
+# are byte-identical to a post-filtered full scan (1 and 4 threads) and
+# that the narrow query's plan actually pruned shards and pre-filtered
+# windows. Fast mode gates correctness only; the committed full-mode
+# BENCH_query.json must also record the latency-falls-with-selectivity
+# pass.
+echo "==> query bench smoke run (TSVR_BENCH_FAST=1)"
+query_tmp="$(mktemp -d)"
+(cd "$query_tmp" && TSVR_BENCH_FAST=1 cargo run --release -q \
+    --manifest-path "$repo/Cargo.toml" -p tsvr-bench --bin query)
+grep -q '"pass":true' "$query_tmp/BENCH_query.json"
+grep -q '"rankings_byte_identical":true' BENCH_query.json
+grep -q '"pass":true' BENCH_query.json
+
 # Scenario-fleet smoke: the retrieval-quality matrix over the fleet in
 # fast mode (shorter clips, paper learner only). The binary asserts
 # every cell clears its AP floor, index-served bags are bit-identical,
@@ -150,6 +164,14 @@ send '{"op":"feedback","session_id":1,"labels":[[0,true],[1,false]]}'
                                                          expect '"ok":"learned"'
 send '{"op":"page","session_id":1,"n":5}';               expect '"ok":"page"'
 send '{"op":"page","session_id":99}';                    expect '"error":"not_found"'
+# Query language over the wire: a planned query answers with a plan
+# receipt; a typo'd event name is a typed error with a suggestion.
+send '{"op":"query","expr":"vdiff >= 0.5","k":3}';       expect '"ok":"query"'
+send '{"op":"query","expr":"event = acident"}';          expect '"error":"bad_request"'
+# The remote CLI proxies through the server; the local CLI plans
+# directly against the database. Same query, byte-identical output.
+./target/release/tsvr query "vdiff >= 0.5" \
+    --addr "127.0.0.1:$port" --top 3 | tee "$smoke/query_remote.out"
 # Ops plane: live registry snapshot, latest trace tree, slowlog.
 send '{"op":"stats"}';                                   expect '"ok":"stats"'
 send '{"op":"trace"}';                                   expect '"ok":"trace"'
@@ -168,6 +190,12 @@ wait "$serve_pid"
 ./target/release/tsvr session replay --db "$smoke/smoke.db" \
     --clip-id 1 --session 1 --top 5 | tee "$smoke/replay.out"
 grep -q "1 rounds replayed" "$smoke/replay.out"
+# Cross-check the planner surfaces: the local CLI (planning directly
+# against the database) must print exactly what the remote CLI printed
+# while proxying through the server.
+./target/release/tsvr query "vdiff >= 0.5" \
+    --db "$smoke/smoke.db" --top 3 | tee "$smoke/query_local.out"
+diff "$smoke/query_remote.out" "$smoke/query_local.out"
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -76,7 +76,7 @@ fn dataset_bits(ds: &Dataset) -> Vec<WindowBits> {
         .collect()
 }
 
-fn ranking_bits(rs: &[RankedWindow]) -> Vec<(u64, u64, u32)> {
+fn ranking_bits(rs: &[RankedWindow]) -> Vec<(u64, u64, u64)> {
     rs.iter()
         .map(|r| (r.score.to_bits(), r.clip_id, r.window_index))
         .collect()
